@@ -1,0 +1,94 @@
+// Figure 3 (+ Figure 9) — congestion is typical: transaction volume vs
+// block capacity over time, the Mempool-size distribution in A and B,
+// and the Mempool-size time series (including B's late-June surges).
+//
+// Paper claims: Mempool above one block budget ~75% of the time in A and
+// ~92% in B; peaks exceed 15x the budget; B fluctuates far more than A.
+#include "common.hpp"
+
+#include "stats/ecdf.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void BM_SnapshotFraction(benchmark::State& state) {
+  using namespace cn;
+  static const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, 3, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.observer.snapshots().fraction_above(100'000));
+  }
+}
+BENCHMARK(BM_SnapshotFraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  bench::banner("Figure 3 / Figure 9 — Mempool congestion in A and B",
+                "congested ~75% (A) and ~92% (B) of the time; peaks >15x a "
+                "block; B swings ~3x harder than A");
+
+  const std::uint64_t seed = bench::seed_from_env();
+  const double scale = bench::scale_from_env(1.0);
+
+  CsvWriter series_csv(bench::out_dir() + "/fig03_mempool_series.csv");
+  series_csv.header({"dataset", "time_s", "tx_count", "vsize_vb"});
+  CsvWriter growth_csv(bench::out_dir() + "/fig03_growth.csv");
+  growth_csv.header({"dataset", "time_s", "cumulative_blocks", "cumulative_txs"});
+
+  for (const auto& [kind, name, paper_frac] :
+       {std::tuple{sim::DatasetKind::kA, "A", "75%"},
+        std::tuple{sim::DatasetKind::kB, "B", "92%"}}) {
+    const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+    const auto& snaps = world.observer.snapshots();
+    const std::uint64_t unit = world.config.max_block_vsize;
+
+    std::printf("--- data set %s ---\n", name);
+    bench::compare("fraction of time congested (>1 block)", paper_frac,
+                   percent(snaps.fraction_above(unit)));
+    bench::compare("peak backlog (multiples of block budget)",
+                   std::string(name) == "A" ? ">15x (Fig 3c)" : "larger than A (Fig 9)",
+                   fixed(static_cast<double>(snaps.max_vsize()) /
+                             static_cast<double>(unit), 1) + "x");
+
+    // Mempool-size distribution (Fig 3b).
+    std::vector<double> sizes;
+    sizes.reserve(snaps.size());
+    for (const auto& s : snaps.stats()) {
+      sizes.push_back(static_cast<double>(s.total_vsize) /
+                      static_cast<double>(unit));
+    }
+    const stats::Ecdf size_cdf{std::span<const double>(sizes)};
+    core::print_cdf_summary(std::string("Mempool size (block budgets), ") + name,
+                            size_cdf);
+    core::write_cdf_csv(bench::out_dir() + "/fig03_mempool_cdf_" + name + ".csv",
+                        size_cdf, "budgets");
+
+    // Time series (Fig 3c / Fig 9), thinned for plotting.
+    const std::size_t stride = std::max<std::size_t>(snaps.size() / 2000, 1);
+    for (std::size_t i = 0; i < snaps.size(); i += stride) {
+      const auto& s = snaps.stats()[i];
+      series_csv.field(std::string(name));
+      series_csv.field(s.time).field(s.tx_count).field(s.total_vsize);
+      series_csv.end_row();
+    }
+
+    // Cumulative growth (Fig 3a proxy at simulation scale): blocks grow
+    // linearly; transaction arrivals outpace them during surges.
+    std::uint64_t blocks_so_far = 0, txs_so_far = 0;
+    for (const auto& block : world.chain.blocks()) {
+      ++blocks_so_far;
+      txs_so_far += block.tx_count();
+      if (blocks_so_far % 25 == 0) {
+        growth_csv.field(std::string(name)).field(block.mined_at());
+        growth_csv.field(blocks_so_far).field(txs_so_far);
+        growth_csv.end_row();
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("CSV: %s/fig03_*.csv\n", bench::out_dir().c_str());
+
+  return cn::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,80 @@
+// Table 1 — the three data sets: time span, block heights, block count,
+// transaction count, CPFP share, empty blocks.
+//
+// Absolute counts are scaled down (DESIGN.md documents the scaling); the
+// *ratios* (transactions per block, CPFP percentage, empty-block share)
+// are the comparable quantities.
+#include "common.hpp"
+
+#include "util/strings.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  std::uint64_t blocks;
+  std::uint64_t txs;
+  double cpfp_percent;
+  std::uint64_t empty_blocks;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"A", 3119, 6'816'375, 26.45, 38},
+    {"B", 4520, 10'484'201, 23.17, 18},
+    {"C", 53'214, 112'489'054, 19.11, 240},
+};
+
+void BM_DatasetBuildTiny(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cn::sim::make_dataset(cn::sim::DatasetKind::kA, seed++, 0.02));
+  }
+}
+BENCHMARK(BM_DatasetBuildTiny)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  bench::banner("Table 1 — data sets A, B, C",
+                "three captures: A (3119 blocks), B (4520), C (53214); "
+                "CPFP 26/23/19%; 38/18/240 empty blocks");
+
+  const std::uint64_t seed = bench::seed_from_env();
+  const double scale = bench::scale_from_env(1.0);
+
+  core::TablePrinter table({"set", "blocks", "txs committed", "txs/block",
+                            "CPFP%", "empty", "paper CPFP%", "paper empty/blk"},
+                           {5, 9, 15, 11, 8, 7, 13, 17});
+  table.print_header();
+
+  const sim::DatasetKind kinds[] = {sim::DatasetKind::kA, sim::DatasetKind::kB,
+                                    sim::DatasetKind::kC};
+  for (int i = 0; i < 3; ++i) {
+    const sim::SimResult world = sim::make_dataset(kinds[i], seed, scale);
+    std::uint64_t cpfp = 0;
+    for (const auto& block : world.chain.blocks()) {
+      cpfp += block.cpfp_positions().size();
+    }
+    const double cpfp_pct = world.chain.total_tx_count() == 0
+                                ? 0.0
+                                : 100.0 * static_cast<double>(cpfp) /
+                                      static_cast<double>(world.chain.total_tx_count());
+    const double txs_per_block =
+        static_cast<double>(world.chain.total_tx_count()) /
+        static_cast<double>(world.chain.size());
+    const double paper_empty_rate = static_cast<double>(kPaper[i].empty_blocks) /
+                                    static_cast<double>(kPaper[i].blocks);
+    table.print_row({kPaper[i].name, with_commas(world.chain.size()),
+                     with_commas(world.chain.total_tx_count()),
+                     fixed(txs_per_block, 1), fixed(cpfp_pct, 2),
+                     with_commas(world.chain.empty_block_count()),
+                     fixed(kPaper[i].cpfp_percent, 2),
+                     fixed(paper_empty_rate * 100.0, 2) + "%"});
+  }
+  std::printf("\nnote: counts are scaled-down simulations (see DESIGN.md); "
+              "compare the ratio columns.\n");
+
+  return cn::bench::run_microbenchmarks(argc, argv);
+}

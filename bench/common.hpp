@@ -1,0 +1,71 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it
+// simulates the corresponding data set, runs the audit, prints a
+// "paper vs measured" report to stdout, writes plottable CSVs under
+// ./bench_out/, and finally runs a couple of google-benchmark
+// micro-benchmarks of the library primitives it exercises.
+//
+// Environment knobs (all optional):
+//   CN_SEED  — simulation seed (default 42)
+//   CN_SCALE — data-set scale factor (default 1.0)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/report.hpp"
+#include "sim/dataset.hpp"
+
+namespace cn::bench {
+
+inline std::uint64_t seed_from_env() {
+  const char* s = std::getenv("CN_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 42;
+}
+
+inline double scale_from_env(double fallback = 1.0) {
+  const char* s = std::getenv("CN_SCALE");
+  return s != nullptr ? std::strtod(s, nullptr) : fallback;
+}
+
+/// Directory for CSV exports; created on first use.
+inline std::string out_dir() {
+  static const std::string dir = [] {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    return std::string("bench_out");
+  }();
+  return dir;
+}
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// One "paper vs measured" line.
+inline void compare(const char* metric, const std::string& paper,
+                    const std::string& measured) {
+  std::printf("  %-44s paper: %-18s measured: %s\n", metric, paper.c_str(),
+              measured.c_str());
+}
+
+/// Runs registered google-benchmark micro-benchmarks (call at the end of
+/// main, after the experiment output).
+inline int run_microbenchmarks(int argc, char** argv) {
+  std::printf("\n--- micro-benchmarks -------------------------------------------\n");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace cn::bench

@@ -1,0 +1,86 @@
+// Monetary amounts and fee-rates.
+//
+// Amounts are integer satoshi (1 BTC = 1e8 sat) exactly as in Bitcoin.
+// Fee-rates are kept as exact rationals (fee, vsize) so that ordering
+// transactions by fee-per-vbyte never suffers floating-point ties breaking
+// differently across platforms; double conversions are provided for
+// reporting. The paper quotes fee-rates in BTC/KB: 1e-5 BTC/KB == 1 sat/vB.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace cn::btc {
+
+/// Integer satoshi amount. A plain strong typedef with arithmetic.
+struct Satoshi {
+  std::int64_t value = 0;
+
+  constexpr Satoshi() = default;
+  constexpr explicit Satoshi(std::int64_t v) noexcept : value(v) {}
+
+  constexpr auto operator<=>(const Satoshi&) const = default;
+
+  constexpr Satoshi operator+(Satoshi o) const noexcept { return Satoshi{value + o.value}; }
+  constexpr Satoshi operator-(Satoshi o) const noexcept { return Satoshi{value - o.value}; }
+  constexpr Satoshi& operator+=(Satoshi o) noexcept {
+    value += o.value;
+    return *this;
+  }
+  constexpr Satoshi& operator-=(Satoshi o) noexcept {
+    value -= o.value;
+    return *this;
+  }
+
+  constexpr bool is_negative() const noexcept { return value < 0; }
+
+  double btc() const noexcept { return static_cast<double>(value) * 1e-8; }
+};
+
+inline constexpr std::int64_t kSatPerBtc = 100'000'000;
+inline constexpr Satoshi kOneBtc{kSatPerBtc};
+
+constexpr Satoshi from_btc_int(std::int64_t btc) noexcept {
+  return Satoshi{btc * kSatPerBtc};
+}
+
+/// Exact fee-rate: fee in satoshi over virtual size in vbytes.
+/// Comparison cross-multiplies in 128-bit so it is exact for any realistic
+/// fee/size. A zero-vsize rate is invalid except for the default value.
+class FeeRate {
+ public:
+  constexpr FeeRate() = default;
+  constexpr FeeRate(Satoshi fee, std::uint64_t vsize_vb) noexcept
+      : fee_(fee), vsize_(vsize_vb) {}
+
+  /// Builds the canonical rate "n sat per vbyte".
+  static constexpr FeeRate from_sat_per_vb(std::int64_t sat_per_vb) noexcept {
+    return FeeRate(Satoshi{sat_per_vb}, 1);
+  }
+
+  constexpr Satoshi fee() const noexcept { return fee_; }
+  constexpr std::uint64_t vsize() const noexcept { return vsize_; }
+  constexpr bool valid() const noexcept { return vsize_ > 0; }
+
+  /// sat/vB as double (reporting only; never used for ordering).
+  double sat_per_vbyte() const noexcept;
+
+  /// BTC/KB as double — the unit the paper's figures use.
+  double btc_per_kb() const noexcept;
+
+  /// Exact three-way comparison by fee/vsize; invalid rates compare lowest.
+  std::strong_ordering operator<=>(const FeeRate& o) const noexcept;
+  bool operator==(const FeeRate& o) const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  Satoshi fee_{};
+  std::uint64_t vsize_ = 0;
+};
+
+/// The default relay floor norm III refers to: 1 sat/vB (== 1e-5 BTC/KB).
+inline constexpr std::int64_t kDefaultMinRelaySatPerVb = 1;
+
+}  // namespace cn::btc

@@ -1,0 +1,58 @@
+#include "btc/coinbase_tags.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cn::btc {
+
+void CoinbaseTagRegistry::add(std::string pool_name, std::string marker) {
+  tags_.push_back(PoolTag{std::move(pool_name), std::move(marker)});
+  // Keep longest markers first so the most specific match wins.
+  std::stable_sort(tags_.begin(), tags_.end(),
+                   [](const PoolTag& a, const PoolTag& b) {
+                     return a.marker.size() > b.marker.size();
+                   });
+}
+
+void CoinbaseTagRegistry::add_alias(std::string alias, std::string canonical) {
+  aliases_.emplace_back(std::move(alias), std::move(canonical));
+}
+
+std::string CoinbaseTagRegistry::canonical(std::string_view pool_name) const {
+  for (const auto& [alias, canon] : aliases_)
+    if (alias == pool_name) return canon;
+  return std::string(pool_name);
+}
+
+std::optional<std::string> CoinbaseTagRegistry::identify(
+    std::string_view coinbase_tag) const {
+  for (const PoolTag& tag : tags_) {
+    if (contains_icase(coinbase_tag, tag.marker)) return canonical(tag.pool_name);
+  }
+  return std::nullopt;
+}
+
+std::string conventional_marker(std::string_view pool_name) {
+  return "/" + std::string(pool_name) + "/";
+}
+
+CoinbaseTagRegistry CoinbaseTagRegistry::paper_registry() {
+  CoinbaseTagRegistry reg;
+  // Top-20 MPOs of data set C (Figure 2c) plus the remaining pools named in
+  // data sets A/B (Figure 2a/2b).
+  static const char* kPools[] = {
+      "F2Pool",       "Poolin",     "BTC.com",    "AntPool",   "Huobi",
+      "ViaBTC",       "1THash&58Coin", "Okex",    "SlushPool", "Binance Pool",
+      "Lubian.com",   "BitFury",    "BytePool",   "NovaBlock", "SpiderPool",
+      "BitDeer",      "Buffett",    "TMSPool",    "WAYI.CN",   "Bitcoin.com",
+      "BTC.TOP",      "Bitfarms",   "DPool",      "KanoPool",  "Sigmapool",
+  };
+  for (const char* p : kPools) reg.add(p, conventional_marker(p));
+  // Shared-wallet aliases reported by the paper (Figure 8 caption).
+  reg.add_alias("BitDeer", "BTC.com");
+  reg.add_alias("Buffett", "Lubian.com");
+  return reg;
+}
+
+}  // namespace cn::btc

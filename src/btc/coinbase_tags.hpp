@@ -1,0 +1,55 @@
+// Mining-pool attribution from coinbase markers.
+//
+// Mining pools customarily embed a signature string in the coinbase
+// scriptSig ("/F2Pool/", "/ViaBTC/", ...). Following the paper (and the
+// prior work it cites, Judmayer et al. and Romiti et al.), we attribute a
+// block to a pool by matching these markers, with an alias table for pools
+// that share wallets/markers (BitDeer -> BTC.com, Buffett -> Lubian.com).
+// Unmatched blocks stay "unknown" (the paper could not identify ~1.32%).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cn::btc {
+
+struct PoolTag {
+  std::string pool_name;  ///< canonical pool name
+  std::string marker;     ///< substring searched for in the coinbase tag
+};
+
+class CoinbaseTagRegistry {
+ public:
+  CoinbaseTagRegistry() = default;
+
+  /// Registers a marker for a pool; longest-marker match wins at lookup.
+  void add(std::string pool_name, std::string marker);
+
+  /// Registers an alias: blocks attributed to @p alias are reported as
+  /// @p canonical (paper: BitDeer->BTC.com, Buffett->Lubian.com).
+  void add_alias(std::string alias, std::string canonical);
+
+  /// Attributes a coinbase tag string to a pool, resolving aliases.
+  /// Returns std::nullopt when no marker matches.
+  std::optional<std::string> identify(std::string_view coinbase_tag) const;
+
+  /// Canonical name after alias resolution (identity if not aliased).
+  std::string canonical(std::string_view pool_name) const;
+
+  std::size_t marker_count() const noexcept { return tags_.size(); }
+
+  /// Registry pre-loaded with the paper's top-20 pools (data set C) plus
+  /// the pools that appear in data sets A/B, and the two alias pairs.
+  static CoinbaseTagRegistry paper_registry();
+
+ private:
+  std::vector<PoolTag> tags_;
+  std::vector<std::pair<std::string, std::string>> aliases_;
+};
+
+/// The conventional marker string for a pool name, e.g. "/F2Pool/".
+std::string conventional_marker(std::string_view pool_name);
+
+}  // namespace cn::btc

@@ -1,0 +1,25 @@
+#include "btc/header.hpp"
+
+#include <string>
+
+#include "util/sha256.hpp"
+
+namespace cn::btc {
+
+BlockHash BlockHeader::hash() const noexcept {
+  std::string buf;
+  buf.reserve(2 * 32 + 16 + 7);
+  buf.append("header/");  // domain separation from txids
+  buf.append(reinterpret_cast<const char*>(prev_hash.bytes.data()),
+             prev_hash.bytes.size());
+  buf.append(reinterpret_cast<const char*>(merkle_root.bytes.data()),
+             merkle_root.bytes.size());
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>(height >> (8 * i)));
+  const auto ts = static_cast<std::uint64_t>(timestamp);
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>(ts >> (8 * i)));
+  BlockHash out;
+  out.bytes = sha256d(buf);
+  return out;
+}
+
+}  // namespace cn::btc

@@ -1,0 +1,30 @@
+// Block headers: the cryptographic spine of the chain. Each header
+// commits to the previous header's hash, the Merkle root of the block's
+// transactions (coinbase included), and the timestamp — so any
+// tampering with history is detectable, exactly as in Bitcoin (minus
+// proof-of-work difficulty, which plays no role in ordering audits).
+#pragma once
+
+#include <cstdint>
+
+#include "btc/txid.hpp"
+#include "util/time.hpp"
+
+namespace cn::btc {
+
+/// 32-byte block hash (same digest domain as transaction ids).
+using BlockHash = Txid;
+
+struct BlockHeader {
+  BlockHash prev_hash{};   ///< null for the first block of a chain
+  Txid merkle_root{};      ///< over coinbase id + tx ids, in order
+  std::uint64_t height = 0;
+  SimTime timestamp = 0;
+
+  /// Double-SHA-256 over the serialized header fields.
+  BlockHash hash() const noexcept;
+
+  bool operator==(const BlockHeader&) const = default;
+};
+
+}  // namespace cn::btc

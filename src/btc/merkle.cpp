@@ -1,0 +1,71 @@
+#include "btc/merkle.hpp"
+
+#include "util/assert.hpp"
+#include "util/sha256.hpp"
+
+namespace cn::btc {
+
+namespace {
+
+Txid hash_pair(const Txid& left, const Txid& right) noexcept {
+  std::uint8_t buf[64];
+  std::copy(left.bytes.begin(), left.bytes.end(), buf);
+  std::copy(right.bytes.begin(), right.bytes.end(), buf + 32);
+  Txid out;
+  out.bytes = sha256d(std::span<const std::uint8_t>(buf, sizeof(buf)));
+  return out;
+}
+
+}  // namespace
+
+Txid merkle_root(std::span<const Txid> leaves) noexcept {
+  if (leaves.empty()) return kNullTxid;
+  std::vector<Txid> level(leaves.begin(), leaves.end());
+  while (level.size() > 1) {
+    std::vector<Txid> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Txid& left = level[i];
+      const Txid& right = i + 1 < level.size() ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::vector<MerkleStep> merkle_proof(std::span<const Txid> leaves,
+                                     std::size_t index) {
+  CN_ASSERT(index < leaves.size());
+  std::vector<MerkleStep> proof;
+  std::vector<Txid> level(leaves.begin(), leaves.end());
+  std::size_t pos = index;
+  while (level.size() > 1) {
+    const std::size_t sibling =
+        pos % 2 == 0 ? (pos + 1 < level.size() ? pos + 1 : pos) : pos - 1;
+    proof.push_back(MerkleStep{level[sibling], /*sibling_on_right=*/pos % 2 == 0});
+
+    std::vector<Txid> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Txid& left = level[i];
+      const Txid& right = i + 1 < level.size() ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Txid& leaf, std::span<const MerkleStep> proof,
+                   const Txid& root) noexcept {
+  Txid current = leaf;
+  for (const MerkleStep& step : proof) {
+    current = step.sibling_on_right ? hash_pair(current, step.sibling)
+                                    : hash_pair(step.sibling, current);
+  }
+  return current == root;
+}
+
+}  // namespace cn::btc

@@ -1,0 +1,33 @@
+// Merkle trees over transaction ids, as Bitcoin builds them: double
+// SHA-256 of concatenated child digests, odd nodes paired with
+// themselves. Used for block headers and inclusion proofs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "btc/txid.hpp"
+
+namespace cn::btc {
+
+/// Merkle root of an ordered txid list. The empty list hashes to the
+/// null txid (a block with only a coinbase uses the coinbase id — the
+/// simulator's blocks pass their tx list plus a synthetic coinbase id).
+Txid merkle_root(std::span<const Txid> leaves) noexcept;
+
+/// One step of an inclusion proof.
+struct MerkleStep {
+  Txid sibling{};
+  bool sibling_on_right = false;  ///< position of the sibling in the pair
+};
+
+/// Inclusion proof for leaves[index]; O(log n) siblings.
+std::vector<MerkleStep> merkle_proof(std::span<const Txid> leaves,
+                                     std::size_t index);
+
+/// Verifies that @p leaf at the proven position hashes up to @p root.
+bool merkle_verify(const Txid& leaf, std::span<const MerkleStep> proof,
+                   const Txid& root) noexcept;
+
+}  // namespace cn::btc

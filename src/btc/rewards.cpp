@@ -1,0 +1,36 @@
+#include "btc/rewards.hpp"
+
+namespace cn::btc {
+
+Satoshi block_subsidy(std::uint64_t height) noexcept {
+  const std::uint64_t halvings = height / kHalvingInterval;
+  if (halvings >= 64) return Satoshi{0};
+  std::int64_t subsidy = 50LL * kSatPerBtc;
+  subsidy >>= halvings;
+  return Satoshi{subsidy};
+}
+
+namespace {
+// Anchor: data set C starts at height 610691 on Jan 1, 2020.
+constexpr std::uint64_t kAnchorHeight = 610'691;
+constexpr int kAnchorYear = 2020;
+constexpr std::uint64_t kBlocksPerYear = 52'560;  // 144/day * 365
+}  // namespace
+
+std::uint64_t approx_height_of_year(int year) noexcept {
+  const std::int64_t delta_years = year - kAnchorYear;
+  const std::int64_t h = static_cast<std::int64_t>(kAnchorHeight) +
+                         delta_years * static_cast<std::int64_t>(kBlocksPerYear);
+  return h < 0 ? 0 : static_cast<std::uint64_t>(h);
+}
+
+int approx_year_of_height(std::uint64_t height) noexcept {
+  const std::int64_t delta =
+      static_cast<std::int64_t>(height) - static_cast<std::int64_t>(kAnchorHeight);
+  // Floor division for negative deltas.
+  std::int64_t years = delta / static_cast<std::int64_t>(kBlocksPerYear);
+  if (delta < 0 && delta % static_cast<std::int64_t>(kBlocksPerYear) != 0) --years;
+  return kAnchorYear + static_cast<int>(years);
+}
+
+}  // namespace cn::btc

@@ -1,0 +1,30 @@
+// Block subsidy schedule (halvings) and helper mapping between calendar
+// years and representative block heights; used by the Table 5 experiment
+// (fee share of miner revenue, 2016-2020 — the May 2020 halving falls
+// inside that window).
+#pragma once
+
+#include <cstdint>
+
+#include "btc/amount.hpp"
+
+namespace cn::btc {
+
+/// Heights between halvings.
+inline constexpr std::uint64_t kHalvingInterval = 210'000;
+
+/// Block subsidy at @p height: 50 BTC halved every 210,000 blocks, with
+/// sub-satoshi remainders truncated; zero after 64 halvings.
+Satoshi block_subsidy(std::uint64_t height) noexcept;
+
+/// Approximate first block height of a calendar year (anchored on real
+/// observations: height 610691 ≈ Jan 1, 2020; ~52560 blocks/year).
+std::uint64_t approx_height_of_year(int year) noexcept;
+
+/// Inverse of the above (approximate year of a height).
+int approx_year_of_height(std::uint64_t height) noexcept;
+
+/// The height of the May 11, 2020 halving (subsidy 12.5 -> 6.25 BTC).
+inline constexpr std::uint64_t kThirdHalvingHeight = 630'000;
+
+}  // namespace cn::btc

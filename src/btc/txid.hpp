@@ -1,0 +1,70 @@
+// Transaction and wallet identifiers.
+//
+// Txid is a 32-byte double-SHA-256 digest, as in Bitcoin. Address is a
+// compact 64-bit wallet identifier derived by hashing a label; the audit
+// only ever compares addresses for identity (pool-wallet membership), so a
+// 64-bit digest-prefix identity is faithful and keeps data sets small.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cn::btc {
+
+struct Txid {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Txid&) const = default;
+
+  /// Hex display, most-significant byte first (explorer convention).
+  std::string to_hex() const;
+
+  /// Parses the to_hex() representation; nullopt on malformed input.
+  static std::optional<Txid> from_hex(std::string_view hex);
+
+  /// Derives a txid by double-SHA-256 of an arbitrary preimage.
+  static Txid hash_of(std::string_view preimage) noexcept;
+
+  /// A cheap 64-bit key for hash maps (first 8 bytes of the digest).
+  std::uint64_t short_id() const noexcept;
+
+  bool is_null() const noexcept;
+};
+
+inline constexpr Txid kNullTxid{};
+
+/// 64-bit wallet identifier.
+struct Address {
+  std::uint64_t value = 0;
+
+  auto operator<=>(const Address&) const = default;
+
+  bool is_null() const noexcept { return value == 0; }
+  std::string to_string() const;
+
+  /// Deterministically derives an address from a label (e.g. pool name +
+  /// wallet index), via SHA-256.
+  static Address derive(std::string_view label) noexcept;
+};
+
+inline constexpr Address kNullAddress{};
+
+}  // namespace cn::btc
+
+template <>
+struct std::hash<cn::btc::Txid> {
+  std::size_t operator()(const cn::btc::Txid& id) const noexcept {
+    return static_cast<std::size_t>(id.short_id());
+  }
+};
+
+template <>
+struct std::hash<cn::btc::Address> {
+  std::size_t operator()(const cn::btc::Address& a) const noexcept {
+    return static_cast<std::size_t>(a.value);
+  }
+};

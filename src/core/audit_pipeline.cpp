@@ -1,0 +1,162 @@
+#include "core/audit_pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/darkfee.hpp"
+#include "core/ppe.hpp"
+#include "core/report.hpp"
+#include "core/sppe.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace cn::core {
+
+AuditReport run_full_audit(const btc::Chain& chain,
+                           const btc::CoinbaseTagRegistry& registry,
+                           const AuditOptions& options) {
+  AuditReport report;
+  report.options = options;
+  report.blocks = chain.size();
+  report.txs = chain.total_tx_count();
+
+  const PoolAttribution attribution(chain, registry);
+  report.unidentified_blocks = attribution.unidentified_blocks();
+
+  // Norm II adherence.
+  const std::vector<double> ppe = chain_ppe(chain);
+  report.ppe = stats::summarize(ppe);
+
+  // Large pools only.
+  std::vector<std::string> pools;
+  for (const auto& pool : attribution.pools_by_blocks()) {
+    if (attribution.hash_share(pool) >= options.min_share) pools.push_back(pool);
+  }
+
+  // §5.2: cross-pool differential prioritization of self-interest txs.
+  for (const auto& owner : pools) {
+    const auto txs = self_interest_txs(chain, attribution, owner);
+    if (txs.size() < 10) continue;
+    for (const auto& miner : pools) {
+      const auto test = test_differential_prioritization(chain, attribution,
+                                                         miner, txs);
+      if (test.p_accelerate >= options.alpha || test.sppe <= 25.0) continue;
+
+      AccelerationFinding finding;
+      finding.tx_owner = owner;
+      finding.miner = miner;
+      finding.collusion = owner != miner;
+      finding.test = test;
+      if (options.bootstrap_resamples > 0) {
+        const auto values = sppe_values(chain, txs, attribution, miner);
+        if (!values.empty()) {
+          finding.sppe_ci = stats::bootstrap_mean_ci(
+              values, 0.95, options.bootstrap_resamples,
+              stable_hash64(owner + "/" + miner));
+        }
+      }
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const AccelerationFinding& a, const AccelerationFinding& b) {
+              if (a.test.p_accelerate != b.test.p_accelerate)
+                return a.test.p_accelerate < b.test.p_accelerate;
+              return a.test.sppe > b.test.sppe;
+            });
+
+  // §5.3: watched-address screens.
+  for (const btc::Address& address : options.watch_addresses) {
+    WatchedAddressScreen screen;
+    screen.address = address;
+    const auto refs = txs_paying_to(chain, address);
+    screen.tx_count = refs.size();
+    for (const auto& pool : pools) {
+      auto test = test_differential_prioritization(chain, attribution, pool, refs);
+      screen.any_significant = screen.any_significant ||
+                               test.p_accelerate < options.alpha ||
+                               test.p_decelerate < options.alpha;
+      screen.per_pool.push_back(std::move(test));
+    }
+    report.screens.push_back(std::move(screen));
+  }
+
+  // Table 4 detector (counts only; validation needs the service API).
+  for (const auto& pool : pools) {
+    DarkFeeSuspicion suspicion;
+    suspicion.pool = pool;
+    for (const btc::Block& block : chain.blocks()) {
+      const auto owner = attribution.pool_of(block.height());
+      if (owner.has_value() && *owner == pool) suspicion.txs += block.tx_count();
+    }
+    suspicion.flagged = detect_accelerated(chain, attribution, pool,
+                                           options.darkfee_sppe_threshold)
+                            .size();
+    report.darkfee.push_back(std::move(suspicion));
+  }
+  std::sort(report.darkfee.begin(), report.darkfee.end(),
+            [](const DarkFeeSuspicion& a, const DarkFeeSuspicion& b) {
+              const double ra = a.txs ? static_cast<double>(a.flagged) / a.txs : 0;
+              const double rb = b.txs ? static_cast<double>(b.flagged) / b.txs : 0;
+              if (ra != rb) return ra > rb;
+              return a.pool < b.pool;
+            });
+
+  // §6.1 scorecard.
+  report.neutrality = neutrality_reports(chain, attribution, options.neutrality);
+  return report;
+}
+
+void print_audit_report(const AuditReport& report, std::FILE* out) {
+  std::fprintf(out, "=== chain audit: %s blocks, %s transactions (%s unattributed "
+                    "blocks) ===\n",
+               with_commas(report.blocks).c_str(), with_commas(report.txs).c_str(),
+               with_commas(report.unidentified_blocks).c_str());
+  std::fprintf(out, "norm-II adherence: mean PPE %.2f%% (std %.2f)\n\n",
+               report.ppe.mean, report.ppe.stddev);
+
+  std::fprintf(out, "--- differential prioritization findings (%zu) ---\n",
+               report.findings.size());
+  for (const auto& f : report.findings) {
+    std::fprintf(out,
+                 "  %s: %s accelerates %s's txs  x=%llu y=%llu p=%s  "
+                 "SPPE %.1f [%.1f, %.1f]\n",
+                 f.collusion ? "COLLUSION" : "SELFISH", f.miner.c_str(),
+                 f.tx_owner.c_str(), static_cast<unsigned long long>(f.test.x),
+                 static_cast<unsigned long long>(f.test.y),
+                 format_p_value(f.test.p_accelerate).c_str(), f.test.sppe,
+                 f.sppe_ci.lo, f.sppe_ci.hi);
+  }
+  if (report.findings.empty()) std::fprintf(out, "  (none)\n");
+
+  if (!report.screens.empty()) {
+    std::fprintf(out, "\n--- watched-address screens ---\n");
+    for (const auto& s : report.screens) {
+      std::fprintf(out, "  %s: %zu txs, %s\n", s.address.to_string().c_str(),
+                   s.tx_count,
+                   s.any_significant ? "DIFFERENTIAL TREATMENT DETECTED"
+                                     : "no differential treatment");
+    }
+  }
+
+  std::fprintf(out, "\n--- dark-fee suspicion (SPPE >= %.0f) ---\n",
+               report.options.darkfee_sppe_threshold);
+  for (const auto& d : report.darkfee) {
+    if (d.flagged == 0) continue;
+    std::fprintf(out, "  %-16s %6s of %9s txs flagged (%s)\n", d.pool.c_str(),
+                 with_commas(d.flagged).c_str(), with_commas(d.txs).c_str(),
+                 percent(d.txs ? static_cast<double>(d.flagged) /
+                                     static_cast<double>(d.txs)
+                               : 0.0, 3)
+                     .c_str());
+  }
+
+  std::fprintf(out, "\n--- neutrality scorecard (worst first) ---\n");
+  for (const auto& n : report.neutrality) {
+    std::fprintf(out, "  %-16s score %5.1f  (PPE %.2f%%, boosts %s, self-p %s)\n",
+                 n.pool.c_str(), n.score, n.mean_ppe,
+                 percent(n.boosted_tx_rate, 2).c_str(),
+                 format_p_value(n.self_dealing_p).c_str());
+  }
+}
+
+}  // namespace cn::core

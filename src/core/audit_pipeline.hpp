@@ -1,0 +1,89 @@
+// One-call audit pipeline: everything the paper's §4-§5 methodology does
+// to a chain, bundled behind a single entry point.
+//
+//   AuditReport report = run_full_audit(chain, registry, options);
+//   print_audit_report(report);
+//
+// The pipeline sees only public data (the chain and coinbase markers) —
+// never simulator ground truth — so it runs unchanged on imported
+// (io::import_chain) data sets, including, in principle, real ones.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "btc/chain.hpp"
+#include "btc/coinbase_tags.hpp"
+#include "core/neutrality.hpp"
+#include "core/prio_test.hpp"
+#include "core/wallet_inference.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+
+namespace cn::core {
+
+struct AuditOptions {
+  /// Significance level for all hypothesis tests (paper: 0.001 implied by
+  /// "p-value less than 0.001").
+  double alpha = 0.001;
+  /// Pools below this hash share are not tested (small pools lack power).
+  double min_share = 0.03;
+  /// SPPE cutoff for dark-fee suspicion (Table 4's strong signal).
+  double darkfee_sppe_threshold = 99.0;
+  /// Addresses to screen for acceleration/deceleration (e.g. scam
+  /// wallets, §5.3).
+  std::vector<btc::Address> watch_addresses;
+  NeutralityOptions neutrality;
+  /// Resamples for the SPPE confidence interval (0 disables the CI).
+  std::size_t bootstrap_resamples = 500;
+};
+
+/// A confirmed differential-prioritization finding (§5.2 / Table 2).
+struct AccelerationFinding {
+  std::string tx_owner;  ///< whose transactions
+  std::string miner;     ///< who prioritized them
+  bool collusion = false;  ///< owner != miner
+  PrioTestResult test;
+  stats::BootstrapCi sppe_ci;  ///< CI over per-tx SPPE in the miner's blocks
+};
+
+/// Per-pool screen of a watched address (§5.3 / Table 3).
+struct WatchedAddressScreen {
+  btc::Address address{};
+  std::size_t tx_count = 0;
+  std::vector<PrioTestResult> per_pool;
+  bool any_significant = false;
+};
+
+/// Per-pool dark-fee suspicion counts (Table 4's detector without the
+/// service-validation leg, which needs the service's query API).
+struct DarkFeeSuspicion {
+  std::string pool;
+  std::uint64_t txs = 0;
+  std::uint64_t flagged = 0;
+};
+
+struct AuditReport {
+  AuditOptions options;
+  std::uint64_t blocks = 0;
+  std::uint64_t txs = 0;
+  std::uint64_t unidentified_blocks = 0;
+
+  stats::Summary ppe;  ///< norm-II adherence across all blocks
+  std::vector<AccelerationFinding> findings;       ///< worst first
+  std::vector<WatchedAddressScreen> screens;
+  std::vector<DarkFeeSuspicion> darkfee;           ///< most-flagged first
+  std::vector<NeutralityReport> neutrality;        ///< worst first
+};
+
+/// Runs the whole §4-§5 methodology. The attribution is rebuilt
+/// internally from @p registry.
+AuditReport run_full_audit(const btc::Chain& chain,
+                           const btc::CoinbaseTagRegistry& registry,
+                           const AuditOptions& options = {});
+
+/// Human-readable rendering of a report.
+void print_audit_report(const AuditReport& report, std::FILE* out = stdout);
+
+}  // namespace cn::core

@@ -1,0 +1,132 @@
+#include "core/congestion.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace cn::core {
+
+std::vector<SeenTx> collect_seen_txs(const btc::Chain& chain,
+                                     const FirstSeenFn& first_seen) {
+  std::vector<SeenTx> out;
+  out.reserve(chain.total_tx_count());
+  for (const btc::Block& block : chain.blocks()) {
+    const std::vector<std::size_t> cpfp = block.cpfp_positions();
+
+    // Parents of in-block CPFP children.
+    std::unordered_set<std::size_t> parent_positions;
+    if (!cpfp.empty()) {
+      std::unordered_set<btc::Txid> parents;
+      for (std::size_t pos : cpfp) {
+        for (const btc::TxInput& in : block.txs()[pos].inputs()) {
+          if (!in.prev_txid.is_null()) parents.insert(in.prev_txid);
+        }
+      }
+      for (std::size_t i = 0; i < block.txs().size(); ++i) {
+        if (parents.contains(block.txs()[i].id())) parent_positions.insert(i);
+      }
+    }
+
+    std::size_t next_cpfp = 0;
+    for (std::size_t i = 0; i < block.txs().size(); ++i) {
+      const bool is_cpfp = next_cpfp < cpfp.size() && cpfp[next_cpfp] == i;
+      if (is_cpfp) ++next_cpfp;
+      const auto seen = first_seen(block.txs()[i].id());
+      if (!seen.has_value()) continue;
+      SeenTx t;
+      t.first_seen = *seen;
+      t.fee_rate = block.txs()[i].fee_rate().sat_per_vbyte();
+      t.block_height = block.height();
+      t.cpfp = is_cpfp;
+      t.cpfp_parent = parent_positions.contains(i);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<SeenTx> pending_at(std::span<const SeenTx> txs, const btc::Chain& chain,
+                               SimTime t) {
+  std::vector<SeenTx> out;
+  for (const SeenTx& tx : txs) {
+    if (tx.first_seen > t) continue;
+    if (chain.at_height(tx.block_height).mined_at() <= t) continue;
+    out.push_back(tx);
+  }
+  return out;
+}
+
+std::vector<double> commit_delays_blocks(const btc::Chain& chain,
+                                         std::span<const SeenTx> txs) {
+  // Block times are strictly increasing; gather them once.
+  std::vector<SimTime> block_times;
+  block_times.reserve(chain.size());
+  for (const btc::Block& b : chain.blocks()) block_times.push_back(b.mined_at());
+  const std::uint64_t first_height = chain.empty() ? 0 : chain.front().height();
+
+  std::vector<double> out;
+  out.reserve(txs.size());
+  for (const SeenTx& tx : txs) {
+    // Index of the first block mined strictly after the arrival.
+    const auto it = std::upper_bound(block_times.begin(), block_times.end(),
+                                     tx.first_seen);
+    const auto first_candidate =
+        first_height + static_cast<std::uint64_t>(it - block_times.begin());
+    double delay = 1.0;
+    if (tx.block_height >= first_candidate) {
+      delay = static_cast<double>(tx.block_height - first_candidate) + 1.0;
+    }
+    out.push_back(delay);
+  }
+  return out;
+}
+
+FeeBand fee_band(double sat_per_vb) noexcept {
+  // 1e-4 BTC/KB == 10 sat/vB; 1e-3 BTC/KB == 100 sat/vB.
+  if (sat_per_vb < 10.0) return FeeBand::kLow;
+  if (sat_per_vb < 100.0) return FeeBand::kHigh;
+  return FeeBand::kExorbitant;
+}
+
+std::vector<double> all_fee_rates(std::span<const SeenTx> txs) {
+  std::vector<double> out;
+  out.reserve(txs.size());
+  for (const SeenTx& tx : txs) out.push_back(tx.fee_rate);
+  return out;
+}
+
+std::vector<double> fee_rates_at_level(std::span<const SeenTx> txs,
+                                       const node::SnapshotSeries& series,
+                                       std::uint64_t unit_vsize,
+                                       node::CongestionLevel level) {
+  std::vector<double> out;
+  for (const SeenTx& tx : txs) {
+    if (series.level_at(tx.first_seen, unit_vsize) == level) {
+      out.push_back(tx.fee_rate);
+    }
+  }
+  return out;
+}
+
+std::vector<double> delays_for_band(std::span<const SeenTx> txs,
+                                    std::span<const double> delays, FeeBand band) {
+  CN_ASSERT(txs.size() == delays.size());
+  std::vector<double> out;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (fee_band(txs[i].fee_rate) == band) out.push_back(delays[i]);
+  }
+  return out;
+}
+
+std::vector<double> fee_rates_of_pool(
+    std::span<const SeenTx> txs,
+    const std::function<bool(std::uint64_t height)>& is_pool_block) {
+  std::vector<double> out;
+  for (const SeenTx& tx : txs) {
+    if (is_pool_block(tx.block_height)) out.push_back(tx.fee_rate);
+  }
+  return out;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,89 @@
+#include "core/darkfee.hpp"
+
+#include <algorithm>
+
+#include "core/sppe.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cn::core {
+
+namespace {
+
+/// Visits every (block, position, sppe) of the pool's blocks.
+template <typename Fn>
+void for_each_pool_tx_sppe(const btc::Chain& chain,
+                           const PoolAttribution& attribution,
+                           const std::string& pool, Fn&& fn) {
+  for (const btc::Block& block : chain.blocks()) {
+    const auto owner = attribution.pool_of(block.height());
+    if (!owner.has_value() || *owner != pool) continue;
+    const std::vector<double> sppe = block_sppe(block);
+    for (std::size_t i = 0; i < sppe.size(); ++i) fn(block, i, sppe[i]);
+  }
+}
+
+}  // namespace
+
+std::vector<DarkFeeBucket> darkfee_buckets(const btc::Chain& chain,
+                                           const PoolAttribution& attribution,
+                                           const std::string& pool,
+                                           const IsAcceleratedFn& is_accelerated,
+                                           const std::vector<double>& thresholds) {
+  std::vector<DarkFeeBucket> buckets;
+  buckets.reserve(thresholds.size());
+  for (double t : thresholds) buckets.push_back(DarkFeeBucket{t, 0, 0});
+
+  for_each_pool_tx_sppe(
+      chain, attribution, pool,
+      [&](const btc::Block& block, std::size_t pos, double sppe) {
+        for (DarkFeeBucket& bucket : buckets) {
+          if (sppe >= bucket.sppe_threshold) {
+            ++bucket.tx_count;
+            if (is_accelerated(block.txs()[pos].id())) ++bucket.accelerated;
+          }
+        }
+      });
+  return buckets;
+}
+
+std::uint64_t accelerated_in_random_sample(const btc::Chain& chain,
+                                           const PoolAttribution& attribution,
+                                           const std::string& pool,
+                                           const IsAcceleratedFn& is_accelerated,
+                                           std::size_t sample_size,
+                                           std::uint64_t seed) {
+  // Collect the pool's committed txids once, then sample without
+  // replacement.
+  std::vector<btc::Txid> ids;
+  for (const btc::Block& block : chain.blocks()) {
+    const auto owner = attribution.pool_of(block.height());
+    if (!owner.has_value() || *owner != pool) continue;
+    for (const btc::Transaction& tx : block.txs()) ids.push_back(tx.id());
+  }
+  if (ids.empty()) return 0;
+
+  Rng rng(seed);
+  rng.shuffle(ids);
+  const std::size_t n = std::min(sample_size, ids.size());
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_accelerated(ids[i])) ++hits;
+  }
+  return hits;
+}
+
+std::vector<TxRef> detect_accelerated(const btc::Chain& chain,
+                                      const PoolAttribution& attribution,
+                                      const std::string& pool, double threshold) {
+  std::vector<TxRef> out;
+  for_each_pool_tx_sppe(chain, attribution, pool,
+                        [&](const btc::Block& block, std::size_t pos, double sppe) {
+                          if (sppe >= threshold) {
+                            out.push_back(TxRef{block.height(), pos});
+                          }
+                        });
+  return out;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,104 @@
+#include "core/delay_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace cn::core {
+
+namespace {
+constexpr int kLevels = 4;
+}
+
+std::size_t DelayModel::rate_bin(double sat_per_vb) const {
+  const double clamped =
+      std::clamp(sat_per_vb, options_.min_rate,
+                 options_.max_rate * (1.0 - 1e-12));
+  const double span = std::log(options_.max_rate) - std::log(options_.min_rate);
+  const double pos = (std::log(clamped) - std::log(options_.min_rate)) / span;
+  auto bin = static_cast<std::size_t>(pos * static_cast<double>(options_.rate_bins));
+  if (bin >= options_.rate_bins) bin = options_.rate_bins - 1;
+  return bin;
+}
+
+double DelayModel::bin_lo_rate(std::size_t bin) const {
+  const double span = std::log(options_.max_rate) - std::log(options_.min_rate);
+  return std::exp(std::log(options_.min_rate) +
+                  span * static_cast<double>(bin) /
+                      static_cast<double>(options_.rate_bins));
+}
+
+DelayModel DelayModel::fit(std::span<const SeenTx> txs,
+                           std::span<const double> delays,
+                           const node::SnapshotSeries& snapshots,
+                           std::uint64_t unit_vsize, Options options) {
+  CN_ASSERT(txs.size() == delays.size());
+  CN_ASSERT(options.min_rate > 0.0 && options.min_rate < options.max_rate);
+  CN_ASSERT(options.rate_bins > 0);
+
+  DelayModel model;
+  model.options_ = options;
+  model.delays_.assign(kLevels, std::vector<std::vector<double>>(options.rate_bins));
+
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const auto level =
+        static_cast<int>(snapshots.level_at(txs[i].first_seen, unit_vsize));
+    model.delays_[static_cast<std::size_t>(level)][model.rate_bin(txs[i].fee_rate)]
+        .push_back(delays[i]);
+    ++model.samples_;
+  }
+  for (auto& per_level : model.delays_) {
+    for (auto& bucket : per_level) std::sort(bucket.begin(), bucket.end());
+  }
+  return model;
+}
+
+DelayModel DelayModel::fit(std::span<const SeenTx> txs,
+                           std::span<const double> delays,
+                           const node::SnapshotSeries& snapshots,
+                           std::uint64_t unit_vsize) {
+  return fit(txs, delays, snapshots, unit_vsize, Options{});
+}
+
+double DelayModel::predict_quantile(double sat_per_vb,
+                                    node::CongestionLevel level, double q) const {
+  CN_ASSERT(q >= 0.0 && q <= 1.0);
+  if (delays_.empty()) return -1.0;
+  const auto& per_level = delays_[static_cast<std::size_t>(level)];
+  const std::size_t center = rate_bin(sat_per_vb);
+
+  // Borrow neighbouring bins symmetrically until enough samples.
+  std::vector<double> pooled;
+  for (std::size_t radius = 0; radius < options_.rate_bins; ++radius) {
+    if (radius == 0) {
+      pooled = per_level[center];
+    } else {
+      if (center >= radius) {
+        const auto& left = per_level[center - radius];
+        pooled.insert(pooled.end(), left.begin(), left.end());
+      }
+      if (center + radius < options_.rate_bins) {
+        const auto& right = per_level[center + radius];
+        pooled.insert(pooled.end(), right.begin(), right.end());
+      }
+    }
+    if (pooled.size() >= options_.min_samples) break;
+  }
+  if (pooled.empty()) return -1.0;
+  std::sort(pooled.begin(), pooled.end());
+  return stats::quantile_sorted(pooled, q);
+}
+
+double DelayModel::fee_for_target(double max_blocks, node::CongestionLevel level,
+                                  double q) const {
+  for (std::size_t bin = 0; bin < options_.rate_bins; ++bin) {
+    const double probe = bin_lo_rate(bin) * 1.0001;
+    const double predicted = predict_quantile(probe, level, q);
+    if (predicted >= 0.0 && predicted <= max_blocks) return probe;
+  }
+  return -1.0;
+}
+
+}  // namespace cn::core

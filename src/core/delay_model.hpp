@@ -1,0 +1,73 @@
+// Empirical fee -> commit-delay model.
+//
+// §4.1 of the paper shows users pay more to wait less, and that wallets
+// set fees from recent-block distributions *assuming miners follow the
+// norm*. This model is the other direction done right: fit the observed
+// (fee-rate, congestion-at-issue) -> delay distribution and answer the
+// two questions wallets actually have —
+//   "if I pay X under this congestion, how long will I wait?"     and
+//   "what must I pay to commit within D blocks with probability q?"
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/pair_violations.hpp"
+#include "node/snapshot.hpp"
+
+namespace cn::core {
+
+class DelayModel {
+ public:
+  /// Fee-rate bin edges are logarithmic over [min_rate, max_rate) sat/vB.
+  struct Options {
+    double min_rate = 0.5;
+    double max_rate = 512.0;
+    std::size_t rate_bins = 20;
+    /// Bins with fewer samples than this borrow neighbours at query time.
+    std::size_t min_samples = 20;
+  };
+
+  /// Fits from index-aligned observations (as produced by
+  /// collect_seen_txs + commit_delays_blocks). Congestion at issue time
+  /// comes from the observer's snapshot series with bins relative to
+  /// @p unit_vsize.
+  static DelayModel fit(std::span<const SeenTx> txs,
+                        std::span<const double> delays,
+                        const node::SnapshotSeries& snapshots,
+                        std::uint64_t unit_vsize, Options options);
+  /// Same, with default Options (separate overload: a default argument
+  /// cannot use the nested aggregate's member initializers here).
+  static DelayModel fit(std::span<const SeenTx> txs,
+                        std::span<const double> delays,
+                        const node::SnapshotSeries& snapshots,
+                        std::uint64_t unit_vsize);
+
+  /// Delay (blocks) such that a fraction @p q of observed transactions at
+  /// this fee-rate/congestion committed at least this fast. Returns a
+  /// negative value when no data is available anywhere near the query.
+  double predict_quantile(double sat_per_vb, node::CongestionLevel level,
+                          double q) const;
+
+  /// Cheapest observed fee-rate (sat/vB) whose q-quantile delay is at
+  /// most @p max_blocks under @p level; negative if no fee achieved it.
+  double fee_for_target(double max_blocks, node::CongestionLevel level,
+                        double q) const;
+
+  std::size_t sample_count() const noexcept { return samples_; }
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  DelayModel() = default;
+
+  std::size_t rate_bin(double sat_per_vb) const;
+  double bin_lo_rate(std::size_t bin) const;
+
+  Options options_{};
+  /// delays_[level][rate_bin] = sorted delays.
+  std::vector<std::vector<std::vector<double>>> delays_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace cn::core

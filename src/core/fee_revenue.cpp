@@ -1,0 +1,52 @@
+#include "core/fee_revenue.hpp"
+
+#include "btc/rewards.hpp"
+#include "util/assert.hpp"
+
+namespace cn::core {
+
+namespace {
+
+double fee_share_percent(const btc::Block& block, double subsidy_scale) {
+  const double fees = static_cast<double>(block.total_fees().value);
+  const double subsidy =
+      static_cast<double>(btc::block_subsidy(block.height()).value) * subsidy_scale;
+  const double total = fees + subsidy;
+  if (total <= 0.0) return 0.0;
+  return fees / total * 100.0;
+}
+
+}  // namespace
+
+std::vector<double> per_block_fee_share_percent(const btc::Chain& chain,
+                                                double subsidy_scale) {
+  CN_ASSERT(subsidy_scale > 0.0);
+  std::vector<double> out;
+  out.reserve(chain.size());
+  for (const btc::Block& block : chain.blocks()) {
+    out.push_back(fee_share_percent(block, subsidy_scale));
+  }
+  return out;
+}
+
+stats::Summary fee_share_summary(const btc::Chain& chain, double subsidy_scale) {
+  const std::vector<double> shares =
+      per_block_fee_share_percent(chain, subsidy_scale);
+  return stats::summarize(shares);
+}
+
+stats::Summary fee_share_summary(const btc::Chain& chain,
+                                 std::uint64_t first_height,
+                                 std::uint64_t last_height,
+                                 double subsidy_scale) {
+  CN_ASSERT(subsidy_scale > 0.0);
+  std::vector<double> shares;
+  for (const btc::Block& block : chain.blocks()) {
+    if (block.height() >= first_height && block.height() <= last_height) {
+      shares.push_back(fee_share_percent(block, subsidy_scale));
+    }
+  }
+  return stats::summarize(shares);
+}
+
+}  // namespace cn::core

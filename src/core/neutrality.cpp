@@ -1,0 +1,107 @@
+#include "core/neutrality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/ppe.hpp"
+#include "core/prio_test.hpp"
+#include "core/sppe.hpp"
+#include "util/assert.hpp"
+
+namespace cn::core {
+
+double neutrality_score(const NeutralityReport& report,
+                        const NeutralityOptions& options) {
+  double score = 100.0;
+  // Ordering fidelity: each PPE point above 1 costs 2 points (cap 20).
+  score -= std::min(std::max(report.mean_ppe - 1.0, 0.0) * 2.0, 20.0);
+  // Opaque boosts: each 0.1% of hoisted transactions costs 1 point (cap 40).
+  score -= std::min(report.boosted_tx_rate * 1000.0, 40.0);
+  // Self-dealing: a significant acceleration test costs 30 points, scaled
+  // by how extreme the position evidence is.
+  if (report.self_dealing_p < options.alpha) {
+    score -= 15.0 + 15.0 * std::min(std::max(report.self_dealing_sppe, 0.0), 100.0) / 100.0;
+  }
+  // Floor discipline: sporadic below-floor inclusion is a mild deviation.
+  score -= std::min(report.below_floor_block_rate * 20.0, 10.0);
+  return std::max(score, 0.0);
+}
+
+std::vector<NeutralityReport> neutrality_reports(
+    const btc::Chain& chain, const PoolAttribution& attribution,
+    const NeutralityOptions& options) {
+  std::vector<NeutralityReport> out;
+
+  for (const std::string& pool : attribution.pools_by_blocks()) {
+    if (attribution.blocks_of(pool) < options.min_blocks) continue;
+
+    NeutralityReport report;
+    report.pool = pool;
+
+    double ppe_sum = 0.0;
+    std::uint64_t ppe_blocks = 0;
+    std::uint64_t boosted = 0;
+    std::uint64_t floor_blocks = 0;
+
+    for (const btc::Block& block : chain.blocks()) {
+      const auto owner = attribution.pool_of(block.height());
+      if (!owner.has_value() || *owner != pool) continue;
+      ++report.blocks;
+      report.txs += block.tx_count();
+
+      if (const auto ppe = block_ppe(block); ppe.has_value()) {
+        ppe_sum += *ppe;
+        ++ppe_blocks;
+      }
+      for (double s : block_sppe(block)) {
+        if (s >= options.sppe_boost_threshold) ++boosted;
+      }
+      // Floor discipline: a sub-floor transaction is a norm-III deviation
+      // only when it is NOT the parent of an in-block CPFP child — GBT
+      // legitimately admits sub-floor parents inside a paying package.
+      std::unordered_set<btc::Txid> rescued_parents;
+      for (std::size_t pos : block.cpfp_positions()) {
+        for (const btc::TxInput& in : block.txs()[pos].inputs()) {
+          if (!in.prev_txid.is_null()) rescued_parents.insert(in.prev_txid);
+        }
+      }
+      for (const btc::Transaction& tx : block.txs()) {
+        if (tx.fee_rate() < btc::FeeRate::from_sat_per_vb(1) &&
+            !rescued_parents.contains(tx.id())) {
+          ++floor_blocks;
+          break;
+        }
+      }
+    }
+    if (ppe_blocks > 0) report.mean_ppe = ppe_sum / static_cast<double>(ppe_blocks);
+    if (report.txs > 0) {
+      report.boosted_tx_rate =
+          static_cast<double>(boosted) / static_cast<double>(report.txs);
+    }
+    report.below_floor_block_rate =
+        static_cast<double>(floor_blocks) / static_cast<double>(report.blocks);
+
+    const auto own_txs = self_interest_txs(chain, attribution, pool);
+    if (!own_txs.empty()) {
+      const auto test =
+          test_differential_prioritization(chain, attribution, pool, own_txs);
+      report.self_dealing_p = test.p_accelerate;
+      report.self_dealing_sppe = test.sppe;
+      report.self_dealing_flagged =
+          test.p_accelerate < options.alpha && test.y >= options.min_blocks;
+    }
+
+    report.score = neutrality_score(report, options);
+    out.push_back(std::move(report));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const NeutralityReport& a, const NeutralityReport& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.pool < b.pool;
+            });
+  return out;
+}
+
+}  // namespace cn::core

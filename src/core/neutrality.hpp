@@ -1,0 +1,60 @@
+// Chain-neutrality scoring (the paper's §6.1 proposal, made concrete).
+//
+// The paper closes by asking how a third-party observer could verify
+// that miners adhere to ordering norms. This module composes the audit
+// primitives into a per-pool scorecard a watchdog could publish:
+//
+//  * ordering fidelity — mean PPE of the pool's blocks (norm II);
+//  * opaque-boost rate — fraction of the pool's committed transactions
+//    with SPPE >= a threshold (selfish/collusive/dark-fee placements);
+//  * self-dealing — the §5.1 acceleration p-value on the pool's own
+//    (self-interest) transactions;
+//  * floor discipline — fraction of blocks containing below-floor
+//    (sub-1 sat/vB) transactions (norm III).
+//
+// The composite score starts at 100 and subtracts calibrated penalties;
+// a norm-following pool lands in the high 90s, the paper's misbehaving
+// pools fall well below.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "btc/chain.hpp"
+#include "core/wallet_inference.hpp"
+
+namespace cn::core {
+
+struct NeutralityOptions {
+  double sppe_boost_threshold = 90.0;  ///< "hoisted" transaction cutoff
+  std::uint64_t min_blocks = 10;       ///< pools below this are skipped
+  double alpha = 0.001;                ///< significance for self-dealing
+};
+
+struct NeutralityReport {
+  std::string pool;
+  std::uint64_t blocks = 0;
+  std::uint64_t txs = 0;
+
+  double mean_ppe = 0.0;            ///< percentile-rank points, [0, 100]
+  double boosted_tx_rate = 0.0;     ///< fraction with SPPE >= threshold
+  double self_dealing_p = 1.0;      ///< acceleration p-value (own txs)
+  double self_dealing_sppe = 0.0;   ///< SPPE of own txs in own blocks
+  double below_floor_block_rate = 0.0;
+
+  bool self_dealing_flagged = false;
+  double score = 100.0;  ///< composite neutrality score, [0, 100]
+};
+
+/// Builds per-pool scorecards for every pool with at least
+/// options.min_blocks attributed blocks, ordered worst-first.
+std::vector<NeutralityReport> neutrality_reports(
+    const btc::Chain& chain, const PoolAttribution& attribution,
+    const NeutralityOptions& options = {});
+
+/// The composite score for one report (exposed for testing; also set on
+/// the reports returned above).
+double neutrality_score(const NeutralityReport& report,
+                        const NeutralityOptions& options = {});
+
+}  // namespace cn::core

@@ -1,0 +1,70 @@
+#include "core/pair_violations.hpp"
+
+#include <algorithm>
+
+namespace cn::core {
+
+namespace {
+
+/// Shared preprocessing: CPFP filter, arrival sort, deterministic
+/// downsampling.
+std::vector<SeenTx> prepare(std::vector<SeenTx> txs, bool exclude_cpfp,
+                            std::size_t max_txs) {
+  if (exclude_cpfp) {
+    txs.erase(std::remove_if(txs.begin(), txs.end(),
+                             [](const SeenTx& t) { return t.cpfp || t.cpfp_parent; }),
+              txs.end());
+  }
+  std::sort(txs.begin(), txs.end(), [](const SeenTx& a, const SeenTx& b) {
+    return a.first_seen < b.first_seen;
+  });
+  if (max_txs > 0 && txs.size() > max_txs) {
+    const std::size_t stride = (txs.size() + max_txs - 1) / max_txs;
+    std::vector<SeenTx> sampled;
+    sampled.reserve(txs.size() / stride + 1);
+    for (std::size_t i = 0; i < txs.size(); i += stride) sampled.push_back(txs[i]);
+    txs = std::move(sampled);
+  }
+  return txs;
+}
+
+}  // namespace
+
+PairViolationStats count_pair_violations(std::vector<SeenTx> txs,
+                                         SimTime epsilon,
+                                         bool exclude_cpfp,
+                                         std::size_t max_txs) {
+  txs = prepare(std::move(txs), exclude_cpfp, max_txs);
+
+  PairViolationStats out;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    for (std::size_t j = i + 1; j < txs.size(); ++j) {
+      // txs sorted by arrival: i earlier than j.
+      if (txs[i].first_seen + epsilon >= txs[j].first_seen) continue;
+      if (txs[i].fee_rate <= txs[j].fee_rate) continue;
+      ++out.predicted_pairs;
+      if (txs[i].block_height > txs[j].block_height) ++out.violations;
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t> violations_by_block(
+    std::vector<SeenTx> txs, SimTime epsilon, bool exclude_cpfp,
+    std::size_t max_txs) {
+  txs = prepare(std::move(txs), exclude_cpfp, max_txs);
+
+  std::unordered_map<std::uint64_t, std::uint64_t> out;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    for (std::size_t j = i + 1; j < txs.size(); ++j) {
+      if (txs[i].first_seen + epsilon >= txs[j].first_seen) continue;
+      if (txs[i].fee_rate <= txs[j].fee_rate) continue;
+      if (txs[i].block_height > txs[j].block_height) {
+        ++out[txs[j].block_height];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cn::core

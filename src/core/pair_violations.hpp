@@ -1,0 +1,58 @@
+// Pairwise selection-norm violations (paper §4.2.1, Figure 6).
+//
+// From a Mempool snapshot at time T, take the transactions that were
+// pending at T and eventually committed. A pair (i, j) violates the
+// fee-rate selection norm when i arrived earlier (t_i + eps < t_j) and
+// offered a higher fee-rate (f_i > f_j) yet was committed later
+// (b_i > b_j). The reported fraction is violations over the pairs the
+// norm makes a prediction for (t_i + eps < t_j and f_i > f_j).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace cn::core {
+
+/// A committed transaction as seen by the observer node.
+struct SeenTx {
+  SimTime first_seen = 0;       ///< observer arrival (the paper's t_i)
+  double fee_rate = 0.0;        ///< sat/vB (f_i)
+  std::uint64_t block_height = 0;  ///< commit block (b_i)
+  bool cpfp = false;            ///< in-block CPFP child
+  bool cpfp_parent = false;     ///< parent of an in-block CPFP child
+};
+
+struct PairViolationStats {
+  std::uint64_t predicted_pairs = 0;  ///< pairs with t_i+eps<t_j, f_i>f_j
+  std::uint64_t violations = 0;       ///< ... of which b_i > b_j
+
+  double fraction() const noexcept {
+    if (predicted_pairs == 0) return 0.0;
+    return static_cast<double>(violations) / static_cast<double>(predicted_pairs);
+  }
+};
+
+/// Counts violating pairs among @p txs with arrival slack @p epsilon.
+/// When @p exclude_cpfp, transactions that are in-block CPFP children or
+/// parents of one are discarded first (the paper's Fig 6b).
+/// @p max_txs bounds the quadratic cost: larger snapshots are
+/// deterministically downsampled (every k-th transaction by arrival).
+PairViolationStats count_pair_violations(std::vector<SeenTx> txs,
+                                         SimTime epsilon,
+                                         bool exclude_cpfp,
+                                         std::size_t max_txs = 4000);
+
+/// Extension beyond Fig 6: attributes each violating pair to the block
+/// height that *caused* it — the block committing the later-arriving,
+/// lower-fee transaction j while the better-qualified i was left pending
+/// (i.e. b_j; the miner of that block skipped i). Returns violation
+/// counts per block height, which callers can fold by pool via
+/// PoolAttribution. Same filtering semantics as count_pair_violations.
+std::unordered_map<std::uint64_t, std::uint64_t> violations_by_block(
+    std::vector<SeenTx> txs, SimTime epsilon, bool exclude_cpfp,
+    std::size_t max_txs = 4000);
+
+}  // namespace cn::core

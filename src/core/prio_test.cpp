@@ -1,0 +1,114 @@
+#include "core/prio_test.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/sppe.hpp"
+#include "stats/binomial.hpp"
+#include "stats/fisher.hpp"
+#include "util/assert.hpp"
+
+namespace cn::core {
+
+std::uint64_t count_c_blocks(const std::vector<TxRef>& txs) {
+  std::unordered_set<std::uint64_t> heights;
+  for (const TxRef& ref : txs) heights.insert(ref.block_height);
+  return heights.size();
+}
+
+std::vector<TxRef> restrict_to_heights(const std::vector<TxRef>& txs,
+                                       std::uint64_t first_height,
+                                       std::uint64_t last_height) {
+  std::vector<TxRef> out;
+  for (const TxRef& ref : txs) {
+    if (ref.block_height >= first_height && ref.block_height <= last_height) {
+      out.push_back(ref);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Counts {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+};
+
+Counts count_xy(const PoolAttribution& attribution, const std::string& pool,
+                const std::vector<TxRef>& c_txs) {
+  std::unordered_set<std::uint64_t> c_blocks;
+  for (const TxRef& ref : c_txs) c_blocks.insert(ref.block_height);
+  Counts c;
+  c.y = c_blocks.size();
+  for (std::uint64_t height : c_blocks) {
+    const auto owner = attribution.pool_of(height);
+    if (owner.has_value() && *owner == pool) ++c.x;
+  }
+  return c;
+}
+
+}  // namespace
+
+PrioTestResult test_differential_prioritization(
+    const btc::Chain& chain, const PoolAttribution& attribution,
+    const std::string& pool, const std::vector<TxRef>& c_txs,
+    double theta0_override) {
+  PrioTestResult r;
+  r.pool = pool;
+  r.theta0 = theta0_override > 0.0 ? theta0_override : attribution.hash_share(pool);
+  CN_ASSERT(r.theta0 >= 0.0 && r.theta0 <= 1.0);
+
+  const Counts c = count_xy(attribution, pool, c_txs);
+  r.x = c.x;
+  r.y = c.y;
+  if (r.y == 0) return r;  // no evidence either way: p-values stay 1
+
+  r.p_accelerate = stats::acceleration_p_value(r.x, r.y, r.theta0);
+  r.p_decelerate = stats::deceleration_p_value(r.x, r.y, r.theta0);
+  r.sppe = mean_sppe(chain, c_txs, attribution, pool, &r.sppe_count);
+  return r;
+}
+
+double windowed_acceleration_p_value(const btc::Chain& chain,
+                                     const PoolAttribution& attribution,
+                                     const std::string& pool,
+                                     const std::vector<TxRef>& c_txs,
+                                     unsigned windows) {
+  CN_ASSERT(windows >= 1);
+  if (chain.empty()) return 1.0;
+  const std::uint64_t first = chain.front().height();
+  const std::uint64_t last = chain.back().height();
+  const std::uint64_t span = last - first + 1;
+
+  std::vector<double> p_values;
+  for (unsigned w = 0; w < windows; ++w) {
+    const std::uint64_t lo = first + span * w / windows;
+    const std::uint64_t hi = first + span * (w + 1) / windows - 1;
+    const std::vector<TxRef> slice = restrict_to_heights(c_txs, lo, hi);
+    if (slice.empty()) continue;
+
+    // Per-window hash share estimated from the window's blocks only.
+    std::uint64_t pool_blocks = 0;
+    for (std::uint64_t h = lo; h <= hi; ++h) {
+      const auto owner = attribution.pool_of(h);
+      if (owner.has_value() && *owner == pool) ++pool_blocks;
+    }
+    const double theta0 =
+        static_cast<double>(pool_blocks) / static_cast<double>(hi - lo + 1);
+    if (theta0 <= 0.0 || theta0 >= 1.0) continue;
+
+    std::unordered_set<std::uint64_t> c_blocks;
+    for (const TxRef& ref : slice) c_blocks.insert(ref.block_height);
+    std::uint64_t x = 0;
+    for (std::uint64_t h : c_blocks) {
+      const auto owner = attribution.pool_of(h);
+      if (owner.has_value() && *owner == pool) ++x;
+    }
+    p_values.push_back(stats::acceleration_p_value(x, c_blocks.size(), theta0));
+  }
+  if (p_values.empty()) return 1.0;
+  return stats::fisher_combine(p_values);
+}
+
+}  // namespace cn::core

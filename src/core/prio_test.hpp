@@ -1,0 +1,58 @@
+// The paper's statistical test for differential prioritization (§5.1).
+//
+// Given a set of committed "c-transactions" and a pool m with estimated
+// hash share theta0, let y = number of blocks containing at least one
+// c-transaction (c-blocks) and x = how many of those m mined. Under the
+// null (no differential treatment) x ~ Binomial(y, theta0). One-sided
+// exact binomial p-values test acceleration (theta > theta0) and
+// deceleration (theta < theta0); the SPPE of the c-transactions inside
+// m's blocks corroborates direction (tables 2 and 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "btc/chain.hpp"
+#include "core/wallet_inference.hpp"
+
+namespace cn::core {
+
+struct PrioTestResult {
+  std::string pool;
+  double theta0 = 0.0;       ///< estimated normalized hash rate
+  std::uint64_t x = 0;       ///< c-blocks mined by the pool
+  std::uint64_t y = 0;       ///< total c-blocks
+  double p_accelerate = 1.0; ///< Pr[B >= x] under H0
+  double p_decelerate = 1.0; ///< Pr[B <= x] under H0
+  double sppe = 0.0;         ///< mean SPPE of c-txs within the pool's blocks
+  std::size_t sppe_count = 0;
+};
+
+/// Runs the test of pool @p pool on @p c_txs. theta0 is estimated from
+/// the chain as blocks_of(pool)/total_blocks unless @p theta0_override
+/// is positive.
+PrioTestResult test_differential_prioritization(
+    const btc::Chain& chain, const PoolAttribution& attribution,
+    const std::string& pool, const std::vector<TxRef>& c_txs,
+    double theta0_override = -1.0);
+
+/// Number of distinct blocks containing at least one of @p txs.
+std::uint64_t count_c_blocks(const std::vector<TxRef>& txs);
+
+/// Restricts a tx set to blocks within [first_height, last_height]
+/// (the Table 3 scam-window slicing).
+std::vector<TxRef> restrict_to_heights(const std::vector<TxRef>& txs,
+                                       std::uint64_t first_height,
+                                       std::uint64_t last_height);
+
+/// Windowed variant for long horizons with drifting hash rates
+/// (§5.1.3): splits the chain into @p windows equal height ranges, tests
+/// each, and combines the per-window acceleration p-values with Fisher's
+/// method. Windows with no c-blocks are skipped.
+double windowed_acceleration_p_value(const btc::Chain& chain,
+                                     const PoolAttribution& attribution,
+                                     const std::string& pool,
+                                     const std::vector<TxRef>& c_txs,
+                                     unsigned windows);
+
+}  // namespace cn::core

@@ -1,0 +1,83 @@
+#include "core/report.hpp"
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace cn::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (widths_.size() != headers_.size()) {
+    widths_.clear();
+    for (const std::string& h : headers_) {
+      widths_.push_back(static_cast<int>(h.size()) + 4);
+    }
+  }
+}
+
+void TablePrinter::print_header(std::FILE* out) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    std::fprintf(out, "%s",
+                 pad_left(headers_[i], static_cast<std::size_t>(widths_[i])).c_str());
+  }
+  std::fprintf(out, "\n");
+  print_rule(out);
+}
+
+void TablePrinter::print_rule(std::FILE* out) const {
+  int total = 0;
+  for (int w : widths_) total += w;
+  std::fprintf(out, "%s\n", std::string(static_cast<std::size_t>(total), '-').c_str());
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells,
+                             std::FILE* out) const {
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::fprintf(out, "%s",
+                 pad_left(cells[i], static_cast<std::size_t>(widths_[i])).c_str());
+  }
+  std::fprintf(out, "\n");
+}
+
+std::string format_p_value(double p) {
+  if (p < 0.001) return "<0.001";
+  return fixed(p, 4);
+}
+
+void print_cdf_summary(const std::string& name, const stats::Ecdf& ecdf,
+                       std::FILE* out) {
+  if (ecdf.empty()) {
+    std::fprintf(out, "%s: (empty)\n", name.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "%s: n=%zu  p10=%.3f  p25=%.3f  p50=%.3f  p75=%.3f  p90=%.3f  "
+               "p99=%.3f  max=%.3f\n",
+               name.c_str(), ecdf.size(), ecdf.quantile(0.10), ecdf.quantile(0.25),
+               ecdf.quantile(0.50), ecdf.quantile(0.75), ecdf.quantile(0.90),
+               ecdf.quantile(0.99), ecdf.max());
+}
+
+void print_summary_row(const std::string& label, const stats::Summary& s,
+                       std::FILE* out) {
+  std::fprintf(out,
+               "%-14s n=%-8zu mean=%-8.2f std=%-8.2f min=%-6.2f p25=%-6.2f "
+               "med=%-6.2f p75=%-6.2f max=%.2f\n",
+               label.c_str(), s.count, s.mean, s.stddev, s.min, s.p25, s.median,
+               s.p75, s.max);
+}
+
+bool write_cdf_csv(const std::string& path, const stats::Ecdf& ecdf,
+                   const std::string& value_label) {
+  CsvWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.header({value_label, "cdf"});
+  for (const auto& point : ecdf.points()) {
+    csv.field(point.x, 6).field(point.f, 6);
+    csv.end_row();
+  }
+  return true;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,47 @@
+// Shared presentation helpers for benches and examples: fixed-width
+// console tables, CDF summaries, and CSV export of distribution series.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+
+namespace cn::core {
+
+/// Fixed-width console table. Column widths come from the header row;
+/// cells are right-aligned (numbers) by default.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths = {});
+
+  void print_header(std::FILE* out = stdout) const;
+  void print_row(const std::vector<std::string>& cells,
+                 std::FILE* out = stdout) const;
+  void print_rule(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// "p < 0.001"-style formatting for p-values (4 decimals otherwise).
+std::string format_p_value(double p);
+
+/// Prints "name: p10=.. p25=.. p50=.. p75=.. p90=.. p99=.." for a CDF.
+void print_cdf_summary(const std::string& name, const stats::Ecdf& ecdf,
+                       std::FILE* out = stdout);
+
+/// Prints a Summary as one row: count mean std min p25 median p75 max.
+void print_summary_row(const std::string& label, const stats::Summary& s,
+                       std::FILE* out = stdout);
+
+/// Writes a CDF as (value, cumulative_fraction) CSV rows.
+/// Returns false if the file could not be opened.
+bool write_cdf_csv(const std::string& path, const stats::Ecdf& ecdf,
+                   const std::string& value_label);
+
+}  // namespace cn::core

@@ -1,0 +1,97 @@
+#include "core/wallet_inference.hpp"
+
+#include <algorithm>
+
+namespace cn::core {
+
+PoolAttribution::PoolAttribution(const btc::Chain& chain,
+                                 const btc::CoinbaseTagRegistry& registry) {
+  for (const btc::Block& block : chain.blocks()) {
+    ++total_blocks_;
+    const auto pool = registry.identify(block.coinbase().tag);
+    if (!pool.has_value()) {
+      ++unidentified_;
+      continue;
+    }
+    by_height_.emplace(block.height(), *pool);
+    ++counts_[*pool];
+    wallets_[*pool].insert(block.coinbase().reward_address);
+  }
+}
+
+std::optional<std::string> PoolAttribution::pool_of(std::uint64_t height) const {
+  const auto it = by_height_.find(height);
+  if (it == by_height_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t PoolAttribution::blocks_of(const std::string& pool) const noexcept {
+  const auto it = counts_.find(pool);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double PoolAttribution::hash_share(const std::string& pool) const noexcept {
+  if (total_blocks_ == 0) return 0.0;
+  return static_cast<double>(blocks_of(pool)) / static_cast<double>(total_blocks_);
+}
+
+const std::unordered_set<btc::Address>& PoolAttribution::wallets_of(
+    const std::string& pool) const {
+  static const std::unordered_set<btc::Address> kEmpty;
+  const auto it = wallets_.find(pool);
+  return it == wallets_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> PoolAttribution::pools_by_blocks() const {
+  std::vector<std::string> names;
+  names.reserve(counts_.size());
+  for (const auto& [name, count] : counts_) names.push_back(name);
+  std::sort(names.begin(), names.end(), [this](const auto& a, const auto& b) {
+    const std::uint64_t ca = blocks_of(a), cb = blocks_of(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return names;
+}
+
+std::vector<TxRef> self_interest_txs(const btc::Chain& chain,
+                                     const PoolAttribution& attribution,
+                                     const std::string& pool) {
+  std::vector<TxRef> out;
+  const auto& wallets = attribution.wallets_of(pool);
+  if (wallets.empty()) return out;
+  for (const btc::Block& block : chain.blocks()) {
+    for (std::size_t i = 0; i < block.txs().size(); ++i) {
+      const btc::Transaction& tx = block.txs()[i];
+      bool involved = false;
+      for (const btc::TxInput& in : tx.inputs()) {
+        if (wallets.contains(in.owner)) {
+          involved = true;
+          break;
+        }
+      }
+      if (!involved) {
+        for (const btc::TxOutput& o : tx.outputs()) {
+          if (wallets.contains(o.to)) {
+            involved = true;
+            break;
+          }
+        }
+      }
+      if (involved) out.push_back(TxRef{block.height(), i});
+    }
+  }
+  return out;
+}
+
+std::vector<TxRef> txs_paying_to(const btc::Chain& chain, btc::Address address) {
+  std::vector<TxRef> out;
+  for (const btc::Block& block : chain.blocks()) {
+    for (std::size_t i = 0; i < block.txs().size(); ++i) {
+      if (block.txs()[i].pays_to(address)) out.push_back(TxRef{block.height(), i});
+    }
+  }
+  return out;
+}
+
+}  // namespace cn::core

@@ -1,0 +1,73 @@
+// Block attribution and pool-wallet inference (§5.2, Figure 8).
+//
+// The audit never consults the simulator's ground truth: exactly as the
+// paper does, it (1) attributes each block to a pool by its coinbase
+// marker, (2) collects the reward wallets each pool names in its Coinbase
+// transactions, and (3) flags as "self-interest" every committed
+// transaction spending from or paying to one of those wallets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "btc/chain.hpp"
+#include "btc/coinbase_tags.hpp"
+
+namespace cn::core {
+
+/// A committed transaction reference.
+struct TxRef {
+  std::uint64_t block_height = 0;
+  std::size_t position = 0;
+};
+
+class PoolAttribution {
+ public:
+  PoolAttribution() = default;
+
+  /// Scans the chain once, attributing blocks and collecting wallets.
+  PoolAttribution(const btc::Chain& chain, const btc::CoinbaseTagRegistry& registry);
+
+  /// Pool that mined the block at @p height (nullopt when unidentified).
+  std::optional<std::string> pool_of(std::uint64_t height) const;
+
+  /// Blocks mined per pool.
+  const std::unordered_map<std::string, std::uint64_t>& block_counts() const noexcept {
+    return counts_;
+  }
+  std::uint64_t blocks_of(const std::string& pool) const noexcept;
+  std::uint64_t unidentified_blocks() const noexcept { return unidentified_; }
+  std::uint64_t total_blocks() const noexcept { return total_blocks_; }
+
+  /// Normalized hash rate estimate: blocks_of(pool) / total_blocks.
+  double hash_share(const std::string& pool) const noexcept;
+
+  /// Reward wallets observed in the pool's coinbases.
+  const std::unordered_set<btc::Address>& wallets_of(const std::string& pool) const;
+
+  /// Pool names ordered by descending block count.
+  std::vector<std::string> pools_by_blocks() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::string> by_height_;
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::unordered_map<std::string, std::unordered_set<btc::Address>> wallets_;
+  std::uint64_t unidentified_ = 0;
+  std::uint64_t total_blocks_ = 0;
+};
+
+/// All committed transactions that involve (spend from or pay to) any of
+/// @p pool's inferred wallets. Coinbase rewards are not transactions in
+/// the block body and are naturally excluded.
+std::vector<TxRef> self_interest_txs(const btc::Chain& chain,
+                                     const PoolAttribution& attribution,
+                                     const std::string& pool);
+
+/// Committed transactions paying to @p address (the scam-wallet filter).
+std::vector<TxRef> txs_paying_to(const btc::Chain& chain, btc::Address address);
+
+}  // namespace cn::core

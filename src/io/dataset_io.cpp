@@ -1,0 +1,236 @@
+#include "io/dataset_io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <map>
+
+#include "util/csv.hpp"
+
+namespace cn::io {
+
+namespace {
+
+std::optional<std::int64_t> to_i64(const std::string& s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> to_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+bool export_chain(const btc::Chain& chain, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  CsvWriter blocks(dir + "/blocks.csv");
+  CsvWriter txs(dir + "/txs.csv");
+  CsvWriter inputs(dir + "/inputs.csv");
+  CsvWriter outputs(dir + "/outputs.csv");
+  if (!blocks.ok() || !txs.ok() || !inputs.ok() || !outputs.ok()) return false;
+
+  blocks.header({"height", "mined_at", "coinbase_tag", "reward_address",
+                 "reward_sat", "tx_count"});
+  txs.header({"height", "position", "txid", "issued", "vsize", "fee_sat"});
+  inputs.header({"txid", "prev_txid", "prev_vout", "owner"});
+  outputs.header({"txid", "to", "value_sat"});
+
+  for (const btc::Block& block : chain.blocks()) {
+    blocks.field(block.height()).field(block.mined_at());
+    blocks.field(block.coinbase().tag);
+    blocks.field(block.coinbase().reward_address.value);
+    blocks.field(block.coinbase().reward.value);
+    blocks.field(static_cast<std::uint64_t>(block.tx_count()));
+    blocks.end_row();
+
+    for (std::size_t i = 0; i < block.txs().size(); ++i) {
+      const btc::Transaction& tx = block.txs()[i];
+      const std::string id_hex = tx.id().to_hex();
+      txs.field(block.height()).field(static_cast<std::uint64_t>(i));
+      txs.field(id_hex).field(tx.issued());
+      txs.field(static_cast<std::uint64_t>(tx.vsize())).field(tx.fee().value);
+      txs.end_row();
+
+      for (const btc::TxInput& in : tx.inputs()) {
+        inputs.field(id_hex).field(in.prev_txid.to_hex());
+        inputs.field(static_cast<std::uint64_t>(in.prev_vout));
+        inputs.field(in.owner.value);
+        inputs.end_row();
+      }
+      for (const btc::TxOutput& out : tx.outputs()) {
+        outputs.field(id_hex).field(out.to.value).field(out.value.value);
+        outputs.end_row();
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<btc::Chain> import_chain(const std::string& dir) {
+  CsvReader blocks_in(dir + "/blocks.csv");
+  CsvReader txs_in(dir + "/txs.csv");
+  CsvReader inputs_in(dir + "/inputs.csv");
+  CsvReader outputs_in(dir + "/outputs.csv");
+  if (!blocks_in.ok() || !txs_in.ok() || !inputs_in.ok() || !outputs_in.ok()) {
+    return std::nullopt;
+  }
+
+  std::vector<std::string> row;
+
+  // Inputs and outputs grouped by txid hex.
+  std::unordered_map<std::string, std::vector<btc::TxInput>> inputs_by_tx;
+  if (!inputs_in.next_row(row)) return std::nullopt;  // header
+  while (inputs_in.next_row(row)) {
+    if (row.size() != 4) return std::nullopt;
+    const auto prev = btc::Txid::from_hex(row[1]);
+    const auto vout = to_u64(row[2]);
+    const auto owner = to_u64(row[3]);
+    if (!prev || !vout || !owner) return std::nullopt;
+    inputs_by_tx[row[0]].push_back(
+        btc::TxInput{*prev, static_cast<std::uint32_t>(*vout), btc::Address{*owner}});
+  }
+
+  std::unordered_map<std::string, std::vector<btc::TxOutput>> outputs_by_tx;
+  if (!outputs_in.next_row(row)) return std::nullopt;
+  while (outputs_in.next_row(row)) {
+    if (row.size() != 3) return std::nullopt;
+    const auto to = to_u64(row[1]);
+    const auto value = to_i64(row[2]);
+    if (!to || !value) return std::nullopt;
+    outputs_by_tx[row[0]].push_back(btc::TxOutput{btc::Address{*to}, btc::Satoshi{*value}});
+  }
+
+  // Transactions grouped by (height, position), ordered.
+  struct RawTx {
+    std::size_t position;
+    btc::Transaction tx;
+  };
+  std::map<std::uint64_t, std::vector<RawTx>> txs_by_height;
+  if (!txs_in.next_row(row)) return std::nullopt;
+  while (txs_in.next_row(row)) {
+    if (row.size() != 6) return std::nullopt;
+    const auto height = to_u64(row[0]);
+    const auto position = to_u64(row[1]);
+    const auto id = btc::Txid::from_hex(row[2]);
+    const auto issued = to_i64(row[3]);
+    const auto vsize = to_u64(row[4]);
+    const auto fee = to_i64(row[5]);
+    if (!height || !position || !id || !issued || !vsize || !fee) return std::nullopt;
+    auto ins = inputs_by_tx.find(row[2]) != inputs_by_tx.end()
+                   ? std::move(inputs_by_tx[row[2]])
+                   : std::vector<btc::TxInput>{};
+    auto outs = outputs_by_tx.find(row[2]) != outputs_by_tx.end()
+                    ? std::move(outputs_by_tx[row[2]])
+                    : std::vector<btc::TxOutput>{};
+    txs_by_height[*height].push_back(
+        RawTx{*position,
+              btc::Transaction::restore(*id, *issued,
+                                        static_cast<std::uint32_t>(*vsize),
+                                        btc::Satoshi{*fee}, std::move(ins),
+                                        std::move(outs))});
+  }
+
+  // Blocks in height order.
+  btc::Chain chain;
+  if (!blocks_in.next_row(row)) return std::nullopt;
+  struct RawBlock {
+    SimTime mined_at;
+    btc::Coinbase coinbase;
+    std::uint64_t tx_count;
+  };
+  std::map<std::uint64_t, RawBlock> blocks;
+  while (blocks_in.next_row(row)) {
+    if (row.size() != 6) return std::nullopt;
+    const auto height = to_u64(row[0]);
+    const auto mined_at = to_i64(row[1]);
+    const auto reward_addr = to_u64(row[3]);
+    const auto reward = to_i64(row[4]);
+    const auto count = to_u64(row[5]);
+    if (!height || !mined_at || !reward_addr || !reward || !count) return std::nullopt;
+    btc::Coinbase cb;
+    cb.tag = row[2];
+    cb.reward_address = btc::Address{*reward_addr};
+    cb.reward = btc::Satoshi{*reward};
+    blocks.emplace(*height, RawBlock{*mined_at, std::move(cb), *count});
+  }
+
+  for (auto& [height, raw] : blocks) {
+    std::vector<btc::Transaction> txs;
+    const auto it = txs_by_height.find(height);
+    if (it != txs_by_height.end()) {
+      std::sort(it->second.begin(), it->second.end(),
+                [](const RawTx& a, const RawTx& b) { return a.position < b.position; });
+      txs.reserve(it->second.size());
+      for (RawTx& r : it->second) txs.push_back(std::move(r.tx));
+    }
+    if (txs.size() != raw.tx_count) return std::nullopt;  // corrupt export
+    chain.append(btc::Block(height, raw.mined_at, std::move(raw.coinbase),
+                            std::move(txs)));
+  }
+  return chain;
+}
+
+bool export_snapshots(const node::SnapshotSeries& series, const std::string& path) {
+  CsvWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.header({"time", "tx_count", "total_vsize"});
+  for (const node::MempoolStat& s : series.stats()) {
+    csv.field(s.time).field(s.tx_count).field(s.total_vsize);
+    csv.end_row();
+  }
+  return true;
+}
+
+std::optional<node::SnapshotSeries> import_snapshots(const std::string& path) {
+  CsvReader in(path);
+  if (!in.ok()) return std::nullopt;
+  std::vector<std::string> row;
+  if (!in.next_row(row)) return std::nullopt;
+  node::SnapshotSeries series;
+  while (in.next_row(row)) {
+    if (row.size() != 3) return std::nullopt;
+    const auto time = to_i64(row[0]);
+    const auto count = to_u64(row[1]);
+    const auto vsize = to_u64(row[2]);
+    if (!time || !count || !vsize) return std::nullopt;
+    series.record(node::MempoolStat{*time, *count, *vsize});
+  }
+  return series;
+}
+
+bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path) {
+  CsvWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.header({"txid", "first_seen"});
+  for (const auto& [id, time] : first_seen) {
+    csv.field(id.to_hex()).field(time);
+    csv.end_row();
+  }
+  return true;
+}
+
+std::optional<FirstSeenMap> import_first_seen(const std::string& path) {
+  CsvReader in(path);
+  if (!in.ok()) return std::nullopt;
+  std::vector<std::string> row;
+  if (!in.next_row(row)) return std::nullopt;
+  FirstSeenMap out;
+  while (in.next_row(row)) {
+    if (row.size() != 2) return std::nullopt;
+    const auto id = btc::Txid::from_hex(row[0]);
+    const auto time = to_i64(row[1]);
+    if (!id || !time) return std::nullopt;
+    out.emplace(*id, *time);
+  }
+  return out;
+}
+
+}  // namespace cn::io

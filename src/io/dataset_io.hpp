@@ -1,0 +1,43 @@
+// Data-set export/import.
+//
+// The paper's authors released their data sets and scripts publicly; this
+// module gives the reproduction the same property. A simulated (or, in
+// principle, real) chain is written as four relational CSV files —
+// blocks, transactions, inputs, outputs — plus optional Mempool-snapshot
+// and first-seen series, all loadable back into the library's types or
+// directly into pandas/R.
+//
+// Layout under the export directory:
+//   blocks.csv      height, mined_at, coinbase_tag, reward_address, reward_sat, tx_count
+//   txs.csv         height, position, txid, issued, vsize, fee_sat
+//   inputs.csv      txid, prev_txid, prev_vout, owner
+//   outputs.csv     txid, to, value_sat
+//   snapshots.csv   time, tx_count, total_vsize        (optional)
+//   first_seen.csv  txid, first_seen                    (optional)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "btc/chain.hpp"
+#include "node/snapshot.hpp"
+
+namespace cn::io {
+
+/// Writes the chain into @p dir (created if missing). Returns false on
+/// any I/O failure.
+bool export_chain(const btc::Chain& chain, const std::string& dir);
+
+/// Reads a chain previously written by export_chain. Returns nullopt on
+/// missing files or malformed content.
+std::optional<btc::Chain> import_chain(const std::string& dir);
+
+bool export_snapshots(const node::SnapshotSeries& series, const std::string& path);
+std::optional<node::SnapshotSeries> import_snapshots(const std::string& path);
+
+using FirstSeenMap = std::unordered_map<btc::Txid, SimTime>;
+bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path);
+std::optional<FirstSeenMap> import_first_seen(const std::string& path);
+
+}  // namespace cn::io

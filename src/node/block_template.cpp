@@ -1,0 +1,174 @@
+#include "node/block_template.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace cn::node {
+
+namespace {
+
+struct PackageScore {
+  btc::FeeRate rate{};       ///< effective package fee-rate
+  btc::Txid id{};            ///< the package's representative (descendant)
+
+  /// Max-heap ordering with deterministic txid tie-break.
+  bool operator<(const PackageScore& o) const noexcept {
+    if (rate != o.rate) return rate < o.rate;
+    return id > o.id;  // lower txid wins ties
+  }
+};
+
+class TemplateBuilder {
+ public:
+  TemplateBuilder(const Mempool& mempool, const TemplateOptions& options)
+      : mempool_(mempool), options_(options) {}
+
+  BlockTemplate build() {
+    seed_heap();
+    BlockTemplate out;
+    while (!heap_.empty()) {
+      const PackageScore top = heap_.top();
+      heap_.pop();
+      if (selected_.contains(top.id) || dropped_.contains(top.id)) continue;
+
+      // Recompute: ancestors may have been selected since this entry was
+      // pushed, which only *raises* the package rate (lazy invalidation).
+      std::vector<const MempoolEntry*> package;
+      const btc::FeeRate current = package_rate(top.id, package);
+      if (current != top.rate) {
+        heap_.push(PackageScore{current, top.id});
+        continue;
+      }
+      if (package.empty()) {
+        // Package depends on a censored ancestor: permanently unmineable.
+        dropped_.insert(top.id);
+        continue;
+      }
+
+      if (options_.min_rate.valid() && current < options_.min_rate) {
+        // Heap is rate-ordered; everything below the floor from here on.
+        // (Entries may be stale-low, so drop just this one and continue.)
+        dropped_.insert(top.id);
+        continue;
+      }
+
+      std::uint64_t package_vsize = 0;
+      for (const MempoolEntry* e : package) package_vsize += e->tx.vsize();
+      if (out.total_vsize + package_vsize > options_.max_vsize) {
+        dropped_.insert(top.id);  // space only shrinks; never fits later
+        continue;
+      }
+
+      append_package(package, out);
+    }
+    return out;
+  }
+
+ private:
+  void seed_heap() {
+    mempool_.for_each([this](const MempoolEntry& entry) {
+      const btc::Txid& id = entry.tx.id();
+      if (options_.exclude.contains(id)) return;
+      std::vector<const MempoolEntry*> package;
+      heap_.push(PackageScore{package_rate(id, package), id});
+    });
+  }
+
+  btc::Satoshi effective_fee(const MempoolEntry& entry) const {
+    btc::Satoshi fee = entry.tx.fee();
+    const auto it = options_.fee_deltas.find(entry.tx.id());
+    if (it != options_.fee_deltas.end()) fee += it->second;
+    if (options_.age_weight_per_hour > 0.0 && options_.now > entry.arrival) {
+      const double hours =
+          static_cast<double>(options_.now - entry.arrival) / 3600.0;
+      const double boosted = static_cast<double>(fee.value) *
+                             (1.0 + options_.age_weight_per_hour * hours);
+      fee = btc::Satoshi{static_cast<std::int64_t>(boosted)};
+    }
+    if (fee.value < 0) fee = btc::Satoshi{0};
+    return fee;
+  }
+
+  /// Effective fee-rate of the package rooted at @p id; fills @p package
+  /// with the entry and its unselected ancestors (unordered). Returns an
+  /// invalid rate if the package contains an excluded ancestor.
+  btc::FeeRate package_rate(const btc::Txid& id,
+                            std::vector<const MempoolEntry*>& package) const {
+    package.clear();
+    const MempoolEntry* self = mempool_.find(id);
+    CN_ASSERT(self != nullptr);
+    package.push_back(self);
+    for (const MempoolEntry* anc : mempool_.ancestors_of(id)) {
+      if (selected_.contains(anc->tx.id())) continue;
+      if (options_.exclude.contains(anc->tx.id())) {
+        package.clear();
+        return btc::FeeRate{};  // unmineable: would pull in a censored tx
+      }
+      package.push_back(anc);
+    }
+    btc::Satoshi fee{};
+    std::uint64_t vsize = 0;
+    for (const MempoolEntry* e : package) {
+      fee += effective_fee(*e);
+      vsize += e->tx.vsize();
+    }
+    return btc::FeeRate(fee, vsize);
+  }
+
+  /// Appends the package with parents before children.
+  void append_package(std::vector<const MempoolEntry*>& package, BlockTemplate& out) {
+    // Topological order: repeatedly emit entries whose in-package parents
+    // are all already emitted. Packages are tiny (chain depth <= a few),
+    // so the quadratic scan is immaterial.
+    std::vector<const MempoolEntry*> pending(package.begin(), package.end());
+    // Deterministic starting order.
+    std::sort(pending.begin(), pending.end(),
+              [](const MempoolEntry* a, const MempoolEntry* b) {
+                return a->tx.id() < b->tx.id();
+              });
+    while (!pending.empty()) {
+      bool progressed = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const MempoolEntry* e = *it;
+        bool ready = true;
+        for (const btc::TxInput& in : e->tx.inputs()) {
+          if (in.prev_txid.is_null()) continue;
+          for (const MempoolEntry* other : pending) {
+            if (other != e && other->tx.id() == in.prev_txid) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) break;
+        }
+        if (ready) {
+          selected_.insert(e->tx.id());
+          out.total_vsize += e->tx.vsize();
+          out.total_fees += e->tx.fee();  // real fee, not effective
+          out.txs.push_back(e->tx);
+          it = pending.erase(it);
+          progressed = true;
+        } else {
+          ++it;
+        }
+      }
+      CN_ASSERT(progressed);  // a cycle would be a corrupt mempool
+    }
+  }
+
+  const Mempool& mempool_;
+  const TemplateOptions& options_;
+  std::priority_queue<PackageScore> heap_;
+  std::unordered_set<btc::Txid> selected_;
+  std::unordered_set<btc::Txid> dropped_;
+};
+
+}  // namespace
+
+BlockTemplate build_template(const Mempool& mempool, const TemplateOptions& options) {
+  return TemplateBuilder(mempool, options).build();
+}
+
+}  // namespace cn::node

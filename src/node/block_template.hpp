@@ -1,0 +1,61 @@
+// GetBlockTemplate-style block construction (the source of norms I & II).
+//
+// Reimplements the greedy ancestor-package selection of Bitcoin Core's
+// `addPackageTxs`: transactions are repeatedly chosen by the highest
+// package fee-rate (the transaction plus its not-yet-selected unconfirmed
+// ancestors), parents are placed before children, and selection stops when
+// nothing else fits in the virtual-size budget.
+//
+// Miner policies hook in exactly the way Bitcoin Core exposes:
+//  * fee deltas (`prioritisetransaction`): per-txid satoshi adjustments
+//    added to the fee used for ordering but not to the fee collected
+//    on-chain — this is how dark-fee acceleration is implemented by pools;
+//  * an exclusion set (censorship / deceleration);
+//  * a minimum template fee-rate (norm III's floor at template level).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "btc/amount.hpp"
+#include "btc/block.hpp"
+#include "node/mempool.hpp"
+
+namespace cn::node {
+
+struct TemplateOptions {
+  /// Budget for transactions (the coinbase allowance is already deducted).
+  std::uint64_t max_vsize = btc::kMaxBlockVsize - btc::kCoinbaseVsize;
+
+  /// Packages whose effective fee-rate is below this are not considered.
+  /// Invalid (default) means no floor.
+  btc::FeeRate min_rate{};
+
+  /// Per-transaction fee adjustment used for *ordering only*
+  /// (Bitcoin Core's `prioritisetransaction`); may be negative.
+  std::unordered_map<btc::Txid, btc::Satoshi> fee_deltas;
+
+  /// Transactions a policy refuses to mine.
+  std::unordered_set<btc::Txid> exclude;
+
+  /// Aging bonus (the paper's §6.1 "should waiting time be considered?"
+  /// made concrete): the effective fee used for ordering is multiplied by
+  /// (1 + age_weight_per_hour * hours_waiting). 0 keeps the pure
+  /// fee-rate norm. Requires `now` when non-zero.
+  double age_weight_per_hour = 0.0;
+  SimTime now = 0;
+};
+
+struct BlockTemplate {
+  std::vector<btc::Transaction> txs;  ///< in block order
+  std::uint64_t total_vsize = 0;
+  btc::Satoshi total_fees{};          ///< real (public) fees only
+};
+
+/// Builds a template from @p mempool under @p options. Deterministic:
+/// exact-rational fee-rate comparison with txid tie-breaking.
+BlockTemplate build_template(const Mempool& mempool, const TemplateOptions& options);
+
+}  // namespace cn::node

@@ -1,0 +1,38 @@
+// Fee recommendation from recent blocks.
+//
+// The paper (§4.1) notes that Bitcoin Core and wallet software suggest
+// fees from the fee-rate distribution of recently mined blocks — a loop
+// that assumes miners follow the norm. The simulator's users consult this
+// estimator, closing the same loop.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "btc/amount.hpp"
+#include "btc/block.hpp"
+
+namespace cn::node {
+
+class FeeEstimator {
+ public:
+  /// Remembers fee-rates from the last @p window_blocks blocks.
+  explicit FeeEstimator(std::size_t window_blocks = 6);
+
+  void on_block(const btc::Block& block);
+
+  /// Recommended fee-rate (sat/vB) such that @p percentile of recent
+  /// committed transactions paid no more. Falls back to 1 sat/vB when no
+  /// history is available.
+  double recommend_sat_per_vb(double percentile) const;
+
+  /// Number of transactions currently in the window.
+  std::size_t sample_count() const noexcept;
+
+ private:
+  std::size_t window_blocks_;
+  std::deque<std::vector<double>> per_block_rates_;  // sat/vB
+};
+
+}  // namespace cn::node

@@ -1,0 +1,52 @@
+#include "node/legacy_priority.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cn::node {
+
+double coin_age_priority(const btc::Transaction& tx, SimTime now) noexcept {
+  const double age = static_cast<double>(now >= tx.issued() ? now - tx.issued() : 0) + 1.0;
+  const double value = static_cast<double>(tx.total_output().value);
+  return value * age / static_cast<double>(tx.vsize());
+}
+
+BlockTemplate build_legacy_template(const Mempool& mempool, SimTime now,
+                                    const LegacyTemplateOptions& options) {
+  std::vector<const MempoolEntry*> entries = mempool.entries_by_arrival();
+  std::stable_sort(entries.begin(), entries.end(),
+                   [now](const MempoolEntry* a, const MempoolEntry* b) {
+                     return coin_age_priority(a->tx, now) >
+                            coin_age_priority(b->tx, now);
+                   });
+
+  BlockTemplate out;
+  std::unordered_set<btc::Txid> selected;
+  for (const MempoolEntry* e : entries) {
+    if (selected.contains(e->tx.id())) continue;
+
+    // Pull in unselected in-mempool ancestors first (validity requires
+    // parents to precede children regardless of the ordering norm).
+    std::vector<const MempoolEntry*> package;
+    for (const MempoolEntry* anc : mempool.ancestors_of(e->tx.id())) {
+      if (!selected.contains(anc->tx.id())) package.push_back(anc);
+    }
+    // Ancestors returned child-to-parent along the walk; emit oldest first.
+    std::reverse(package.begin(), package.end());
+    package.push_back(e);
+
+    std::uint64_t package_vsize = 0;
+    for (const MempoolEntry* p : package) package_vsize += p->tx.vsize();
+    if (out.total_vsize + package_vsize > options.max_vsize) continue;
+
+    for (const MempoolEntry* p : package) {
+      selected.insert(p->tx.id());
+      out.total_vsize += p->tx.vsize();
+      out.total_fees += p->tx.fee();
+      out.txs.push_back(p->tx);
+    }
+  }
+  return out;
+}
+
+}  // namespace cn::node

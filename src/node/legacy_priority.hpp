@@ -1,0 +1,32 @@
+// Pre-April-2016 block construction: coin-age "priority" ordering.
+//
+// Before Bitcoin Core 0.12.x moved fully to fee-rate ordering, templates
+// were filled by the priority metric
+//     priority = sum(input_value * input_age) / tx_size,
+// which favours old, high-value coins regardless of fee. Figure 1 of the
+// paper contrasts the two eras; this builder recreates the old norm so the
+// bench can reproduce that contrast.
+#pragma once
+
+#include <cstdint>
+
+#include "node/block_template.hpp"
+#include "node/mempool.hpp"
+
+namespace cn::node {
+
+/// Coin-age priority of a transaction at time @p now. Input age is
+/// approximated by the time since the transaction's funding was issued
+/// (the simulator does not model per-UTXO confirmation depth).
+double coin_age_priority(const btc::Transaction& tx, SimTime now) noexcept;
+
+struct LegacyTemplateOptions {
+  std::uint64_t max_vsize = btc::kMaxBlockVsize - btc::kCoinbaseVsize;
+};
+
+/// Builds a template ordered by descending coin-age priority.
+/// CPFP packages are kept parent-before-child.
+BlockTemplate build_legacy_template(const Mempool& mempool, SimTime now,
+                                    const LegacyTemplateOptions& options = {});
+
+}  // namespace cn::node

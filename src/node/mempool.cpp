@@ -1,0 +1,221 @@
+#include "node/mempool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cn::node {
+
+namespace {
+
+bool is_real_outpoint(const btc::TxInput& in) { return !in.prev_txid.is_null(); }
+
+}  // namespace
+
+std::vector<btc::Txid> Mempool::conflicts_of(const btc::Transaction& tx) const {
+  std::vector<btc::Txid> out;
+  for (const btc::TxInput& in : tx.inputs()) {
+    if (!is_real_outpoint(in)) continue;
+    const auto it = spenders_.find(Outpoint{in.prev_txid, in.prev_vout});
+    if (it == spenders_.end()) continue;
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+bool Mempool::replacement_allowed(const btc::Transaction& tx,
+                                  const std::vector<btc::Txid>& conflicts) const {
+  // Simplified BIP-125: the replacement must pay strictly more in absolute
+  // fee than everything it evicts (conflicts plus their descendants), and
+  // offer a strictly higher fee-rate than each directly conflicting tx.
+  btc::Satoshi evicted_fees{};
+  for (const btc::Txid& id : conflicts) {
+    const auto it = entries_.find(id);
+    CN_ASSERT(it != entries_.end());
+    if (tx.fee_rate() <= it->second.tx.fee_rate()) return false;
+    evicted_fees += it->second.tx.fee();
+    for (const btc::Txid& desc : descendants_of(id)) {
+      const auto dit = entries_.find(desc);
+      if (dit != entries_.end()) evicted_fees += dit->second.tx.fee();
+    }
+  }
+  return tx.fee() > evicted_fees;
+}
+
+bool Mempool::make_room(const btc::Transaction& incoming) {
+  if (limits_.max_vsize == 0) return true;
+  while (total_vsize_ + incoming.vsize() > limits_.max_vsize) {
+    if (entries_.empty()) return incoming.vsize() <= limits_.max_vsize;
+    // Evict the lowest fee-rate entry (with its descendants).
+    const MempoolEntry* worst = nullptr;
+    for (const auto& [id, entry] : entries_) {
+      if (worst == nullptr || entry.tx.fee_rate() < worst->tx.fee_rate() ||
+          (entry.tx.fee_rate() == worst->tx.fee_rate() &&
+           entry.tx.id() < worst->tx.id())) {
+        worst = &entry;
+      }
+    }
+    // A full pool only admits transactions that beat its floor.
+    if (incoming.fee_rate() <= worst->tx.fee_rate()) return false;
+    ++evicted_;
+    remove_subtree(worst->tx.id());
+  }
+  return true;
+}
+
+AcceptResult Mempool::accept(btc::Transaction tx, SimTime now) {
+  if (entries_.contains(tx.id())) return AcceptResult::kDuplicate;
+  if (min_rate_.valid() && min_rate_.fee().value > 0 && tx.fee_rate() < min_rate_) {
+    return AcceptResult::kBelowMinFeeRate;
+  }
+
+  const std::vector<btc::Txid> conflicts = conflicts_of(tx);
+  if (!conflicts.empty()) {
+    if (!replacement_allowed(tx, conflicts)) return AcceptResult::kConflictRejected;
+    for (const btc::Txid& id : conflicts) {
+      ++replaced_;
+      remove_subtree(id);
+    }
+  }
+
+  if (!make_room(tx)) return AcceptResult::kMempoolFull;
+
+  total_vsize_ += tx.vsize();
+  const btc::Txid id = tx.id();
+  for (const btc::TxInput& in : tx.inputs()) {
+    if (!is_real_outpoint(in)) continue;
+    children_[in.prev_txid].push_back(id);
+    spenders_.emplace(Outpoint{in.prev_txid, in.prev_vout}, id);
+  }
+  entries_.emplace(id, MempoolEntry{std::move(tx), now});
+  return AcceptResult::kAccepted;
+}
+
+void Mempool::unlink(const btc::Txid& id) {
+  const auto it = entries_.find(id);
+  CN_ASSERT(it != entries_.end());
+  total_vsize_ -= it->second.tx.vsize();
+  for (const btc::TxInput& in : it->second.tx.inputs()) {
+    if (!is_real_outpoint(in)) continue;
+    const auto cit = children_.find(in.prev_txid);
+    if (cit != children_.end()) {
+      auto& kids = cit->second;
+      kids.erase(std::remove(kids.begin(), kids.end(), id), kids.end());
+      if (kids.empty()) children_.erase(cit);
+    }
+    const auto sit = spenders_.find(Outpoint{in.prev_txid, in.prev_vout});
+    if (sit != spenders_.end() && sit->second == id) spenders_.erase(sit);
+  }
+  entries_.erase(it);
+}
+
+void Mempool::remove_subtree(const btc::Txid& id) {
+  const std::vector<btc::Txid> descendants = descendants_of(id);
+  // Remove deepest-first is unnecessary (unlink is order-independent).
+  unlink(id);
+  for (const btc::Txid& d : descendants) {
+    if (entries_.contains(d)) unlink(d);
+  }
+}
+
+bool Mempool::remove(const btc::Txid& id) {
+  if (!entries_.contains(id)) return false;
+  unlink(id);
+  return true;
+}
+
+std::vector<btc::Txid> Mempool::expire_before(SimTime cutoff) {
+  std::vector<btc::Txid> stale;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.arrival < cutoff) stale.push_back(id);
+  }
+  std::vector<btc::Txid> dropped;
+  for (const btc::Txid& id : stale) {
+    if (!entries_.contains(id)) continue;  // already gone as a descendant
+    for (const btc::Txid& d : descendants_of(id)) dropped.push_back(d);
+    dropped.push_back(id);
+    remove_subtree(id);
+    ++expired_;
+  }
+  return dropped;
+}
+
+bool Mempool::contains(const btc::Txid& id) const noexcept {
+  return entries_.contains(id);
+}
+
+const MempoolEntry* Mempool::find(const btc::Txid& id) const noexcept {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void Mempool::for_each(const std::function<void(const MempoolEntry&)>& fn) const {
+  for (const auto& [id, entry] : entries_) fn(entry);
+}
+
+std::vector<const MempoolEntry*> Mempool::entries_by_arrival() const {
+  std::vector<const MempoolEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const MempoolEntry* a, const MempoolEntry* b) {
+              if (a->arrival != b->arrival) return a->arrival < b->arrival;
+              return a->tx.id() < b->tx.id();  // deterministic tie-break
+            });
+  return out;
+}
+
+std::vector<const MempoolEntry*> Mempool::ancestors_of(const btc::Txid& id) const {
+  std::vector<const MempoolEntry*> out;
+  std::vector<btc::Txid> frontier{id};
+  std::vector<btc::Txid> seen;
+  while (!frontier.empty()) {
+    const btc::Txid cur = frontier.back();
+    frontier.pop_back();
+    const auto it = entries_.find(cur);
+    if (it == entries_.end()) continue;  // parent already confirmed
+    for (const btc::TxInput& in : it->second.tx.inputs()) {
+      if (!is_real_outpoint(in)) continue;
+      if (std::find(seen.begin(), seen.end(), in.prev_txid) != seen.end()) continue;
+      const auto pit = entries_.find(in.prev_txid);
+      if (pit == entries_.end()) continue;
+      seen.push_back(in.prev_txid);
+      out.push_back(&pit->second);
+      frontier.push_back(in.prev_txid);
+    }
+  }
+  return out;
+}
+
+std::vector<const MempoolEntry*> Mempool::children_of(const btc::Txid& id) const {
+  std::vector<const MempoolEntry*> out;
+  const auto it = children_.find(id);
+  if (it == children_.end()) return out;
+  for (const btc::Txid& child : it->second) {
+    const auto eit = entries_.find(child);
+    if (eit != entries_.end()) out.push_back(&eit->second);
+  }
+  return out;
+}
+
+std::vector<btc::Txid> Mempool::descendants_of(const btc::Txid& id) const {
+  std::vector<btc::Txid> out;
+  std::vector<btc::Txid> frontier{id};
+  while (!frontier.empty()) {
+    const btc::Txid cur = frontier.back();
+    frontier.pop_back();
+    const auto it = children_.find(cur);
+    if (it == children_.end()) continue;
+    for (const btc::Txid& child : it->second) {
+      if (std::find(out.begin(), out.end(), child) != out.end()) continue;
+      if (!entries_.contains(child)) continue;
+      out.push_back(child);
+      frontier.push_back(child);
+    }
+  }
+  return out;
+}
+
+}  // namespace cn::node

@@ -1,0 +1,141 @@
+// The Mempool: the in-memory buffer of unconfirmed transactions a node
+// selects from when mining (paper §2). Beyond queueing, it implements the
+// admission machinery of a real node:
+//  * norm III's minimum relay fee-rate (configurable off, as the paper's
+//    data set B node was);
+//  * conflict tracking and BIP-125-style replace-by-fee — the paper's
+//    intro: "some transactions may be conflicting... at most one can be
+//    included in the blockchain";
+//  * size-capped eviction (lowest fee-rate first) and age expiry,
+//    mirroring Bitcoin Core's -maxmempool / -mempoolexpiry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "btc/amount.hpp"
+#include "btc/transaction.hpp"
+#include "util/time.hpp"
+
+namespace cn::node {
+
+/// A transaction output reference (what inputs spend).
+struct Outpoint {
+  btc::Txid txid{};
+  std::uint32_t vout = 0;
+
+  bool operator==(const Outpoint&) const = default;
+};
+
+struct OutpointHash {
+  std::size_t operator()(const Outpoint& o) const noexcept {
+    return static_cast<std::size_t>(o.txid.short_id() ^
+                                    (std::uint64_t{o.vout} * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+struct MempoolEntry {
+  btc::Transaction tx;
+  SimTime arrival = 0;  ///< when this node first saw the transaction
+};
+
+enum class AcceptResult {
+  kAccepted,          ///< queued (possibly after replacing conflicts)
+  kDuplicate,         ///< already queued
+  kBelowMinFeeRate,   ///< under the norm-III floor
+  kConflictRejected,  ///< conflicts with queued txs and fails the RBF rules
+  kMempoolFull,       ///< would not beat the eviction floor of a full pool
+};
+
+/// Resource limits; zero disables a limit.
+struct MempoolLimits {
+  std::uint64_t max_vsize = 0;  ///< aggregate vbytes cap (Core: -maxmempool)
+  SimTime expiry = 0;           ///< max entry age (Core: -mempoolexpiry)
+};
+
+class Mempool {
+ public:
+  /// @p min_relay_sat_per_vb — norm III threshold; pass 0 to accept
+  /// zero-fee transactions (data set B configuration).
+  explicit Mempool(std::int64_t min_relay_sat_per_vb = btc::kDefaultMinRelaySatPerVb,
+                   MempoolLimits limits = {})
+      : min_rate_(btc::FeeRate::from_sat_per_vb(min_relay_sat_per_vb)),
+        limits_(limits) {}
+
+  AcceptResult accept(btc::Transaction tx, SimTime now);
+
+  /// Removes a committed transaction; returns false if absent.
+  /// Descendants stay queued (they become valid once the parent is
+  /// confirmed, which is why a block template includes parents first).
+  bool remove(const btc::Txid& id);
+
+  /// Drops entries that arrived before @p cutoff (age expiry), together
+  /// with their in-pool descendants. Returns the dropped ids.
+  std::vector<btc::Txid> expire_before(SimTime cutoff);
+
+  bool contains(const btc::Txid& id) const noexcept;
+  const MempoolEntry* find(const btc::Txid& id) const noexcept;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Aggregate virtual size of all queued transactions (congestion metric).
+  std::uint64_t total_vsize() const noexcept { return total_vsize_; }
+
+  btc::FeeRate min_relay_rate() const noexcept { return min_rate_; }
+  const MempoolLimits& limits() const noexcept { return limits_; }
+
+  /// Queued transactions spending any outpoint @p tx also spends.
+  std::vector<btc::Txid> conflicts_of(const btc::Transaction& tx) const;
+
+  /// Visits every entry (unspecified order).
+  void for_each(const std::function<void(const MempoolEntry&)>& fn) const;
+
+  /// Snapshot of entries sorted by arrival time (deterministic export).
+  std::vector<const MempoolEntry*> entries_by_arrival() const;
+
+  /// Unconfirmed in-mempool ancestors of @p id (transitively), excluding
+  /// the transaction itself.
+  std::vector<const MempoolEntry*> ancestors_of(const btc::Txid& id) const;
+
+  /// Direct in-mempool children of @p id (transactions spending it).
+  std::vector<const MempoolEntry*> children_of(const btc::Txid& id) const;
+
+  /// Transitive in-mempool descendants of @p id.
+  std::vector<btc::Txid> descendants_of(const btc::Txid& id) const;
+
+  /// Lifetime counters (diagnostics).
+  std::uint64_t replaced_count() const noexcept { return replaced_; }
+  std::uint64_t evicted_count() const noexcept { return evicted_; }
+  std::uint64_t expired_count() const noexcept { return expired_; }
+
+ private:
+  /// Removes @p id and its descendants; updates all indexes.
+  void remove_subtree(const btc::Txid& id);
+  void unlink(const btc::Txid& id);
+
+  /// BIP-125-style check: may @p tx replace the given conflicts?
+  bool replacement_allowed(const btc::Transaction& tx,
+                           const std::vector<btc::Txid>& conflicts) const;
+
+  /// Frees space for @p incoming; false if the incoming transaction does
+  /// not beat the eviction floor.
+  bool make_room(const btc::Transaction& incoming);
+
+  std::unordered_map<btc::Txid, MempoolEntry> entries_;
+  /// parent txid -> children txids (only edges internal to the mempool).
+  std::unordered_map<btc::Txid, std::vector<btc::Txid>> children_;
+  /// outpoint -> the queued tx spending it (conflict index).
+  std::unordered_map<Outpoint, btc::Txid, OutpointHash> spenders_;
+  std::uint64_t total_vsize_ = 0;
+  btc::FeeRate min_rate_;
+  MempoolLimits limits_;
+  std::uint64_t replaced_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace cn::node

@@ -1,0 +1,46 @@
+#include "node/snapshot.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace cn::node {
+
+CongestionLevel congestion_level(std::uint64_t total_vsize,
+                                 std::uint64_t unit_vsize) noexcept {
+  CN_ASSERT(unit_vsize > 0);
+  if (total_vsize <= 1 * unit_vsize) return CongestionLevel::kNone;
+  if (total_vsize <= 2 * unit_vsize) return CongestionLevel::kLow;
+  if (total_vsize <= 4 * unit_vsize) return CongestionLevel::kMedium;
+  return CongestionLevel::kHigh;
+}
+
+void SnapshotSeries::record(MempoolStat stat) {
+  CN_ASSERT(stats_.empty() || stat.time > stats_.back().time);
+  stats_.push_back(stat);
+}
+
+double SnapshotSeries::fraction_above(std::uint64_t vsize) const noexcept {
+  if (stats_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const MempoolStat& s : stats_)
+    if (s.total_vsize > vsize) ++n;
+  return static_cast<double>(n) / static_cast<double>(stats_.size());
+}
+
+std::uint64_t SnapshotSeries::max_vsize() const noexcept {
+  std::uint64_t m = 0;
+  for (const MempoolStat& s : stats_) m = std::max(m, s.total_vsize);
+  return m;
+}
+
+CongestionLevel SnapshotSeries::level_at(SimTime t, std::uint64_t unit_vsize) const noexcept {
+  // Binary search for the last snapshot with time <= t.
+  const auto it = std::upper_bound(
+      stats_.begin(), stats_.end(), t,
+      [](SimTime value, const MempoolStat& s) { return value < s.time; });
+  if (it == stats_.begin()) return CongestionLevel::kNone;
+  return congestion_level(std::prev(it)->total_vsize, unit_vsize);
+}
+
+}  // namespace cn::node

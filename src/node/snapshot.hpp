@@ -1,0 +1,58 @@
+// Mempool snapshot series — the observer's periodic (15 s) record of
+// Mempool state, and the congestion statistics the paper derives from it
+// (Figures 3 and 9).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace cn::node {
+
+/// One periodic observation of the Mempool.
+struct MempoolStat {
+  SimTime time = 0;
+  std::uint64_t tx_count = 0;
+  std::uint64_t total_vsize = 0;  ///< aggregate vbytes of queued txs
+};
+
+/// Congestion level bins used throughout §4.1.2 (Mempool size relative to
+/// the 1 MB block budget): <1 MB, (1,2] MB, (2,4] MB, >4 MB.
+enum class CongestionLevel : int {
+  kNone = 0,     ///< <= 1 MB: everything fits in the next block
+  kLow = 1,      ///< (1, 2] MB
+  kMedium = 2,   ///< (2, 4] MB
+  kHigh = 3,     ///< > 4 MB
+};
+
+/// @p unit_vsize is the block budget the bins are relative to (1 MB on the
+/// real network; scaled-down simulations pass their block budget).
+CongestionLevel congestion_level(std::uint64_t total_vsize,
+                                 std::uint64_t unit_vsize = 1'000'000) noexcept;
+
+class SnapshotSeries {
+ public:
+  void record(MempoolStat stat);
+
+  std::span<const MempoolStat> stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return stats_.size(); }
+  bool empty() const noexcept { return stats_.empty(); }
+
+  /// Fraction of snapshots with total vsize strictly above @p vsize
+  /// (paper: "Mempool above 1 MB for ~75% of the time" in data set A).
+  double fraction_above(std::uint64_t vsize) const noexcept;
+
+  /// Peak queued vsize over the whole series.
+  std::uint64_t max_vsize() const noexcept;
+
+  /// The congestion level at time @p t: level of the most recent snapshot
+  /// at or before t (kNone before the first snapshot).
+  CongestionLevel level_at(SimTime t, std::uint64_t unit_vsize = 1'000'000) const noexcept;
+
+ private:
+  std::vector<MempoolStat> stats_;  // strictly increasing time
+};
+
+}  // namespace cn::node

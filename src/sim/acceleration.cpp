@@ -1,0 +1,54 @@
+#include "sim/acceleration.hpp"
+
+#include <cmath>
+
+namespace cn::sim {
+
+btc::Satoshi AccelerationService::quote(const btc::Transaction& tx, Rng& rng) const {
+  const double multiplier = rng.lognormal(model_.log_mu, model_.log_sigma);
+  const double base = static_cast<double>(tx.fee().value);
+  double fee = base * multiplier;
+  if (fee < static_cast<double>(model_.min_fee_sat))
+    fee = static_cast<double>(model_.min_fee_sat);
+  // Cap to keep satoshi arithmetic sane on the extreme tail.
+  constexpr double kCap = 1e13;  // 100k BTC
+  if (fee > kCap) fee = kCap;
+  return btc::Satoshi{static_cast<std::int64_t>(fee)};
+}
+
+void AccelerationService::accelerate(const btc::Txid& id, std::string pool,
+                                     btc::Satoshi paid) {
+  by_pool_[pool].insert(id);
+  records_.emplace(id, AccelerationRecord{std::move(pool), paid});
+}
+
+bool AccelerationService::is_accelerated(const btc::Txid& id) const noexcept {
+  return records_.contains(id);
+}
+
+std::optional<AccelerationRecord> AccelerationService::record_of(
+    const btc::Txid& id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::unordered_set<btc::Txid>& AccelerationService::accelerated_via(
+    const std::string& pool) const {
+  static const std::unordered_set<btc::Txid> kEmpty;
+  const auto it = by_pool_.find(pool);
+  return it == by_pool_.end() ? kEmpty : it->second;
+}
+
+btc::Satoshi AccelerationService::revenue_of(const std::string& pool) const {
+  btc::Satoshi total{};
+  const auto it = by_pool_.find(pool);
+  if (it == by_pool_.end()) return total;
+  for (const btc::Txid& id : it->second) {
+    const auto rec = records_.find(id);
+    if (rec != records_.end()) total += rec->second.paid;
+  }
+  return total;
+}
+
+}  // namespace cn::sim

@@ -1,0 +1,205 @@
+#include "sim/dataset.hpp"
+
+#include "util/assert.hpp"
+
+namespace cn::sim {
+
+namespace {
+
+PoolSpec pool(std::string name, double share) {
+  PoolSpec spec;
+  spec.name = std::move(name);
+  spec.hash_share = share;
+  return spec;
+}
+
+PoolSpec anonymous_pool(double share) {
+  PoolSpec spec;
+  spec.name = "(unknown)";
+  spec.hash_share = share;
+  spec.anonymous = true;
+  return spec;
+}
+
+/// Behaviours the paper attributes to 2019-2020 pools; applied to every
+/// data set in which the pool appears.
+void apply_paper_behaviours(std::vector<PoolSpec>& pools) {
+  for (PoolSpec& p : pools) {
+    // §5.2 / Table 2 — selfish acceleration of own-wallet transactions.
+    if (p.name == "F2Pool" || p.name == "ViaBTC" || p.name == "1THash&58Coin" ||
+        p.name == "SlushPool") {
+      p.selfish = true;
+    }
+    // Table 2 — ViaBTC collusively accelerates partners' transactions.
+    if (p.name == "ViaBTC") {
+      p.accelerates_for = {"1THash&58Coin", "SlushPool"};
+    }
+    // §5.4 — pools selling acceleration services.
+    if (p.name == "BTC.com" || p.name == "AntPool" || p.name == "ViaBTC" ||
+        p.name == "F2Pool" || p.name == "Poolin") {
+      p.offers_acceleration = true;
+      // Table 4's non-accelerated SPPE>=99 placements: pools that run a
+      // prioritization pipeline also bump the odd transaction outside it.
+      p.courtesy_boost_per_block = 0.35;
+    }
+    // §4.2.3 — sporadic below-floor inclusion (F2Pool >> ViaBTC >> BTC.com).
+    if (p.name == "F2Pool") p.tolerates_low_fee = true;
+    if (p.name == "ViaBTC") p.tolerates_low_fee = true;
+    if (p.name == "BTC.com") p.tolerates_low_fee = true;
+    // Self-interest tx volume is not proportional to hash share: Table 2's
+    // c-block counts (SlushPool y=1343 at 3.75% share, ViaBTC y=720 at
+    // 6.76%) imply these pools move their own coins far more often.
+    if (p.name == "SlushPool") p.self_tx_weight = 5.0;
+    if (p.name == "ViaBTC") p.self_tx_weight = 2.5;
+    if (p.name == "1THash&58Coin") p.self_tx_weight = 2.0;
+    // Reward-wallet counts, scaled ~5x down from Figure 8a (SlushPool
+    // used 56 distinct wallets, Poolin 23, most pools a handful).
+    if (p.name == "SlushPool") p.wallet_count = 11;
+    if (p.name == "Poolin") p.wallet_count = 6;
+    if (p.name == "F2Pool") p.wallet_count = 5;
+    if (p.name == "BTC.com") p.wallet_count = 5;
+    if (p.name == "AntPool") p.wallet_count = 4;
+    if (p.name == "ViaBTC") p.wallet_count = 4;
+  }
+}
+
+}  // namespace
+
+std::vector<PoolSpec> paper_pools_a() {
+  // Figure 2a: data set A (Feb-Mar 2019), top-20 ≈ 94.97% of blocks.
+  std::vector<PoolSpec> pools = {
+      pool("BTC.com", 17.18),  pool("AntPool", 12.79),  pool("F2Pool", 11.29),
+      pool("Poolin", 11.03),   pool("SlushPool", 8.94), pool("ViaBTC", 7.60),
+      pool("BTC.TOP", 6.20),   pool("Huobi", 5.40),     pool("DPool", 3.10),
+      pool("BitFury", 2.90),   pool("Bitcoin.com", 1.80), pool("SpiderPool", 1.70),
+      pool("NovaBlock", 1.30), pool("BytePool", 1.00),  pool("KanoPool", 0.80),
+      pool("Sigmapool", 0.70), pool("TMSPool", 0.60),   pool("WAYI.CN", 0.50),
+      pool("Okex", 0.40),      pool("Binance Pool", 0.34),
+  };
+  pools.push_back(anonymous_pool(5.03));
+  apply_paper_behaviours(pools);
+  return pools;
+}
+
+std::vector<PoolSpec> paper_pools_b() {
+  // Figure 2b: data set B (June 2019), top-20 ≈ 93.52%.
+  std::vector<PoolSpec> pools = {
+      pool("BTC.com", 19.67),  pool("AntPool", 12.77),  pool("F2Pool", 11.57),
+      pool("SlushPool", 9.69), pool("Poolin", 9.58),    pool("ViaBTC", 7.30),
+      pool("BTC.TOP", 5.90),   pool("Huobi", 5.20),     pool("DPool", 2.80),
+      pool("BitFury", 2.60),   pool("Bitcoin.com", 1.60), pool("SpiderPool", 1.50),
+      pool("NovaBlock", 1.20), pool("BytePool", 0.90),  pool("KanoPool", 0.70),
+      pool("Sigmapool", 0.60), pool("TMSPool", 0.50),   pool("WAYI.CN", 0.40),
+      pool("Okex", 0.30),      pool("Binance Pool", 0.24),
+  };
+  pools.push_back(anonymous_pool(6.48));
+  apply_paper_behaviours(pools);
+  return pools;
+}
+
+std::vector<PoolSpec> paper_pools_c() {
+  // Figure 2c / Tables 2-3: data set C (2020), top-20 ≈ 98.08%,
+  // 1.32% unidentified.
+  std::vector<PoolSpec> pools = {
+      pool("F2Pool", 17.53),   pool("Poolin", 14.80),  pool("BTC.com", 11.99),
+      pool("AntPool", 10.96),  pool("Huobi", 7.00),    pool("ViaBTC", 6.76),
+      pool("1THash&58Coin", 6.11), pool("Okex", 5.80), pool("Binance Pool", 5.00),
+      pool("SlushPool", 3.75), pool("Lubian.com", 2.20), pool("BTC.TOP", 1.70),
+      pool("BitFury", 1.20),   pool("NovaBlock", 1.00), pool("SpiderPool", 0.90),
+      pool("BytePool", 0.70),  pool("TMSPool", 0.60),  pool("WAYI.CN", 0.50),
+      pool("Bitcoin.com", 0.45), pool("DPool", 0.35),
+  };
+  pools.push_back(anonymous_pool(1.32));
+  apply_paper_behaviours(pools);
+  return pools;
+}
+
+double rate_for_utilization(const EngineConfig& config, double utilization) {
+  CN_ASSERT(utilization > 0.0);
+  const double capacity_vb_per_s =
+      static_cast<double>(config.max_block_vsize - btc::kCoinbaseVsize) /
+      config.mean_block_interval_s;
+  return utilization * capacity_vb_per_s / config.workload.mean_tx_vsize;
+}
+
+void set_all_builders(EngineConfig& config, BuilderKind kind) {
+  for (PoolSpec& p : config.pools) p.builder = kind;
+}
+
+EngineConfig dataset_config(DatasetKind kind, std::uint64_t seed, double scale) {
+  CN_ASSERT(scale > 0.0);
+  EngineConfig config;
+  config.seed = seed;
+  config.max_block_vsize = 100'000;  // scaled block budget (vB)
+
+  switch (kind) {
+    case DatasetKind::kA: {
+      config.duration = static_cast<SimTime>(3.5 * kDay * scale);
+      config.genesis_height = 563'833;
+      config.pools = paper_pools_a();
+      config.observer_min_relay_sat_per_vb = 1;
+      config.empty_block_fraction = 0.012;  // 38 / 3119
+      config.workload.base_tx_per_second = rate_for_utilization(config, 0.80);
+      config.workload.diurnal_amplitude = 0.35;
+      // Demand spikes (price moves, batch sweeps) that keep the queue from
+      // fully draining between diurnal peaks.
+      config.workload.bursts = {
+          BurstEvent{static_cast<SimTime>(0.8 * kDay * scale), 8 * kHour, 1.35},
+          BurstEvent{static_cast<SimTime>(2.2 * kDay * scale), 8 * kHour, 1.5},
+      };
+      break;
+    }
+    case DatasetKind::kB: {
+      config.duration = static_cast<SimTime>(4.0 * kDay * scale);
+      config.genesis_height = 578'717;
+      config.pools = paper_pools_b();
+      config.observer_min_relay_sat_per_vb = 0;  // permissive node
+      config.empty_block_fraction = 0.004;       // 18 / 4520
+      config.workload.base_tx_per_second = rate_for_utilization(config, 0.82);
+      config.workload.diurnal_amplitude = 0.30;
+      // June 2019 was burst-driven (Libra announcement, USD news — Fig 9):
+      // repeated surges keep the Mempool congested ~92% of the window.
+      config.workload.bursts = {
+          BurstEvent{static_cast<SimTime>(0.6 * kDay * scale), 10 * kHour, 1.5},
+          BurstEvent{static_cast<SimTime>(1.5 * kDay * scale), 8 * kHour, 1.45},
+          BurstEvent{static_cast<SimTime>(2.5 * kDay * scale), 10 * kHour, 1.8},
+          BurstEvent{static_cast<SimTime>(3.2 * kDay * scale), 8 * kHour, 2.2},
+      };
+      config.workload.below_floor_fraction = 0.0025;  // visible at floor 0
+      break;
+    }
+    case DatasetKind::kC: {
+      config.duration = static_cast<SimTime>(10.0 * kDay * scale);
+      config.genesis_height = 610'691;
+      config.pools = paper_pools_c();
+      config.observer_min_relay_sat_per_vb = 1;
+      config.empty_block_fraction = 0.0045;  // 240 / 53214
+      config.workload.base_tx_per_second = rate_for_utilization(config, 0.80);
+      config.workload.diurnal_amplitude = 0.38;
+      // The behavioural audit needs ample pool-wallet transactions
+      // (Fig 8: ~12k inferred over the year).
+      config.workload.self_interest_per_block = 0.5;
+      config.workload.bursts = {
+          BurstEvent{static_cast<SimTime>(1.5 * kDay * scale), 10 * kHour, 1.4},
+          BurstEvent{static_cast<SimTime>(4.0 * kDay * scale), 8 * kHour, 1.6},
+          BurstEvent{static_cast<SimTime>(8.0 * kDay * scale), 10 * kHour, 1.5},
+      };
+      // The Twitter-scam window (July 14 - Aug 9, 2020 in the paper) maps
+      // to a two-day slice in the middle of the run.
+      ScamConfig scam;
+      scam.start = static_cast<SimTime>(5.5 * kDay * scale);
+      scam.end = static_cast<SimTime>(7.5 * kDay * scale);
+      scam.txs_per_hour = 1.0;
+      config.workload.scam = scam;
+      break;
+    }
+  }
+  return config;
+}
+
+SimResult make_dataset(DatasetKind kind, std::uint64_t seed, double scale) {
+  Engine engine(dataset_config(kind, seed, scale));
+  return engine.run();
+}
+
+}  // namespace cn::sim

@@ -1,0 +1,49 @@
+// Builders for the paper's three data sets (Table 1), scaled down so a
+// laptop can regenerate them in seconds:
+//
+//   A — Feb 20 - Mar 13, 2019; default full node (1 sat/vB floor);
+//       3,119 blocks. Used for congestion, fee/delay and pairwise
+//       violation analyses (§4).
+//   B — June 2019; permissive node (no fee floor, sees zero-fee txs);
+//       4,520 blocks; includes the late-June congestion surges (Fig 9).
+//   C — calendar year 2020; all 53,214 blocks; the behavioural audit
+//       (§4.2.2, §5): selfish pools, ViaBTC's collusion, acceleration
+//       services, the July Twitter-scam window, sporadic low-fee
+//       inclusion by F2Pool/ViaBTC/BTC.com, and ~1.3% unattributable
+//       blocks.
+//
+// `scale` multiplies the simulated duration (scale = 1 is the scaled-down
+// default documented in DESIGN.md; raising it grows every count roughly
+// linearly). Pool hash-rate profiles copy Figure 2.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace cn::sim {
+
+enum class DatasetKind { kA, kB, kC };
+
+/// Pool profiles per data set (hash shares sum to ~100; an "anonymous"
+/// pseudo-pool models the paper's unidentified blocks).
+std::vector<PoolSpec> paper_pools_a();
+std::vector<PoolSpec> paper_pools_b();
+std::vector<PoolSpec> paper_pools_c();
+
+/// Fully-configured engine configs. Defaults (scale = 1.0):
+/// A ~500 blocks, B ~580 blocks (with surge bursts), C ~1450 blocks
+/// (with scam window and all planted behaviours).
+EngineConfig dataset_config(DatasetKind kind, std::uint64_t seed, double scale = 1.0);
+
+/// Convenience: configure + run.
+SimResult make_dataset(DatasetKind kind, std::uint64_t seed, double scale = 1.0);
+
+/// Rewrites every pool in @p config to use the given base builder —
+/// used to recreate the pre-April-2016 era (coin-age priority) for the
+/// Figure 1 contrast.
+void set_all_builders(EngineConfig& config, BuilderKind kind);
+
+/// Arrival rate that loads the chain at @p utilization of its steady-state
+/// capacity (txs/s), given the config's block budget and interval.
+double rate_for_utilization(const EngineConfig& config, double utilization);
+
+}  // namespace cn::sim

@@ -1,0 +1,144 @@
+// The discrete-event simulator that stands in for the live Bitcoin
+// network: users broadcast transactions, the P2P layer delays them
+// per-node, pools win blocks proportionally to hash share and fill them
+// through their policy stacks, and an observer full node records 15 s
+// Mempool snapshots — producing exactly the observables the paper's data
+// sets contain.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "btc/chain.hpp"
+#include "btc/rewards.hpp"
+#include "node/fee_estimator.hpp"
+#include "node/observer.hpp"
+#include "sim/acceleration.hpp"
+#include "sim/network.hpp"
+#include "sim/pool.hpp"
+#include "sim/workload.hpp"
+
+namespace cn::sim {
+
+struct EngineConfig {
+  std::uint64_t seed = 1;
+  SimTime duration = 7 * kDay;
+  std::uint64_t genesis_height = 600'000;
+  double mean_block_interval_s = 600.0;
+
+  /// Block virtual-size budget, *including* the coinbase allowance.
+  /// Scaled-down experiments shrink this (and with it, the congestion
+  /// thresholds, which are always expressed relative to this budget).
+  std::uint64_t max_block_vsize = 100'000;
+
+  /// Probability a winning pool mines an empty (SPV) block.
+  double empty_block_fraction = 0.005;
+
+  std::vector<PoolSpec> pools;  ///< shares are normalized internally
+  WorkloadConfig workload;
+
+  /// Observer relay floor: 1 sat/vB reproduces data set A's node, 0
+  /// reproduces data set B's (accept everything).
+  std::int64_t observer_min_relay_sat_per_vb = btc::kDefaultMinRelaySatPerVb;
+
+  PropagationModel propagation;
+  QuoteModel quote_model;
+
+  /// When false, every pool sees every pending transaction instantly
+  /// (useful for isolating policy effects in tests).
+  bool propagation_exclusion = true;
+};
+
+/// Everything a post-hoc audit can see, plus the simulator's ground truth
+/// (which real auditors lack — used here to validate the detectors).
+struct SimResult {
+  EngineConfig config;
+  btc::Chain chain;
+  node::ObserverNode observer;
+  AccelerationService acceleration;  ///< ground truth + public query API
+  std::unordered_map<std::string, std::vector<btc::Address>> pool_wallets;
+  btc::Address scam_address{};
+  std::vector<btc::Txid> scam_txids;
+  std::unordered_map<btc::Txid, SimTime> broadcast_time;
+  std::uint64_t issued_count = 0;
+  std::uint64_t rbf_replacements = 0;  ///< accepted fee bumps
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+
+  /// Runs the simulation to completion and returns the result.
+  /// May be called once.
+  SimResult run();
+
+ private:
+  struct Event {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
+    enum class Kind { kTxIssue, kObserverDeliver, kBlockFound, kSnapshot } kind{};
+    /// Payload for kObserverDeliver.
+    btc::Txid txid{};
+    bool operator>(const Event& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void schedule(SimTime time, Event::Kind kind, const btc::Txid& txid = {});
+  void handle_tx_issue(SimTime now);
+  /// Shared broadcast path: canonical acceptance, observer delivery
+  /// scheduling, and audit bookkeeping. Returns false when the canonical
+  /// mempool rejected the transaction (e.g. an under-paying RBF bump).
+  bool broadcast_tx(btc::Transaction tx, SimTime now);
+  /// A pending low-fee transaction the issuing user may fee-bump.
+  const btc::Transaction* pick_rbf_original();
+  void handle_block_found(SimTime now);
+  void refresh_fee_percentiles();
+  std::size_t pick_winner();
+  const btc::Transaction* pick_cpfp_parent();
+  void request_acceleration(const btc::Transaction& tx);
+
+  EngineConfig config_;
+  Rng rng_workload_;
+  Rng rng_blocks_;
+  Rng rng_misc_;
+
+  WorkloadGenerator workload_;
+  std::vector<MiningPool> pools_;
+  std::vector<double> pool_weights_;
+  std::vector<double> payout_weights_;  ///< share * self_tx_weight
+  std::vector<std::size_t> accel_pool_indices_;  ///< pools selling service
+  node::Mempool canonical_;  ///< the union view (no floor)
+  node::ObserverNode observer_;
+  node::FeeEstimator estimator_;
+  AccelerationService acceleration_;
+  btc::Chain chain_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::uint64_t next_seq_ = 0;
+
+  /// Transactions pending observer delivery, by txid.
+  std::unordered_map<btc::Txid, btc::Transaction> in_flight_to_observer_;
+  /// Recently broadcast txids (for propagation exclusion at block time).
+  std::deque<std::pair<SimTime, btc::Txid>> recent_broadcasts_;
+  /// Candidate CPFP parents (pending, low fee).
+  std::deque<btc::Txid> cpfp_candidates_;
+  /// Candidates for owner fee bumps (pending, low fee).
+  std::deque<btc::Txid> rbf_candidates_;
+
+  double rec_p25_ = 1.0, rec_p50_ = 2.0, rec_p75_ = 4.0;
+  std::uint64_t height_ = 0;
+  btc::Address scam_address_{};
+  std::vector<btc::Txid> scam_txids_;
+  std::unordered_map<btc::Txid, SimTime> broadcast_time_;
+  std::uint64_t issued_count_ = 0;
+  std::uint64_t rbf_replacements_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace cn::sim

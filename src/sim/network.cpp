@@ -1,0 +1,27 @@
+#include "sim/network.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cn::sim {
+
+SimTime PropagationModel::delay(const btc::Txid& tx, std::string_view node) const noexcept {
+  // Deterministic per-(tx, node) uniform draw -> exponential tail.
+  std::uint64_t state = tx.short_id() ^ stable_hash64(node);
+  const std::uint64_t raw = splitmix64(state);
+  const double u = static_cast<double>(raw >> 11) * 0x1.0p-53;
+  const double safe_u = u <= 0.0 ? 0x1.0p-53 : u;
+  double d = floor_seconds - mean_extra_seconds * std::log(safe_u);
+  if (d > cap_seconds) d = cap_seconds;
+  if (d < 0.0) d = 0.0;
+  return static_cast<SimTime>(d + 0.5);
+}
+
+SimTime PropagationModel::arrival(const btc::Txid& tx, std::string_view node,
+                                  SimTime broadcast) const noexcept {
+  return broadcast + delay(tx, node);
+}
+
+}  // namespace cn::sim

@@ -1,0 +1,39 @@
+// P2P propagation model.
+//
+// Transactions broadcast at time t reach each node (pool or observer)
+// after a node-specific delay. Delays are derived deterministically from
+// (txid, node label) so replay never depends on event interleaving; the
+// distribution is a small floor plus an exponential tail, matching
+// measured Bitcoin gossip latencies of a few seconds. These per-node skews
+// are one real source of the pairwise "violations" of §4.2.1 that the
+// epsilon-tightened test then filters out.
+#pragma once
+
+#include <string_view>
+
+#include "btc/txid.hpp"
+#include "util/time.hpp"
+
+namespace cn::sim {
+
+struct PropagationModel {
+  /// Minimum gossip latency (validation + one hop).
+  double floor_seconds = 0.2;
+  /// Mean of the exponential tail on top of the floor.
+  double mean_extra_seconds = 3.0;
+  /// Hard cap: a node that has not heard of a tx after this long gets it
+  /// now (relay retries, compact-block recovery).
+  double cap_seconds = 30.0;
+
+  /// Delay (whole seconds, >= 0) until @p node sees @p tx.
+  SimTime delay(const btc::Txid& tx, std::string_view node) const noexcept;
+
+  /// Absolute arrival time at @p node of a tx broadcast at @p broadcast.
+  SimTime arrival(const btc::Txid& tx, std::string_view node,
+                  SimTime broadcast) const noexcept;
+};
+
+/// Node label used for the observer in arrival computations.
+inline constexpr std::string_view kObserverNode = "observer";
+
+}  // namespace cn::sim

@@ -1,0 +1,103 @@
+#include "sim/policy.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cn::sim {
+
+namespace {
+
+bool involves_any(const btc::Transaction& tx,
+                  const std::unordered_set<btc::Address>& wallets) {
+  for (const btc::TxInput& in : tx.inputs())
+    if (wallets.contains(in.owner)) return true;
+  for (const btc::TxOutput& out : tx.outputs())
+    if (wallets.contains(out.to)) return true;
+  return false;
+}
+
+}  // namespace
+
+void SelfInterestPolicy::apply(node::TemplateOptions& options,
+                               const node::Mempool& mempool,
+                               const PolicyContext& ctx) const {
+  CN_ASSERT(ctx.own_wallets != nullptr);
+  mempool.for_each([&](const node::MempoolEntry& entry) {
+    if (involves_any(entry.tx, *ctx.own_wallets)) {
+      options.fee_deltas[entry.tx.id()] += kPriorityBoost;
+    }
+  });
+}
+
+void CollusionPolicy::apply(node::TemplateOptions& options,
+                            const node::Mempool& mempool,
+                            const PolicyContext& ctx) const {
+  if (ctx.partner_wallets.empty()) return;
+  mempool.for_each([&](const node::MempoolEntry& entry) {
+    for (const auto* wallets : ctx.partner_wallets) {
+      if (involves_any(entry.tx, *wallets)) {
+        options.fee_deltas[entry.tx.id()] += kPriorityBoost;
+        break;
+      }
+    }
+  });
+}
+
+void DarkFeePolicy::apply(node::TemplateOptions& options,
+                          const node::Mempool& mempool,
+                          const PolicyContext& ctx) const {
+  if (ctx.acceleration == nullptr) return;
+  // Iterate the (small) accelerated set rather than the mempool.
+  for (const btc::Txid& id : ctx.acceleration->accelerated_via(ctx.pool_name)) {
+    if (mempool.contains(id)) options.fee_deltas[id] += kPriorityBoost;
+  }
+}
+
+void CensorshipPolicy::apply(node::TemplateOptions& options,
+                             const node::Mempool& mempool,
+                             const PolicyContext&) const {
+  mempool.for_each([&](const node::MempoolEntry& entry) {
+    if (involves_any(entry.tx, blacklist_)) options.exclude.insert(entry.tx.id());
+  });
+}
+
+void CourtesyBoostPolicy::apply(node::TemplateOptions& options,
+                                const node::Mempool& mempool,
+                                const PolicyContext& ctx) const {
+  // Deterministic coin flip keyed on (pool, height).
+  std::uint64_t state =
+      stable_hash64(ctx.pool_name) ^ (ctx.height * 0xd1b54a32d192ed03ULL);
+  const double u =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  if (u >= probability_) return;
+
+  // Pick the pending low-fee transaction minimizing a height-keyed hash —
+  // a pseudo-random choice that is stable for replay.
+  const btc::Txid* chosen = nullptr;
+  std::uint64_t best = ~std::uint64_t{0};
+  mempool.for_each([&](const node::MempoolEntry& entry) {
+    if (entry.tx.fee_rate().sat_per_vbyte() >= 5.0) return;
+    std::uint64_t h = entry.tx.id().short_id() ^ ctx.height;
+    h = splitmix64(h);
+    if (h < best) {
+      best = h;
+      chosen = &entry.tx.id();
+    }
+  });
+  if (chosen != nullptr) options.fee_deltas[*chosen] += kPriorityBoost;
+}
+
+void LowFeeTolerancePolicy::apply(node::TemplateOptions& options,
+                                  const node::Mempool&,
+                                  const PolicyContext& ctx) const {
+  CN_ASSERT(period_ > 0);
+  // Deterministic pseudo-random choice keyed on (pool, height).
+  const std::uint64_t h =
+      stable_hash64(ctx.pool_name) ^ (ctx.height * 0x9e3779b97f4a7c15ULL);
+  std::uint64_t state = h;
+  if (splitmix64(state) % period_ == 0) {
+    options.min_rate = btc::FeeRate{};  // lift the floor entirely
+  }
+}
+
+}  // namespace cn::sim

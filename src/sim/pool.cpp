@@ -1,0 +1,69 @@
+#include "sim/pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace cn::sim {
+
+MiningPool::MiningPool(const PoolSpec& spec) : spec_(spec) {
+  CN_ASSERT(spec_.wallet_count > 0);
+  wallets_.reserve(spec_.wallet_count);
+  for (std::size_t i = 0; i < spec_.wallet_count; ++i) {
+    const btc::Address a =
+        btc::Address::derive(spec_.name + "/wallet/" + std::to_string(i));
+    wallets_.push_back(a);
+    wallet_set_.insert(a);
+  }
+
+  if (spec_.selfish) policies_.push_back(std::make_unique<SelfInterestPolicy>());
+  if (!spec_.accelerates_for.empty())
+    policies_.push_back(std::make_unique<CollusionPolicy>());
+  if (spec_.offers_acceleration)
+    policies_.push_back(std::make_unique<DarkFeePolicy>());
+  if (spec_.courtesy_boost_per_block > 0.0) {
+    policies_.push_back(
+        std::make_unique<CourtesyBoostPolicy>(spec_.courtesy_boost_per_block));
+  }
+  if (spec_.tolerates_low_fee)
+    policies_.push_back(std::make_unique<LowFeeTolerancePolicy>());
+  if (!spec_.censored_wallets.empty()) {
+    std::unordered_set<btc::Address> blacklist(spec_.censored_wallets.begin(),
+                                               spec_.censored_wallets.end());
+    policies_.push_back(std::make_unique<CensorshipPolicy>(std::move(blacklist)));
+  }
+}
+
+std::string MiningPool::coinbase_tag() const {
+  if (spec_.anonymous) return "";
+  return btc::conventional_marker(spec_.name);
+}
+
+btc::Address MiningPool::next_reward_wallet() {
+  const btc::Address a = wallets_[next_wallet_ % wallets_.size()];
+  ++next_wallet_;
+  return a;
+}
+
+node::BlockTemplate MiningPool::build_template(
+    const node::Mempool& mempool, const PolicyContext& ctx,
+    const std::unordered_set<btc::Txid>& base_exclude) const {
+  if (spec_.builder == BuilderKind::kLegacyPriority) {
+    // The legacy builder predates all the audited misbehaviours; policies
+    // other than exclusion do not apply to it.
+    node::LegacyTemplateOptions legacy;
+    legacy.max_vsize = ctx.max_template_vsize;
+    return node::build_legacy_template(mempool, ctx.now, legacy);
+  }
+
+  node::TemplateOptions options;
+  options.max_vsize = ctx.max_template_vsize;
+  options.exclude = base_exclude;
+  options.age_weight_per_hour = spec_.age_weight_per_hour;
+  options.now = ctx.now;
+  if (spec_.min_rate_sat_per_vb > 0) {
+    options.min_rate = btc::FeeRate::from_sat_per_vb(spec_.min_rate_sat_per_vb);
+  }
+  for (const auto& policy : policies_) policy->apply(options, mempool, ctx);
+  return node::build_template(mempool, options);
+}
+
+}  // namespace cn::sim

@@ -1,0 +1,102 @@
+#include "stats/binomial.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/normal.hpp"
+#include "stats/special.hpp"
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+double binomial_log_pmf(std::uint64_t k, std::uint64_t n, double p) noexcept {
+  CN_ASSERT(p >= 0.0 && p <= 1.0);
+  constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+  if (k > n) return neg_inf;
+  if (p == 0.0) return k == 0 ? 0.0 : neg_inf;
+  if (p == 1.0) return k == n ? 0.0 : neg_inf;
+  return log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p) noexcept {
+  return std::exp(binomial_log_pmf(k, n, p));
+}
+
+namespace {
+
+// Sums Pr[B = a] + ... + Pr[B = b] in log space. The per-term recurrence
+//   pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p)
+// avoids n calls to lgamma.
+double tail_sum(std::uint64_t a, std::uint64_t b, std::uint64_t n, double p) noexcept {
+  if (a > b) return 0.0;
+  double log_term = binomial_log_pmf(a, n, p);
+  double log_sum = log_term;
+  const double log_odds = std::log(p) - std::log1p(-p);
+  for (std::uint64_t k = a; k < b; ++k) {
+    log_term += std::log(static_cast<double>(n - k)) -
+                std::log(static_cast<double>(k + 1)) + log_odds;
+    log_sum = log_add_exp(log_sum, log_term);
+  }
+  return std::exp(log_sum);
+}
+
+}  // namespace
+
+double binomial_cdf(std::uint64_t k, std::uint64_t n, double p) noexcept {
+  CN_ASSERT(p >= 0.0 && p <= 1.0);
+  if (k >= n) return 1.0;
+  if (p == 0.0) return 1.0;
+  if (p == 1.0) return 0.0;  // k < n here
+  // Sum whichever tail is smaller for accuracy and speed.
+  const double mean = static_cast<double>(n) * p;
+  if (static_cast<double>(k) <= mean) return tail_sum(0, k, n, p);
+  const double upper = tail_sum(k + 1, n, n, p);
+  return upper >= 1.0 ? 0.0 : 1.0 - upper;
+}
+
+double binomial_sf(std::uint64_t k, std::uint64_t n, double p) noexcept {
+  CN_ASSERT(p >= 0.0 && p <= 1.0);
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p == 0.0) return 0.0;  // k >= 1
+  if (p == 1.0) return 1.0;  // k <= n
+  const double mean = static_cast<double>(n) * p;
+  if (static_cast<double>(k) > mean) return tail_sum(k, n, n, p);
+  const double lower = tail_sum(0, k - 1, n, p);
+  return lower >= 1.0 ? 0.0 : 1.0 - lower;
+}
+
+double acceleration_p_value(std::uint64_t x, std::uint64_t y, double theta0) noexcept {
+  CN_ASSERT(x <= y);
+  return binomial_sf(x, y, theta0);
+}
+
+double deceleration_p_value(std::uint64_t x, std::uint64_t y, double theta0) noexcept {
+  CN_ASSERT(x <= y);
+  return binomial_cdf(x, y, theta0);
+}
+
+double acceleration_p_value_normal(std::uint64_t x, std::uint64_t y,
+                                   double theta0) noexcept {
+  CN_ASSERT(x <= y);
+  CN_ASSERT(theta0 > 0.0 && theta0 < 1.0);
+  const double ny = static_cast<double>(y);
+  const double mu = ny * theta0;
+  const double sigma = std::sqrt(ny * theta0 * (1.0 - theta0));
+  // Pr[B >= x] ≈ Phi((mu - x + 0.5) / sigma)
+  return normal_cdf((mu - static_cast<double>(x) + 0.5) / sigma);
+}
+
+double deceleration_p_value_normal(std::uint64_t x, std::uint64_t y,
+                                   double theta0) noexcept {
+  CN_ASSERT(x <= y);
+  CN_ASSERT(theta0 > 0.0 && theta0 < 1.0);
+  const double ny = static_cast<double>(y);
+  const double mu = ny * theta0;
+  const double sigma = std::sqrt(ny * theta0 * (1.0 - theta0));
+  // Pr[B <= x] ≈ Phi((x + 0.5 - mu) / sigma)
+  return normal_cdf((static_cast<double>(x) + 0.5 - mu) / sigma);
+}
+
+}  // namespace cn::stats

@@ -1,0 +1,40 @@
+// Binomial distribution in log space, plus the paper's one-sided exact
+// binomial tests (§5.1):
+//
+//   acceleration:  H0: theta = theta0  vs  H1: theta > theta0,
+//                  p = Pr[B >= x],  B ~ Binomial(y, theta0)
+//   deceleration:  H1: theta < theta0,  p = Pr[B <= x]
+//
+// where y = number of blocks containing at least one c-transaction and
+// x = how many of those were mined by the pool under test.
+#pragma once
+
+#include <cstdint>
+
+namespace cn::stats {
+
+/// log Pr[B = k] for B ~ Binomial(n, p); p in [0, 1].
+double binomial_log_pmf(std::uint64_t k, std::uint64_t n, double p) noexcept;
+
+/// Pr[B = k].
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p) noexcept;
+
+/// Pr[B <= k] via log-space summation over the smaller tail.
+double binomial_cdf(std::uint64_t k, std::uint64_t n, double p) noexcept;
+
+/// Pr[B >= k].
+double binomial_sf(std::uint64_t k, std::uint64_t n, double p) noexcept;
+
+/// One-sided exact test p-values as defined in the paper.
+double acceleration_p_value(std::uint64_t x, std::uint64_t y, double theta0) noexcept;
+double deceleration_p_value(std::uint64_t x, std::uint64_t y, double theta0) noexcept;
+
+/// Normal approximation of the acceleration p-value (paper §5.1.3), with
+/// the usual 1/2 continuity correction:
+///   p ≈ Phi((y*theta0 - x + 0.5) / sqrt(y*theta0*(1-theta0))).
+double acceleration_p_value_normal(std::uint64_t x, std::uint64_t y,
+                                   double theta0) noexcept;
+double deceleration_p_value_normal(std::uint64_t x, std::uint64_t y,
+                                   double theta0) noexcept;
+
+}  // namespace cn::stats

@@ -1,0 +1,45 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace cn::stats {
+
+BootstrapCi bootstrap_ci(std::span<const double> sample, const Statistic& statistic,
+                         double level, std::size_t resamples, std::uint64_t seed) {
+  CN_ASSERT(!sample.empty());
+  CN_ASSERT(level > 0.0 && level < 1.0);
+  CN_ASSERT(resamples >= 10);
+
+  BootstrapCi out;
+  out.point = statistic(sample);
+  out.resamples = resamples;
+
+  Rng rng(seed);
+  std::vector<double> draws;
+  draws.reserve(resamples);
+  std::vector<double> resample(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& x : resample) {
+      x = sample[rng.uniform_below(sample.size())];
+    }
+    draws.push_back(statistic(resample));
+  }
+  std::sort(draws.begin(), draws.end());
+  const double alpha = (1.0 - level) / 2.0;
+  out.lo = quantile_sorted(draws, alpha);
+  out.hi = quantile_sorted(draws, 1.0 - alpha);
+  return out;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> sample, double level,
+                              std::size_t resamples, std::uint64_t seed) {
+  return bootstrap_ci(sample, [](std::span<const double> s) { return mean(s); },
+                      level, resamples, seed);
+}
+
+}  // namespace cn::stats

@@ -1,0 +1,92 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+double kahan_sum(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  return kahan_sum(values) / static_cast<double>(values.size());
+}
+
+namespace {
+
+double sum_sq_dev(std::span<const double> values, double m) noexcept {
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double d = (v - m) * (v - m);
+    const double y = d - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double sample_stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  return std::sqrt(sum_sq_dev(values, m) / static_cast<double>(values.size() - 1));
+}
+
+double population_stddev(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  return std::sqrt(sum_sq_dev(values, m) / static_cast<double>(values.size()));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  CN_ASSERT(!sorted.empty());
+  CN_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double quantile(std::span<const double> values, double q) {
+  CN_ASSERT(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = mean(values);
+  s.stddev = sample_stddev(values);
+  s.min = sorted.front();
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.max = sorted.back();
+  return s;
+}
+
+}  // namespace cn::stats

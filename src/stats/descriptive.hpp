@@ -1,0 +1,49 @@
+// Descriptive statistics used throughout the audit toolkit: Kahan-summed
+// means, standard deviations, quantiles, and the five-number summaries the
+// paper reports (e.g. Table 5's mean/std/min/percentiles/max rows).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cn::stats {
+
+/// Kahan (compensated) summation; exact enough for millions of terms.
+double kahan_sum(std::span<const double> values) noexcept;
+
+/// Arithmetic mean; returns 0 for empty input.
+double mean(std::span<const double> values) noexcept;
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double sample_stddev(std::span<const double> values) noexcept;
+
+/// Population standard deviation (n denominator); 0 for empty input.
+double population_stddev(std::span<const double> values) noexcept;
+
+/// Quantile with linear interpolation between closest ranks (type 7,
+/// the numpy/R default). @p q in [0, 1]. Requires non-empty input;
+/// the input need not be sorted.
+double quantile(std::span<const double> values, double q);
+
+/// Quantile on data the caller has already sorted ascending.
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+double median(std::span<const double> values);
+
+/// Five-number-plus summary mirroring the paper's table rows.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; returns an all-zero summary for empty input.
+Summary summarize(std::span<const double> values);
+
+}  // namespace cn::stats

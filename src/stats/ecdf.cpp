@@ -1,0 +1,52 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::evaluate(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  CN_ASSERT(!sorted_.empty());
+  return quantile_sorted(std::span<const double>(sorted_), q);
+}
+
+double Ecdf::min() const {
+  CN_ASSERT(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Ecdf::max() const {
+  CN_ASSERT(!sorted_.empty());
+  return sorted_.back();
+}
+
+std::vector<Ecdf::Point> Ecdf::points(std::size_t max_points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || max_points == 0) return out;
+  const std::size_t n = sorted_.size();
+  const std::size_t step = n <= max_points ? 1 : n / max_points;
+  out.reserve(n / step + 2);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.push_back({sorted_[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().x != sorted_.back() || out.back().f != 1.0) {
+    out.push_back({sorted_.back(), 1.0});
+  }
+  return out;
+}
+
+}  // namespace cn::stats

@@ -1,0 +1,50 @@
+// Empirical CDFs. Every figure in the paper is a CDF; this type builds
+// them once and supports evaluation, inverse evaluation (quantiles), and
+// export as (x, F(x)) pairs for the CSV emitters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cn::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+
+  /// Builds from (possibly unsorted) samples. Empty input yields an empty
+  /// ECDF for which evaluate() returns 0.
+  explicit Ecdf(std::span<const double> samples);
+
+  bool empty() const noexcept { return sorted_.empty(); }
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// F(x) = fraction of samples <= x.
+  double evaluate(double x) const noexcept;
+
+  /// Inverse CDF (quantile) with linear interpolation; q in [0,1].
+  /// Requires a non-empty ECDF.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  /// Fraction of samples strictly greater than x.
+  double survival(double x) const noexcept { return 1.0 - evaluate(x); }
+
+  /// Downsamples to at most @p max_points (x, F(x)) pairs, always keeping
+  /// the extremes; handy for plotting/export.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> points(std::size_t max_points = 512) const;
+
+  /// Access to the sorted sample vector (for tests and reuse).
+  const std::vector<double>& sorted_samples() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace cn::stats

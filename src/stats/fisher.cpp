@@ -1,0 +1,22 @@
+#include "stats/fisher.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+double fisher_combine(std::span<const double> p_values) noexcept {
+  CN_ASSERT(!p_values.empty());
+  double statistic = 0.0;
+  for (double p : p_values) {
+    CN_ASSERT(p >= 0.0 && p <= 1.0);
+    const double clamped = p < kMinP ? kMinP : p;
+    statistic += -2.0 * std::log(clamped);
+  }
+  const unsigned dof = static_cast<unsigned>(2 * p_values.size());
+  return chi_square_sf(statistic, dof);
+}
+
+}  // namespace cn::stats

@@ -1,0 +1,19 @@
+// Fisher's method for combining p-values from independent tests
+// (paper §5.1.3: combining per-window binomial tests when hash rates
+// drift over long horizons).
+#pragma once
+
+#include <span>
+
+namespace cn::stats {
+
+/// Combines independent p-values via Fisher's method:
+///   X = -2 * sum(log p_i)  ~  chi-square with 2k dof under H0.
+/// p-values of exactly 0 are clamped to kMinP to keep the statistic finite.
+/// Requires a non-empty input with all p in [0, 1].
+double fisher_combine(std::span<const double> p_values) noexcept;
+
+/// Smallest p-value Fisher combination will accept without clamping.
+inline constexpr double kMinP = 1e-300;
+
+}  // namespace cn::stats

@@ -1,0 +1,92 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CN_ASSERT(lo < hi);
+  CN_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // float edge
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : log_lo_(std::log(lo)), log_hi_(std::log(hi)), counts_(bins, 0) {
+  CN_ASSERT(lo > 0.0 && lo < hi);
+  CN_ASSERT(bins > 0);
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++total_;
+  if (x <= 0.0) return;
+  const double lx = std::log(x);
+  if (lx < log_lo_ || lx >= log_hi_) return;
+  const double width = (log_hi_ - log_lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((lx - log_lo_) / width);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  ++counts_[bin];
+}
+
+std::uint64_t LogHistogram::count(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double LogHistogram::bin_lo(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  const double width = (log_hi_ - log_lo_) / static_cast<double>(counts_.size());
+  return std::exp(log_lo_ + width * static_cast<double>(bin));
+}
+
+double LogHistogram::bin_hi(std::size_t bin) const {
+  CN_ASSERT(bin < counts_.size());
+  const double width = (log_hi_ - log_lo_) / static_cast<double>(counts_.size());
+  return std::exp(log_lo_ + width * static_cast<double>(bin + 1));
+}
+
+}  // namespace cn::stats

@@ -1,0 +1,65 @@
+// Fixed-bin and log-spaced histograms for congestion and fee-rate
+// distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cn::stats {
+
+/// Linear-bin histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Inclusive-lower bound of a bin.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Fraction of all samples (including under/overflow) in the bin.
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram with logarithmically spaced bin edges over [lo, hi);
+/// appropriate for fee-rates spanning many orders of magnitude.
+class LogHistogram {
+ public:
+  /// Requires 0 < lo < hi.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cn::stats

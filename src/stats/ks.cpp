@@ -1,0 +1,58 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+double kolmogorov_sf(double lambda) noexcept {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  const double q = 2.0 * sum;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  CN_ASSERT(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  KsResult r;
+  r.n1 = sa.size();
+  r.n2 = sb.size();
+
+  // Merge-walk both sorted samples tracking the CDF gap.
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    const double f1 = static_cast<double>(i) / static_cast<double>(sa.size());
+    const double f2 = static_cast<double>(j) / static_cast<double>(sb.size());
+    d = std::max(d, std::fabs(f1 - f2));
+  }
+  r.statistic = d;
+
+  const double n1 = static_cast<double>(r.n1);
+  const double n2 = static_cast<double>(r.n2);
+  const double ne = n1 * n2 / (n1 + n2);
+  // Stephens' effective-size refinement.
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  r.p_value = kolmogorov_sf(lambda);
+  return r;
+}
+
+}  // namespace cn::stats

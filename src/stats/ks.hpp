@@ -1,0 +1,29 @@
+// Two-sample Kolmogorov-Smirnov test.
+//
+// Figure 10 of the paper argues visually that fee-rate distributions of
+// transactions committed by different pools "show no major differences".
+// The KS test turns that into a statistic: the max CDF distance D and an
+// asymptotic p-value for H0 "both samples draw from one distribution".
+#pragma once
+
+#include <span>
+
+namespace cn::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F1(x) - F2(x)|
+  double p_value = 1.0;    ///< asymptotic (Kolmogorov distribution)
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+};
+
+/// Two-sample KS test. Requires both samples non-empty; inputs need not
+/// be sorted. The p-value uses the Kolmogorov asymptotic series with the
+/// usual effective-size correction, accurate for n1, n2 >~ 25.
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Survival function of the Kolmogorov distribution:
+/// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+double kolmogorov_sf(double lambda) noexcept;
+
+}  // namespace cn::stats

@@ -1,0 +1,20 @@
+// Standard normal distribution helpers for the large-sample approximation
+// of the binomial tests (paper §5.1.3).
+#pragma once
+
+namespace cn::stats {
+
+/// Standard normal PDF.
+double normal_pdf(double z) noexcept;
+
+/// Standard normal CDF Phi(z) via erfc (accurate in both tails).
+double normal_cdf(double z) noexcept;
+
+/// Standard normal survival function 1 - Phi(z).
+double normal_sf(double z) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Newton step); p in (0, 1).
+double normal_quantile(double p) noexcept;
+
+}  // namespace cn::stats

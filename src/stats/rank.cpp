@@ -1,0 +1,32 @@
+#include "stats/rank.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+double percentile_rank(std::size_t index, std::size_t n) noexcept {
+  CN_ASSERT(n >= 1);
+  CN_ASSERT(index < n);
+  if (n == 1) return 0.0;
+  return static_cast<double>(index) * 100.0 / static_cast<double>(n - 1);
+}
+
+std::vector<std::size_t> descending_order(std::span<const double> keys) {
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] > keys[b]; });
+  return order;
+}
+
+std::vector<std::size_t> predicted_positions(std::span<const double> keys) {
+  const std::vector<std::size_t> order = descending_order(keys);
+  std::vector<std::size_t> position(keys.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) position[order[rank]] = rank;
+  return position;
+}
+
+}  // namespace cn::stats

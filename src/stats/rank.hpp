@@ -1,0 +1,23 @@
+// Position and percentile-rank helpers underlying PPE and SPPE.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cn::stats {
+
+/// Percentile rank of position @p index within a block of @p n items:
+/// 0 for the first position, 100 for the last. Requires n >= 1 and
+/// index < n. For n == 1 the rank is 0.
+double percentile_rank(std::size_t index, std::size_t n) noexcept;
+
+/// Returns a permutation `order` such that `order[rank]` is the index of
+/// the rank-th item when sorting by @p keys descending. Ties keep the
+/// original (stable) order, matching a deterministic template builder.
+std::vector<std::size_t> descending_order(std::span<const double> keys);
+
+/// Inverse of descending_order: position[i] = predicted rank of item i.
+std::vector<std::size_t> predicted_positions(std::span<const double> keys);
+
+}  // namespace cn::stats

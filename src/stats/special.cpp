@@ -1,0 +1,101 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace cn::stats {
+
+double log_gamma(double x) noexcept {
+  CN_ASSERT(x > 0.0);
+  return std::lgamma(x);
+}
+
+double log_choose(std::uint64_t n, std::uint64_t k) noexcept {
+  CN_ASSERT(k <= n);
+  if (k == 0 || k == n) return 0.0;
+  return log_gamma(static_cast<double>(n) + 1.0) -
+         log_gamma(static_cast<double>(k) + 1.0) -
+         log_gamma(static_cast<double>(n - k) + 1.0);
+}
+
+namespace {
+
+// Series representation of P(a, x), valid (fast-converging) for x < a + 1.
+double gamma_p_series(double a, double x) noexcept {
+  const double log_prefactor = a * std::log(x) - x - log_gamma(a);
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 1000; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return std::exp(log_prefactor) * sum;
+}
+
+// Continued-fraction representation of Q(a, x) (Lentz), valid for x >= a + 1.
+double gamma_q_cf(double a, double x) noexcept {
+  const double log_prefactor = a * std::log(x) - x - log_gamma(a);
+  constexpr double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return std::exp(log_prefactor) * h;
+}
+
+}  // namespace
+
+double reg_gamma_p(double a, double x) noexcept {
+  CN_ASSERT(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double reg_gamma_q(double a, double x) noexcept {
+  CN_ASSERT(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double chi_square_sf(double x, unsigned dof) noexcept {
+  CN_ASSERT(dof > 0);
+  if (x <= 0.0) return 1.0;
+  return reg_gamma_q(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+double log_add_exp(double a, double b) noexcept {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = a > b ? a : b;
+  return m + std::log1p(std::exp(-std::fabs(a - b)));
+}
+
+double log1m_exp(double x) noexcept {
+  CN_ASSERT(x <= 0.0);
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  // Mächler's recommendation: use log(-expm1(x)) for x > -ln 2, else log1p(-exp(x)).
+  constexpr double ln2 = 0.6931471805599453;
+  if (x > -ln2) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+}  // namespace cn::stats

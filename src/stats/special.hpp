@@ -1,0 +1,35 @@
+// Special functions needed by the hypothesis tests: log-gamma based
+// binomial coefficients, regularized incomplete gamma (for chi-square
+// survival in Fisher's method), and the error function wrappers used by
+// the normal CDF. Everything works in log space so tests stay accurate
+// for the large counts that arise when auditing a year of blocks.
+#pragma once
+
+#include <cstdint>
+
+namespace cn::stats {
+
+/// log(n choose k); requires 0 <= k <= n.
+double log_choose(std::uint64_t n, std::uint64_t k) noexcept;
+
+/// log(Gamma(x)) for x > 0 (thin wrapper over std::lgamma, asserted finite).
+double log_gamma(double x) noexcept;
+
+/// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double reg_gamma_p(double a, double x) noexcept;
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double reg_gamma_q(double a, double x) noexcept;
+
+/// Survival function of the chi-square distribution with @p dof degrees of
+/// freedom evaluated at @p x: Pr[X >= x].
+double chi_square_sf(double x, unsigned dof) noexcept;
+
+/// log(exp(a) + exp(b)) without overflow.
+double log_add_exp(double a, double b) noexcept;
+
+/// log(1 - exp(x)) for x <= 0, accurate near both ends.
+double log1m_exp(double x) noexcept;
+
+}  // namespace cn::stats

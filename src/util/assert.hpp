@@ -1,0 +1,21 @@
+// Lightweight runtime-checked assertions that stay enabled in release builds.
+//
+// The simulator and the audit toolkit are deterministic; invariant failures
+// indicate programming errors, so we terminate loudly rather than limp along
+// with corrupted analysis results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cn {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "chainneutrality: assertion failed: %s (%s:%d)\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace cn
+
+#define CN_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::cn::assert_fail(#expr, __FILE__, __LINE__))

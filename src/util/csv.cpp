@@ -1,0 +1,110 @@
+#include "util/csv.hpp"
+
+#include "util/strings.hpp"
+
+namespace cn {
+
+std::string csv_escape(std::string_view v) {
+  const bool needs_quotes =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (char c : v) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::separator() {
+  if (row_started_) out_ << ',';
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::field(std::string_view v) {
+  separator();
+  out_ << csv_escape(v);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v, int decimals) {
+  separator();
+  out_ << fixed(v, decimals);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  separator();
+  out_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& n : names) field(n);
+  end_row();
+}
+
+CsvReader::CsvReader(const std::string& path) : in_(path) {}
+
+bool CsvReader::next_row(std::vector<std::string>& fields) {
+  fields.clear();
+  if (!in_ || in_.peek() == std::char_traits<char>::eof()) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  bool saw_anything = false;
+  int c;
+  while ((c = in_.get()) != std::char_traits<char>::eof()) {
+    saw_anything = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          field.push_back('"');
+          in_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
+    }
+    if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (ch == '\r') {
+      // swallow (handles CRLF)
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (saw_anything) {
+    fields.push_back(std::move(field));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cn

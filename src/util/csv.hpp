@@ -1,0 +1,60 @@
+// Minimal CSV writer used by benches and examples to dump series
+// (CDFs, time series, tables) that plot scripts can consume.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cn {
+
+/// Streams rows to a CSV file. Fields containing separators, quotes, or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens @p path for writing (truncates). ok() reports failure instead of
+  /// throwing so benches can degrade to stdout-only output.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  CsvWriter& field(std::string_view v);
+  CsvWriter& field(double v, int decimals = 6);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+
+  /// Ends the current row.
+  void end_row();
+
+  /// Convenience: writes a full header row.
+  void header(const std::vector<std::string>& names);
+
+ private:
+  std::ofstream out_;
+  bool row_started_ = false;
+
+  void separator();
+};
+
+/// Escapes a single CSV field (exposed for testing).
+std::string csv_escape(std::string_view v);
+
+/// Streaming CSV reader (RFC 4180: quoted fields, doubled quotes,
+/// embedded newlines). Complements CsvWriter for data-set import.
+class CsvReader {
+ public:
+  explicit CsvReader(const std::string& path);
+
+  bool ok() const noexcept { return static_cast<bool>(in_); }
+
+  /// Reads the next record into @p fields (cleared first). Returns false
+  /// at end of input.
+  bool next_row(std::vector<std::string>& fields);
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace cn

@@ -1,0 +1,23 @@
+// Hex encoding/decoding for byte spans (txids, wallet addresses, markers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cn {
+
+/// Lower-case hex encoding of @p bytes (2 chars per byte).
+std::string hex_encode(std::span<const std::uint8_t> bytes);
+
+/// Decodes a lower- or upper-case hex string. Returns std::nullopt on odd
+/// length or any non-hex character.
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view hex);
+
+/// True if @p hex is non-empty, even-length, and all hex digits.
+bool is_hex(std::string_view hex);
+
+}  // namespace cn

@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement xoshiro256** (Blackman & Vigna) from scratch rather than
+// relying on std::mt19937_64 so that streams are cheap to split (one
+// independent stream per subsystem) and results are reproducible across
+// standard-library implementations. Distribution sampling is also
+// implemented here because libstdc++/libc++ distributions are not
+// bit-reproducible across platforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cn {
+
+/// xoshiro256** 1.0 generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a single 64-bit value via SplitMix64 (the reference
+  /// recommendation for initializing xoshiro state).
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derives an independent, deterministic stream for subsystem @p label.
+  /// Two distinct labels yield streams that do not overlap in practice.
+  Rng fork(std::string_view label) const noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  std::uint64_t next() noexcept;
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability @p p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Pareto (type I) with scale x_m > 0 and shape alpha > 0; heavy-tailed
+  /// samples >= x_m.
+  double pareto(double x_m, double alpha) noexcept;
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of [first, last) indices applied via callback-free
+  /// in-place std::vector shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// SplitMix64 step; exposed for seeding and hashing helpers.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit hash of a string (FNV-1a folded through SplitMix64).
+/// Used to derive per-label RNG streams and synthetic identifiers.
+std::uint64_t stable_hash64(std::string_view s) noexcept;
+
+}  // namespace cn

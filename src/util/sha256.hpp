@@ -1,0 +1,49 @@
+// From-scratch SHA-256 (FIPS 180-4). Used to derive transaction ids and
+// wallet addresses deterministically from simulation state, exactly as
+// Bitcoin derives txids from serialized transactions (double SHA-256).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace cn {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  /// Resets to the initial state; the hasher can be reused after finalize().
+  void reset() noexcept;
+
+  /// Absorbs @p data into the hash state.
+  Sha256& update(std::span<const std::uint8_t> data) noexcept;
+  Sha256& update(std::string_view data) noexcept;
+
+  /// Pads, finalizes, and returns the digest. The hasher must be reset()
+  /// before further use.
+  Sha256Digest finalize() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// One-shot SHA-256.
+Sha256Digest sha256(std::span<const std::uint8_t> data) noexcept;
+Sha256Digest sha256(std::string_view data) noexcept;
+
+/// Bitcoin's HASH256: SHA-256 applied twice.
+Sha256Digest sha256d(std::span<const std::uint8_t> data) noexcept;
+Sha256Digest sha256d(std::string_view data) noexcept;
+
+}  // namespace cn

@@ -1,0 +1,25 @@
+// Simulation time. All simulator and audit code uses seconds since the
+// simulation epoch as a signed 64-bit count; there is no wall-clock
+// dependence anywhere (determinism requirement).
+#pragma once
+
+#include <cstdint>
+
+namespace cn {
+
+/// Seconds since the simulation epoch.
+using SimTime = std::int64_t;
+
+constexpr SimTime kSecond = 1;
+constexpr SimTime kMinute = 60;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+constexpr SimTime kWeek = 7 * kDay;
+
+/// Bitcoin's target block interval.
+constexpr SimTime kTargetBlockInterval = 10 * kMinute;
+
+/// Mempool snapshot cadence used by the paper's observer node.
+constexpr SimTime kSnapshotInterval = 15 * kSecond;
+
+}  // namespace cn

@@ -1,0 +1,73 @@
+#include "btc/amount.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn::btc {
+namespace {
+
+TEST(Satoshi, Arithmetic) {
+  Satoshi a{100}, b{40};
+  EXPECT_EQ((a + b).value, 140);
+  EXPECT_EQ((a - b).value, 60);
+  a += b;
+  EXPECT_EQ(a.value, 140);
+  a -= Satoshi{200};
+  EXPECT_TRUE(a.is_negative());
+}
+
+TEST(Satoshi, BtcConversion) {
+  EXPECT_DOUBLE_EQ(kOneBtc.btc(), 1.0);
+  EXPECT_DOUBLE_EQ(Satoshi{50'000'000}.btc(), 0.5);
+  EXPECT_DOUBLE_EQ(from_btc_int(6).value, 6.0 * kSatPerBtc);
+}
+
+TEST(FeeRate, SatPerVbyte) {
+  const FeeRate r(Satoshi{500}, 250);
+  EXPECT_DOUBLE_EQ(r.sat_per_vbyte(), 2.0);
+}
+
+TEST(FeeRate, BtcPerKbUnitConversion) {
+  // 1 sat/vB == 1e-5 BTC/KB (the paper's recommended minimum).
+  const FeeRate r = FeeRate::from_sat_per_vb(1);
+  EXPECT_DOUBLE_EQ(r.btc_per_kb(), 1e-5);
+  // 100 sat/vB == 1e-3 BTC/KB (the paper's "exorbitant" threshold).
+  EXPECT_DOUBLE_EQ(FeeRate::from_sat_per_vb(100).btc_per_kb(), 1e-3);
+}
+
+TEST(FeeRate, ExactComparisonAvoidsFloatTies) {
+  // 1/3 vs 333333/1000000: floating point would call these equal at some
+  // precision; exact rational comparison must not.
+  const FeeRate a(Satoshi{1}, 3);
+  const FeeRate b(Satoshi{333'333}, 1'000'000);
+  EXPECT_TRUE(a > b);
+}
+
+TEST(FeeRate, ComparisonBasics) {
+  const FeeRate low(Satoshi{250}, 250);   // 1 sat/vB
+  const FeeRate high(Satoshi{500}, 250);  // 2 sat/vB
+  EXPECT_TRUE(low < high);
+  EXPECT_TRUE(high > low);
+  EXPECT_TRUE(low == FeeRate(Satoshi{100}, 100));  // same ratio
+}
+
+TEST(FeeRate, InvalidComparesLowest) {
+  const FeeRate invalid{};
+  const FeeRate zero_fee(Satoshi{0}, 100);
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_TRUE(invalid < zero_fee);
+  EXPECT_TRUE(invalid == FeeRate{});
+}
+
+TEST(FeeRate, LargeValuesNoOverflow) {
+  // 21M BTC fee over 1 MB: cross-multiplication needs 128 bits.
+  const FeeRate huge(Satoshi{21'000'000LL * kSatPerBtc}, 1);
+  const FeeRate big(Satoshi{20'000'000LL * kSatPerBtc}, 1'000'000);
+  EXPECT_TRUE(huge > big);
+}
+
+TEST(FeeRate, ToString) {
+  EXPECT_EQ(FeeRate(Satoshi{500}, 250).to_string(), "2.000 sat/vB");
+}
+
+}  // namespace
+}  // namespace cn::btc

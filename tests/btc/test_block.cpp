@@ -1,0 +1,83 @@
+#include "btc/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::btc {
+namespace {
+
+using cn::test::block_with_rates;
+using cn::test::tx_with_rate;
+
+TEST(Block, AggregatesSizeAndFees) {
+  const Block b = block_with_rates(100, {10.0, 5.0, 2.0});
+  EXPECT_EQ(b.height(), 100u);
+  EXPECT_EQ(b.tx_count(), 3u);
+  EXPECT_EQ(b.total_vsize(), 750u);
+  EXPECT_EQ(b.total_fees().value,
+            static_cast<std::int64_t>((10.0 + 5.0 + 2.0) * 250));
+  EXPECT_FALSE(b.is_empty());
+}
+
+TEST(Block, EmptyBlock) {
+  Coinbase cb;
+  cb.tag = "/TestPool/";
+  cb.reward = Satoshi{625'000'000};
+  const Block b(5, 600, cb, {});
+  EXPECT_TRUE(b.is_empty());
+  EXPECT_EQ(b.total_vsize(), 0u);
+  EXPECT_EQ(b.total_fees().value, 0);
+}
+
+TEST(Block, PositionLookup) {
+  const Block b = block_with_rates(7, {3.0, 2.0, 1.0});
+  const Txid& second = b.txs()[1].id();
+  const auto pos = b.position_of(second);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(*pos, 1u);
+  EXPECT_FALSE(b.position_of(Txid::hash_of("absent")).has_value());
+}
+
+TEST(Block, CpfpDetection) {
+  const Transaction parent = tx_with_rate(1.0, 250, 0, 501);
+  const Transaction child = make_child_payment(
+      10, 200, Satoshi{2000}, parent, Address::derive("dest"), Satoshi{100}, 502);
+  const Transaction lone = tx_with_rate(5.0, 250, 0, 503);
+
+  Coinbase cb;
+  cb.tag = "/TestPool/";
+  std::vector<Transaction> txs{parent, child, lone};
+  const Block b(1, 600, cb, std::move(txs));
+
+  EXPECT_FALSE(b.is_cpfp_at(0));
+  EXPECT_TRUE(b.is_cpfp_at(1));
+  EXPECT_FALSE(b.is_cpfp_at(2));
+  const auto positions = b.cpfp_positions();
+  ASSERT_EQ(positions.size(), 1u);
+  EXPECT_EQ(positions[0], 1u);
+}
+
+TEST(Block, ChildWithoutInBlockParentIsNotCpfp) {
+  const Transaction external_parent = tx_with_rate(1.0, 250, 0, 601);
+  const Transaction child =
+      make_child_payment(10, 200, Satoshi{2000}, external_parent,
+                         Address::derive("dest"), Satoshi{100}, 602);
+  Coinbase cb;
+  std::vector<Transaction> txs{child};  // parent not in this block
+  const Block b(1, 600, cb, std::move(txs));
+  EXPECT_TRUE(b.cpfp_positions().empty());
+}
+
+TEST(BlockDeathTest, RejectsOversizedBlock) {
+  std::vector<Transaction> txs;
+  // 101 transactions of 10,000 vB each exceeds the 1,000,000 vB cap.
+  for (int i = 0; i < 101; ++i) {
+    txs.push_back(tx_with_rate(1.0, 10'000, 0, 700 + i));
+  }
+  Coinbase cb;
+  EXPECT_DEATH(Block(1, 600, cb, std::move(txs)), "kMaxBlockVsize");
+}
+
+}  // namespace
+}  // namespace cn::btc

@@ -1,0 +1,71 @@
+#include "btc/coinbase_tags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn::btc {
+namespace {
+
+TEST(CoinbaseTags, IdentifiesByMarker) {
+  CoinbaseTagRegistry reg;
+  reg.add("F2Pool", "/F2Pool/");
+  const auto pool = reg.identify("Mined by /F2Pool/ v0.21");
+  ASSERT_TRUE(pool.has_value());
+  EXPECT_EQ(*pool, "F2Pool");
+}
+
+TEST(CoinbaseTags, CaseInsensitive) {
+  CoinbaseTagRegistry reg;
+  reg.add("ViaBTC", "/ViaBTC/");
+  EXPECT_TRUE(reg.identify("/viabtc/ bla").has_value());
+}
+
+TEST(CoinbaseTags, UnknownTagReturnsNullopt) {
+  CoinbaseTagRegistry reg;
+  reg.add("F2Pool", "/F2Pool/");
+  EXPECT_FALSE(reg.identify("no marker here").has_value());
+  EXPECT_FALSE(reg.identify("").has_value());
+}
+
+TEST(CoinbaseTags, LongestMarkerWins) {
+  CoinbaseTagRegistry reg;
+  reg.add("BTC", "/BTC/");
+  reg.add("BTC.com", "/BTC.com/");
+  const auto pool = reg.identify("xx /BTC.com/ yy");
+  ASSERT_TRUE(pool.has_value());
+  EXPECT_EQ(*pool, "BTC.com");
+}
+
+TEST(CoinbaseTags, AliasResolution) {
+  CoinbaseTagRegistry reg;
+  reg.add("BitDeer", "/BitDeer/");
+  reg.add_alias("BitDeer", "BTC.com");
+  const auto pool = reg.identify("/BitDeer/");
+  ASSERT_TRUE(pool.has_value());
+  EXPECT_EQ(*pool, "BTC.com");
+  EXPECT_EQ(reg.canonical("BitDeer"), "BTC.com");
+  EXPECT_EQ(reg.canonical("F2Pool"), "F2Pool");
+}
+
+TEST(CoinbaseTags, PaperRegistryCoversTop20C) {
+  const auto reg = CoinbaseTagRegistry::paper_registry();
+  for (const char* pool : {"F2Pool", "Poolin", "BTC.com", "AntPool", "Huobi",
+                           "ViaBTC", "1THash&58Coin", "Okex", "SlushPool",
+                           "Binance Pool", "Lubian.com"}) {
+    const auto found = reg.identify(conventional_marker(pool));
+    ASSERT_TRUE(found.has_value()) << pool;
+    EXPECT_EQ(*found, pool);
+  }
+}
+
+TEST(CoinbaseTags, PaperRegistryAliases) {
+  const auto reg = CoinbaseTagRegistry::paper_registry();
+  EXPECT_EQ(*reg.identify("/BitDeer/"), "BTC.com");
+  EXPECT_EQ(*reg.identify("/Buffett/"), "Lubian.com");
+}
+
+TEST(CoinbaseTags, ConventionalMarkerFormat) {
+  EXPECT_EQ(conventional_marker("F2Pool"), "/F2Pool/");
+}
+
+}  // namespace
+}  // namespace cn::btc

@@ -1,0 +1,88 @@
+#include "btc/header.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "btc/chain.hpp"
+#include "btc/merkle.hpp"
+
+namespace cn::btc {
+namespace {
+
+using cn::test::block_with_rates;
+
+TEST(BlockHeader, HashChangesWithEveryField) {
+  BlockHeader base;
+  base.merkle_root = Txid::hash_of("root");
+  base.height = 10;
+  base.timestamp = 600;
+  const BlockHash h = base.hash();
+
+  BlockHeader changed = base;
+  changed.prev_hash = Txid::hash_of("prev");
+  EXPECT_NE(changed.hash(), h);
+  changed = base;
+  changed.merkle_root = Txid::hash_of("other-root");
+  EXPECT_NE(changed.hash(), h);
+  changed = base;
+  changed.height = 11;
+  EXPECT_NE(changed.hash(), h);
+  changed = base;
+  changed.timestamp = 601;
+  EXPECT_NE(changed.hash(), h);
+  EXPECT_EQ(base.hash(), h);  // deterministic
+}
+
+TEST(BlockSeal, ChainSealsOnAppend) {
+  Chain chain(5);
+  Block block = block_with_rates(5, {3.0, 1.0});
+  EXPECT_FALSE(block.sealed());
+  chain.append(std::move(block));
+  EXPECT_TRUE(chain.front().sealed());
+  EXPECT_TRUE(chain.front().header().prev_hash.is_null());
+  EXPECT_EQ(chain.front().header().merkle_root,
+            chain.front().compute_merkle_root());
+}
+
+TEST(BlockSeal, HeadersLink) {
+  Chain chain(1);
+  chain.append(block_with_rates(1, {2.0}));
+  chain.append(block_with_rates(2, {3.0}));
+  chain.append(block_with_rates(3, {}));
+  EXPECT_EQ(chain.blocks()[1].header().prev_hash, chain.blocks()[0].hash());
+  EXPECT_EQ(chain.blocks()[2].header().prev_hash, chain.blocks()[1].hash());
+  EXPECT_EQ(chain.tip_hash(), chain.blocks()[2].hash());
+  EXPECT_TRUE(chain.verify_integrity());
+}
+
+TEST(BlockSeal, MerkleRootCommitsToCoinbaseAndTxs) {
+  const Block a = block_with_rates(1, {2.0, 3.0}, "/PoolA/");
+  const Block b = block_with_rates(1, {2.0, 3.0}, "/PoolB/");
+  // Same txs, different coinbase tag -> different root.
+  EXPECT_NE(a.compute_merkle_root(), b.compute_merkle_root());
+  // And each root verifies a member tx via proof against leaves.
+  std::vector<Txid> leaves{a.coinbase_id()};
+  for (const auto& tx : a.txs()) leaves.push_back(tx.id());
+  const auto proof = merkle_proof(leaves, 1);
+  EXPECT_TRUE(merkle_verify(a.txs()[0].id(), proof, a.compute_merkle_root()));
+}
+
+TEST(BlockSeal, EmptyChainTipIsNull) {
+  Chain chain(1);
+  EXPECT_TRUE(chain.tip_hash().is_null());
+  EXPECT_TRUE(chain.verify_integrity());
+}
+
+TEST(BlockSealDeathTest, DoubleSealForbidden) {
+  Block block = block_with_rates(1, {1.0});
+  block.seal(kNullTxid);
+  EXPECT_DEATH(block.seal(kNullTxid), "sealed_");
+}
+
+TEST(BlockSealDeathTest, HeaderBeforeSealForbidden) {
+  const Block block = block_with_rates(1, {1.0});
+  EXPECT_DEATH((void)block.header(), "sealed_");
+}
+
+}  // namespace
+}  // namespace cn::btc

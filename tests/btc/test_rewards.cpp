@@ -1,0 +1,55 @@
+#include "btc/rewards.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn::btc {
+namespace {
+
+TEST(Rewards, GenesisEraSubsidy) {
+  EXPECT_EQ(block_subsidy(0).value, 50LL * kSatPerBtc);
+  EXPECT_EQ(block_subsidy(209'999).value, 50LL * kSatPerBtc);
+}
+
+TEST(Rewards, HalvingBoundaries) {
+  EXPECT_EQ(block_subsidy(210'000).value, 25LL * kSatPerBtc);
+  EXPECT_EQ(block_subsidy(420'000).value, 1'250'000'000);  // 12.5 BTC
+  EXPECT_EQ(block_subsidy(kThirdHalvingHeight).value, 625'000'000);  // 6.25 BTC
+  EXPECT_EQ(block_subsidy(kThirdHalvingHeight - 1).value, 1'250'000'000);
+}
+
+TEST(Rewards, SubsidyVanishesAfter64Halvings) {
+  EXPECT_EQ(block_subsidy(64 * kHalvingInterval).value, 0);
+  EXPECT_EQ(block_subsidy(100 * kHalvingInterval).value, 0);
+}
+
+TEST(Rewards, TotalSupplyBelow21M) {
+  // Sum of all subsidies must stay below 21M BTC.
+  __int128 total = 0;
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    total += static_cast<__int128>(block_subsidy(h * kHalvingInterval).value) *
+             kHalvingInterval;
+  }
+  EXPECT_LT(total, static_cast<__int128>(21'000'000LL) * kSatPerBtc);
+  EXPECT_GT(total, static_cast<__int128>(20'900'000LL) * kSatPerBtc);
+}
+
+TEST(Rewards, YearHeightAnchor) {
+  EXPECT_EQ(approx_height_of_year(2020), 610'691u);
+  EXPECT_EQ(approx_height_of_year(2021), 610'691u + 52'560u);
+  EXPECT_EQ(approx_height_of_year(2019), 610'691u - 52'560u);
+}
+
+TEST(Rewards, YearOfHeightInvertsHeightOfYear) {
+  for (int year : {2016, 2017, 2018, 2019, 2020, 2021}) {
+    EXPECT_EQ(approx_year_of_height(approx_height_of_year(year)), year);
+    EXPECT_EQ(approx_year_of_height(approx_height_of_year(year) + 1000), year);
+  }
+}
+
+TEST(Rewards, HalvingFallsIn2020) {
+  // The paper notes the May 11, 2020 halving; the height must map there.
+  EXPECT_EQ(approx_year_of_height(kThirdHalvingHeight), 2020);
+}
+
+}  // namespace
+}  // namespace cn::btc

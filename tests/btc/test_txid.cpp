@@ -1,0 +1,65 @@
+#include "btc/txid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cn::btc {
+namespace {
+
+TEST(Txid, HashOfIsDeterministic) {
+  EXPECT_EQ(Txid::hash_of("x"), Txid::hash_of("x"));
+  EXPECT_NE(Txid::hash_of("x"), Txid::hash_of("y"));
+}
+
+TEST(Txid, NullDetection) {
+  EXPECT_TRUE(kNullTxid.is_null());
+  EXPECT_FALSE(Txid::hash_of("anything").is_null());
+}
+
+TEST(Txid, HexIs64Chars) {
+  const std::string hex = Txid::hash_of("tx").to_hex();
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(Txid, ShortIdDistinguishes) {
+  EXPECT_NE(Txid::hash_of("a").short_id(), Txid::hash_of("b").short_id());
+}
+
+TEST(Txid, UsableInUnorderedSet) {
+  std::unordered_set<Txid> set;
+  for (int i = 0; i < 100; ++i) set.insert(Txid::hash_of(std::to_string(i)));
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(Txid::hash_of("42")));
+  EXPECT_FALSE(set.contains(Txid::hash_of("101")));
+}
+
+TEST(Address, DeriveDeterministic) {
+  EXPECT_EQ(Address::derive("wallet-1"), Address::derive("wallet-1"));
+  EXPECT_NE(Address::derive("wallet-1"), Address::derive("wallet-2"));
+}
+
+TEST(Address, NullIsReserved) {
+  EXPECT_TRUE(kNullAddress.is_null());
+  EXPECT_FALSE(Address::derive("x").is_null());
+}
+
+TEST(Address, ToStringFormat) {
+  const std::string s = Address::derive("x").to_string();
+  EXPECT_EQ(s.substr(0, 5), "addr:");
+  EXPECT_EQ(s.size(), 5 + 16u);
+}
+
+TEST(Address, NoCollisionsInLargeSample) {
+  std::unordered_set<Address> set;
+  for (int i = 0; i < 100'000; ++i) {
+    set.insert(Address::derive("user/" + std::to_string(i)));
+  }
+  EXPECT_EQ(set.size(), 100'000u);
+}
+
+}  // namespace
+}  // namespace cn::btc

@@ -1,0 +1,127 @@
+#include "core/audit_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset.hpp"
+
+namespace cn::core {
+namespace {
+
+class AuditPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new sim::SimResult(sim::make_dataset(sim::DatasetKind::kC, 321, 0.5));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static sim::SimResult* world_;
+};
+
+sim::SimResult* AuditPipelineTest::world_ = nullptr;
+
+TEST_F(AuditPipelineTest, FindsPlantedMisbehaviour) {
+  AuditOptions options;
+  options.watch_addresses.push_back(world_->scam_address);
+  const auto report = run_full_audit(
+      world_->chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+
+  EXPECT_EQ(report.blocks, world_->chain.size());
+  EXPECT_EQ(report.txs, world_->chain.total_tx_count());
+  EXPECT_GT(report.ppe.count, 100u);
+  EXPECT_LT(report.ppe.mean, 8.0);
+
+  // The planted selfish pools must appear among the findings.
+  const auto has_finding = [&](const std::string& owner, const std::string& miner) {
+    for (const auto& f : report.findings) {
+      if (f.tx_owner == owner && f.miner == miner) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_finding("F2Pool", "F2Pool"));
+  EXPECT_TRUE(has_finding("ViaBTC", "ViaBTC"));
+  EXPECT_TRUE(has_finding("SlushPool", "ViaBTC"));         // collusion
+  EXPECT_TRUE(has_finding("1THash&58Coin", "ViaBTC"));     // collusion
+  // Honest pools never show up as selfish.
+  EXPECT_FALSE(has_finding("Poolin", "Poolin"));
+  EXPECT_FALSE(has_finding("AntPool", "AntPool"));
+
+  // Collusion flag set exactly when owner != miner.
+  for (const auto& f : report.findings) {
+    EXPECT_EQ(f.collusion, f.tx_owner != f.miner);
+    EXPECT_LT(f.test.p_accelerate, options.alpha);
+    // Bootstrap CI brackets the point SPPE.
+    EXPECT_LE(f.sppe_ci.lo, f.test.sppe + 1e-9);
+    EXPECT_GE(f.sppe_ci.hi, f.test.sppe - 1e-9);
+  }
+}
+
+TEST_F(AuditPipelineTest, ScamScreenIsClean) {
+  AuditOptions options;
+  options.watch_addresses.push_back(world_->scam_address);
+  const auto report = run_full_audit(
+      world_->chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+  ASSERT_EQ(report.screens.size(), 1u);
+  EXPECT_GT(report.screens[0].tx_count, 10u);
+  EXPECT_FALSE(report.screens[0].any_significant);
+  EXPECT_FALSE(report.screens[0].per_pool.empty());
+}
+
+TEST_F(AuditPipelineTest, DarkFeeSuspicionRankedAndPlausible) {
+  const auto report = run_full_audit(world_->chain,
+                                     btc::CoinbaseTagRegistry::paper_registry());
+  ASSERT_FALSE(report.darkfee.empty());
+  // Ranked by flag rate, descending.
+  for (std::size_t i = 1; i < report.darkfee.size(); ++i) {
+    const auto rate = [](const DarkFeeSuspicion& d) {
+      return d.txs ? static_cast<double>(d.flagged) / static_cast<double>(d.txs)
+                   : 0.0;
+    };
+    EXPECT_GE(rate(report.darkfee[i - 1]), rate(report.darkfee[i]) - 1e-12);
+  }
+  // The acceleration-selling pools dominate the top ranks.
+  std::uint64_t sellers_flagged = 0, others_flagged = 0;
+  for (const auto& d : report.darkfee) {
+    const bool seller = d.pool == "BTC.com" || d.pool == "AntPool" ||
+                        d.pool == "ViaBTC" || d.pool == "F2Pool" ||
+                        d.pool == "Poolin";
+    (seller ? sellers_flagged : others_flagged) += d.flagged;
+  }
+  EXPECT_GT(sellers_flagged, 5 * std::max<std::uint64_t>(others_flagged, 1));
+}
+
+TEST_F(AuditPipelineTest, NeutralityRanksPlantsWorst) {
+  const auto report = run_full_audit(world_->chain,
+                                     btc::CoinbaseTagRegistry::paper_registry());
+  ASSERT_GE(report.neutrality.size(), 5u);
+  // The three worst scores all belong to planted misbehaving pools.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& pool = report.neutrality[i].pool;
+    EXPECT_TRUE(pool == "F2Pool" || pool == "ViaBTC" ||
+                pool == "1THash&58Coin" || pool == "SlushPool")
+        << pool;
+  }
+}
+
+TEST_F(AuditPipelineTest, PrintDoesNotCrash) {
+  const auto report = run_full_audit(world_->chain,
+                                     btc::CoinbaseTagRegistry::paper_registry());
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  print_audit_report(report, tmp);
+  EXPECT_GT(std::ftell(tmp), 200);
+  std::fclose(tmp);
+}
+
+TEST(AuditPipeline, EmptyChainYieldsEmptyReport) {
+  btc::Chain chain(1);
+  const auto report =
+      run_full_audit(chain, btc::CoinbaseTagRegistry::paper_registry());
+  EXPECT_EQ(report.blocks, 0u);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.neutrality.empty());
+}
+
+}  // namespace
+}  // namespace cn::core

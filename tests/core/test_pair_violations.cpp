@@ -1,0 +1,124 @@
+#include "core/pair_violations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn::core {
+namespace {
+
+SeenTx seen(SimTime t, double rate, std::uint64_t block, bool cpfp = false,
+            bool cpfp_parent = false) {
+  return SeenTx{t, rate, block, cpfp, cpfp_parent};
+}
+
+TEST(PairViolations, DetectsViolation) {
+  // i: earlier, higher fee, LATER block than j -> violation.
+  const std::vector<SeenTx> txs = {seen(0, 10.0, 5), seen(100, 2.0, 4)};
+  const auto stats = count_pair_violations(txs, 0, false);
+  EXPECT_EQ(stats.predicted_pairs, 1u);
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_DOUBLE_EQ(stats.fraction(), 1.0);
+}
+
+TEST(PairViolations, NormCompliantPairNotCounted) {
+  const std::vector<SeenTx> txs = {seen(0, 10.0, 4), seen(100, 2.0, 5)};
+  const auto stats = count_pair_violations(txs, 0, false);
+  EXPECT_EQ(stats.predicted_pairs, 1u);
+  EXPECT_EQ(stats.violations, 0u);
+}
+
+TEST(PairViolations, SameBlockIsNotViolation) {
+  const std::vector<SeenTx> txs = {seen(0, 10.0, 4), seen(100, 2.0, 4)};
+  const auto stats = count_pair_violations(txs, 0, false);
+  EXPECT_EQ(stats.violations, 0u);
+}
+
+TEST(PairViolations, LowerFeeFirstMakesNoPrediction) {
+  // Earlier tx has LOWER fee: the norm predicts nothing about the pair.
+  const std::vector<SeenTx> txs = {seen(0, 1.0, 9), seen(100, 5.0, 3)};
+  const auto stats = count_pair_violations(txs, 0, false);
+  EXPECT_EQ(stats.predicted_pairs, 0u);
+  EXPECT_DOUBLE_EQ(stats.fraction(), 0.0);
+}
+
+TEST(PairViolations, EpsilonTightensArrivalConstraint) {
+  // 5 seconds apart: counted at eps=0, excluded at eps=10s (could be a
+  // propagation artefact, per the paper).
+  const std::vector<SeenTx> txs = {seen(0, 10.0, 5), seen(5, 2.0, 4)};
+  EXPECT_EQ(count_pair_violations(txs, 0, false).violations, 1u);
+  EXPECT_EQ(count_pair_violations(txs, 10, false).violations, 0u);
+  EXPECT_EQ(count_pair_violations(txs, 10, false).predicted_pairs, 0u);
+}
+
+TEST(PairViolations, CpfpExclusionDropsFlaggedTxs) {
+  const std::vector<SeenTx> txs = {
+      seen(0, 10.0, 5, /*cpfp=*/false, /*cpfp_parent=*/true),  // dropped
+      seen(100, 2.0, 4),
+      seen(200, 1.0, 6, /*cpfp=*/true),  // dropped
+  };
+  const auto with = count_pair_violations(txs, 0, false);
+  const auto without = count_pair_violations(txs, 0, true);
+  EXPECT_EQ(with.predicted_pairs, 3u);  // (0,1), (0,2) and (1,2)
+  EXPECT_EQ(without.predicted_pairs, 0u);
+}
+
+TEST(PairViolations, UnsortedInputHandled) {
+  // Same as DetectsViolation but given in reverse order.
+  const std::vector<SeenTx> txs = {seen(100, 2.0, 4), seen(0, 10.0, 5)};
+  const auto stats = count_pair_violations(txs, 0, false);
+  EXPECT_EQ(stats.violations, 1u);
+}
+
+TEST(PairViolations, DownsamplingKeepsFractionStable) {
+  // Construct a large set with a known ~50% violation rate among
+  // predicted pairs, then check the subsample tracks it.
+  std::vector<SeenTx> txs;
+  unsigned state = 12345;
+  for (int i = 0; i < 12'000; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double rate = 1.0 + static_cast<double>(state % 100);
+    state = state * 1664525u + 1013904223u;
+    const std::uint64_t block = 1 + state % 50;
+    txs.push_back(seen(i * 10, rate, block));
+  }
+  const auto full = count_pair_violations(txs, 0, false, /*max_txs=*/0);
+  const auto sampled = count_pair_violations(txs, 0, false, /*max_txs=*/2000);
+  ASSERT_GT(full.predicted_pairs, 0u);
+  ASSERT_GT(sampled.predicted_pairs, 0u);
+  EXPECT_LT(sampled.predicted_pairs, full.predicted_pairs);
+  EXPECT_NEAR(sampled.fraction(), full.fraction(), 0.05);
+}
+
+TEST(ViolationsByBlock, AttributesToTheEarlyCommittingBlock) {
+  // i (better) committed in block 6; j (worse) jumped ahead in block 4.
+  // Block 4's miner caused the violation.
+  const std::vector<SeenTx> txs = {seen(0, 10.0, 6), seen(100, 2.0, 4),
+                                   seen(200, 1.5, 5)};
+  const auto by_block = violations_by_block(txs, 0, false);
+  // Pairs: (0,1): violation -> block 4. (0,2): violation -> block 5.
+  // (1,2): 2.0 > 1.5, b 4 < 5: compliant.
+  ASSERT_EQ(by_block.size(), 2u);
+  EXPECT_EQ(by_block.at(4), 1u);
+  EXPECT_EQ(by_block.at(5), 1u);
+}
+
+TEST(ViolationsByBlock, TotalsMatchPairCount) {
+  std::vector<SeenTx> txs;
+  unsigned state = 99;
+  for (int i = 0; i < 300; ++i) {
+    state = state * 1664525u + 1013904223u;
+    txs.push_back(seen(i * 20, 1.0 + state % 50, 1 + state % 12));
+  }
+  const auto stats = count_pair_violations(txs, 0, false, 0);
+  const auto by_block = violations_by_block(txs, 0, false, 0);
+  std::uint64_t total = 0;
+  for (const auto& [height, n] : by_block) total += n;
+  EXPECT_EQ(total, stats.violations);
+}
+
+TEST(PairViolations, EmptyAndSingleton) {
+  EXPECT_EQ(count_pair_violations({}, 0, false).predicted_pairs, 0u);
+  EXPECT_EQ(count_pair_violations({seen(0, 1.0, 1)}, 0, false).predicted_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace cn::core

@@ -1,0 +1,166 @@
+#include "core/prio_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::core {
+namespace {
+
+using cn::test::block_with_rates;
+
+/// Builds a chain of @p n blocks where pool "Hog" mines every block whose
+/// index is divisible by @p hog_every (its hash share ~ 1/hog_every), and
+/// c-txs land in Hog blocks with probability controlled by the caller.
+struct TestChain {
+  btc::Chain chain{1};
+  btc::CoinbaseTagRegistry registry;
+
+  TestChain() {
+    registry.add("Hog", "/Hog/");
+    registry.add("Rest", "/Rest/");
+  }
+
+  void add_block(bool hog, std::vector<double> rates) {
+    const std::uint64_t h = chain.empty() ? 1 : chain.next_height();
+    chain.append(cn::test::block_with_rates(h, rates, hog ? "/Hog/" : "/Rest/",
+                                            600 * static_cast<SimTime>(h)));
+  }
+};
+
+TEST(PrioTest, CountCBlocksDedupes) {
+  const std::vector<TxRef> refs = {{5, 0}, {5, 1}, {6, 0}};
+  EXPECT_EQ(count_c_blocks(refs), 2u);
+}
+
+TEST(PrioTest, RestrictToHeights) {
+  const std::vector<TxRef> refs = {{5, 0}, {6, 0}, {7, 0}};
+  const auto slice = restrict_to_heights(refs, 6, 7);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].block_height, 6u);
+}
+
+TEST(PrioTest, DetectsPlantedAcceleration) {
+  TestChain world;
+  // 100 blocks; Hog mines every 5th (share 0.2). All c-txs land in Hog
+  // blocks at the top despite a bottom-tier fee.
+  std::vector<TxRef> c_txs;
+  for (int i = 0; i < 100; ++i) {
+    const bool hog = i % 5 == 0;
+    if (hog) {
+      world.add_block(true, {1.0, 50.0, 40.0, 30.0});  // hoisted c-tx at 0
+      c_txs.push_back(TxRef{world.chain.back().height(), 0});
+    } else {
+      world.add_block(false, {50.0, 40.0, 30.0, 20.0});
+    }
+  }
+  const PoolAttribution attribution(world.chain, world.registry);
+  const auto result =
+      test_differential_prioritization(world.chain, attribution, "Hog", c_txs);
+  EXPECT_EQ(result.y, 20u);
+  EXPECT_EQ(result.x, 20u);
+  EXPECT_NEAR(result.theta0, 0.2, 1e-12);
+  EXPECT_LT(result.p_accelerate, 1e-12);
+  EXPECT_GT(result.p_decelerate, 0.999);
+  EXPECT_DOUBLE_EQ(result.sppe, 100.0);
+  EXPECT_EQ(result.sppe_count, 20u);
+}
+
+TEST(PrioTest, NullWhenProportional) {
+  TestChain world;
+  std::vector<TxRef> c_txs;
+  // c-txs land in every block (proportional to hash share by construction).
+  for (int i = 0; i < 100; ++i) {
+    world.add_block(i % 5 == 0, {50.0, 40.0, 5.0});
+    c_txs.push_back(TxRef{world.chain.back().height(), 2});  // normal position
+  }
+  const PoolAttribution attribution(world.chain, world.registry);
+  const auto result =
+      test_differential_prioritization(world.chain, attribution, "Hog", c_txs);
+  EXPECT_EQ(result.y, 100u);
+  EXPECT_EQ(result.x, 20u);
+  EXPECT_GT(result.p_accelerate, 0.3);
+  EXPECT_GT(result.p_decelerate, 0.3);
+  EXPECT_DOUBLE_EQ(result.sppe, 0.0);  // c-txs exactly where predicted
+}
+
+TEST(PrioTest, DetectsPlantedDeceleration) {
+  TestChain world;
+  std::vector<TxRef> c_txs;
+  // Hog refuses c-txs: they only ever appear in Rest blocks.
+  for (int i = 0; i < 200; ++i) {
+    const bool hog = i % 4 == 0;  // share 0.25
+    world.add_block(hog, {50.0, 40.0, 30.0});
+    if (!hog) c_txs.push_back(TxRef{world.chain.back().height(), 1});
+  }
+  const PoolAttribution attribution(world.chain, world.registry);
+  const auto result =
+      test_differential_prioritization(world.chain, attribution, "Hog", c_txs);
+  EXPECT_EQ(result.x, 0u);
+  EXPECT_EQ(result.y, 150u);
+  EXPECT_LT(result.p_decelerate, 1e-12);
+  EXPECT_GT(result.p_accelerate, 0.999);
+}
+
+TEST(PrioTest, EmptyCsetInconclusive) {
+  TestChain world;
+  world.add_block(true, {5.0, 3.0});
+  const PoolAttribution attribution(world.chain, world.registry);
+  const auto result =
+      test_differential_prioritization(world.chain, attribution, "Hog", {});
+  EXPECT_EQ(result.y, 0u);
+  EXPECT_DOUBLE_EQ(result.p_accelerate, 1.0);
+  EXPECT_DOUBLE_EQ(result.p_decelerate, 1.0);
+}
+
+TEST(PrioTest, ThetaOverrideRespected) {
+  TestChain world;
+  std::vector<TxRef> c_txs;
+  for (int i = 0; i < 50; ++i) {
+    world.add_block(i % 2 == 0, {50.0, 1.0});
+    if (i % 2 == 0) c_txs.push_back(TxRef{world.chain.back().height(), 1});
+  }
+  const PoolAttribution attribution(world.chain, world.registry);
+  // With its true share (0.5) Hog mining all c-blocks is still striking...
+  const auto with_true = test_differential_prioritization(
+      world.chain, attribution, "Hog", c_txs);
+  // ...but with a (wrong) override of 0.99 it is expected.
+  const auto with_override = test_differential_prioritization(
+      world.chain, attribution, "Hog", c_txs, 0.99);
+  EXPECT_LT(with_true.p_accelerate, 1e-6);
+  EXPECT_GT(with_override.p_accelerate, 0.5);
+}
+
+TEST(PrioTest, WindowedFisherDetectsPersistentEffect) {
+  TestChain world;
+  std::vector<TxRef> c_txs;
+  for (int i = 0; i < 200; ++i) {
+    const bool hog = i % 5 == 0;
+    if (hog) {
+      world.add_block(true, {1.0, 50.0, 40.0});
+      c_txs.push_back(TxRef{world.chain.back().height(), 0});
+    } else {
+      world.add_block(false, {50.0, 40.0});
+    }
+  }
+  const PoolAttribution attribution(world.chain, world.registry);
+  const double p = windowed_acceleration_p_value(world.chain, attribution,
+                                                 "Hog", c_txs, 4);
+  EXPECT_LT(p, 1e-10);
+}
+
+TEST(PrioTest, WindowedFisherNullIsCalibratedish) {
+  TestChain world;
+  std::vector<TxRef> c_txs;
+  for (int i = 0; i < 200; ++i) {
+    world.add_block(i % 5 == 0, {50.0, 40.0, 5.0});
+    c_txs.push_back(TxRef{world.chain.back().height(), 2});
+  }
+  const PoolAttribution attribution(world.chain, world.registry);
+  const double p = windowed_acceleration_p_value(world.chain, attribution,
+                                                 "Hog", c_txs, 4);
+  EXPECT_GT(p, 0.05);
+}
+
+}  // namespace
+}  // namespace cn::core

@@ -1,0 +1,251 @@
+#include "node/block_template.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../helpers.hpp"
+
+namespace cn::node {
+namespace {
+
+using cn::test::tx_with_rate;
+
+TEST(BlockTemplate, OrdersByFeeRateDescending) {
+  Mempool pool(1);
+  pool.accept(tx_with_rate(2.0), 0);
+  pool.accept(tx_with_rate(9.0), 0);
+  pool.accept(tx_with_rate(5.0), 0);
+
+  const BlockTemplate tpl = build_template(pool, TemplateOptions{});
+  ASSERT_EQ(tpl.txs.size(), 3u);
+  EXPECT_DOUBLE_EQ(tpl.txs[0].fee_rate().sat_per_vbyte(), 9.0);
+  EXPECT_DOUBLE_EQ(tpl.txs[1].fee_rate().sat_per_vbyte(), 5.0);
+  EXPECT_DOUBLE_EQ(tpl.txs[2].fee_rate().sat_per_vbyte(), 2.0);
+}
+
+TEST(BlockTemplate, RespectsVsizeBudget) {
+  Mempool pool(1);
+  for (int i = 0; i < 10; ++i) pool.accept(tx_with_rate(5.0, 300), 0);
+  TemplateOptions options;
+  options.max_vsize = 1000;  // fits 3 of 300 vB
+  const BlockTemplate tpl = build_template(pool, options);
+  EXPECT_EQ(tpl.txs.size(), 3u);
+  EXPECT_LE(tpl.total_vsize, 1000u);
+}
+
+TEST(BlockTemplate, SkipsTooBigButKeepsFilling) {
+  Mempool pool(1);
+  pool.accept(tx_with_rate(9.0, 800), 0);  // best rate but huge
+  pool.accept(tx_with_rate(5.0, 300), 0);
+  pool.accept(tx_with_rate(4.0, 300), 0);
+  TemplateOptions options;
+  options.max_vsize = 700;
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_DOUBLE_EQ(tpl.txs[0].fee_rate().sat_per_vbyte(), 5.0);
+}
+
+TEST(BlockTemplate, MinRateFloorExcludes) {
+  Mempool pool(0);
+  pool.accept(tx_with_rate(0.5), 0);
+  pool.accept(tx_with_rate(3.0), 0);
+  TemplateOptions options;
+  options.min_rate = btc::FeeRate::from_sat_per_vb(1);
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 1u);
+  EXPECT_DOUBLE_EQ(tpl.txs[0].fee_rate().sat_per_vbyte(), 3.0);
+}
+
+TEST(BlockTemplate, NoFloorIncludesZeroFee) {
+  Mempool pool(0);
+  pool.accept(tx_with_rate(0.0), 0);
+  const BlockTemplate tpl = build_template(pool, TemplateOptions{});
+  EXPECT_EQ(tpl.txs.size(), 1u);
+}
+
+TEST(BlockTemplate, CpfpPackageRescuesParent) {
+  Mempool pool(0);
+  const auto parent = tx_with_rate(1.0, 250, 0, 901);  // stuck: low fee
+  const auto child = btc::make_child_payment(
+      10, 250, btc::Satoshi{5000} /* 20 sat/vB */, parent,
+      btc::Address::derive("d"), btc::Satoshi{100}, 902);
+  pool.accept(parent, 0);
+  pool.accept(child, 10);
+  pool.accept(tx_with_rate(5.0, 250, 0, 903), 0);  // competitor
+
+  const BlockTemplate tpl = build_template(pool, TemplateOptions{});
+  ASSERT_EQ(tpl.txs.size(), 3u);
+  // Package rate = (250 + 5000) / 500 = 10.5 sat/vB > 5.0: parent+child first,
+  // parent before child.
+  EXPECT_EQ(tpl.txs[0].id(), parent.id());
+  EXPECT_EQ(tpl.txs[1].id(), child.id());
+  EXPECT_DOUBLE_EQ(tpl.txs[2].fee_rate().sat_per_vbyte(), 5.0);
+}
+
+TEST(BlockTemplate, LowFeeChildDoesNotDragParentUp) {
+  Mempool pool(0);
+  const auto parent = tx_with_rate(4.0, 250, 0, 911);
+  const auto child = btc::make_child_payment(
+      10, 250, btc::Satoshi{250} /* 1 sat/vB */, parent,
+      btc::Address::derive("d"), btc::Satoshi{100}, 912);
+  pool.accept(parent, 0);
+  pool.accept(child, 10);
+  pool.accept(tx_with_rate(3.0, 250, 0, 913), 0);
+
+  const BlockTemplate tpl = build_template(pool, TemplateOptions{});
+  ASSERT_EQ(tpl.txs.size(), 3u);
+  // Parent alone (4.0) beats the 3.0 competitor; the child (1.0, package
+  // 2.5 once parent selected) comes last.
+  EXPECT_EQ(tpl.txs[0].id(), parent.id());
+  EXPECT_DOUBLE_EQ(tpl.txs[1].fee_rate().sat_per_vbyte(), 3.0);
+  EXPECT_EQ(tpl.txs[2].id(), child.id());
+}
+
+TEST(BlockTemplate, FeeDeltaBoostsOrdering) {
+  Mempool pool(1);
+  const auto slow = tx_with_rate(1.0, 250, 0, 921);
+  pool.accept(slow, 0);
+  pool.accept(tx_with_rate(50.0, 250, 0, 922), 0);
+
+  TemplateOptions options;
+  options.fee_deltas[slow.id()] = btc::Satoshi{1'000'000};
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), slow.id());
+  // The *collected* fee stays the public fee.
+  EXPECT_EQ(tpl.total_fees.value, static_cast<std::int64_t>(1.0 * 250 + 50.0 * 250));
+}
+
+TEST(BlockTemplate, NegativeDeltaDemotes) {
+  Mempool pool(1);
+  const auto victim = tx_with_rate(50.0, 250, 0, 931);
+  pool.accept(victim, 0);
+  pool.accept(tx_with_rate(5.0, 250, 0, 932), 0);
+  TemplateOptions options;
+  options.fee_deltas[victim.id()] = btc::Satoshi{-12'000};
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[1].id(), victim.id());
+}
+
+TEST(BlockTemplate, ExcludeSetCensors) {
+  Mempool pool(1);
+  const auto banned = tx_with_rate(50.0, 250, 0, 941);
+  pool.accept(banned, 0);
+  pool.accept(tx_with_rate(5.0, 250, 0, 942), 0);
+  TemplateOptions options;
+  options.exclude.insert(banned.id());
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 1u);
+  EXPECT_NE(tpl.txs[0].id(), banned.id());
+}
+
+TEST(BlockTemplate, ExcludedParentBlocksChild) {
+  Mempool pool(0);
+  const auto parent = tx_with_rate(2.0, 250, 0, 951);
+  const auto child = btc::make_child_payment(
+      10, 250, btc::Satoshi{5000}, parent, btc::Address::derive("d"),
+      btc::Satoshi{100}, 952);
+  pool.accept(parent, 0);
+  pool.accept(child, 10);
+  TemplateOptions options;
+  options.exclude.insert(parent.id());
+  const BlockTemplate tpl = build_template(pool, options);
+  EXPECT_TRUE(tpl.txs.empty());  // child unmineable without its parent
+}
+
+TEST(BlockTemplate, EmptyMempoolYieldsEmptyTemplate) {
+  Mempool pool(1);
+  const BlockTemplate tpl = build_template(pool, TemplateOptions{});
+  EXPECT_TRUE(tpl.txs.empty());
+  EXPECT_EQ(tpl.total_vsize, 0u);
+}
+
+TEST(BlockTemplate, DeterministicTieBreak) {
+  // Two identical-rate txs: selection must be stable across builds.
+  Mempool pool(1);
+  const auto a = tx_with_rate(5.0, 250, 0, 961);
+  const auto b = tx_with_rate(5.0, 250, 0, 962);
+  pool.accept(a, 0);
+  pool.accept(b, 0);
+  const BlockTemplate t1 = build_template(pool, TemplateOptions{});
+  const BlockTemplate t2 = build_template(pool, TemplateOptions{});
+  ASSERT_EQ(t1.txs.size(), 2u);
+  EXPECT_EQ(t1.txs[0].id(), t2.txs[0].id());
+  EXPECT_EQ(t1.txs[1].id(), t2.txs[1].id());
+  // Lower txid first on ties.
+  EXPECT_LT(t1.txs[0].id(), t1.txs[1].id());
+}
+
+TEST(BlockTemplate, AgingBonusPromotesOldTransactions) {
+  Mempool pool(1);
+  // Same fee-rate, different ages: without aging the lower txid wins the
+  // tie; with aging the older one must come first regardless.
+  const auto old_tx = tx_with_rate(5.0, 250, 0, 971);
+  const auto new_tx = tx_with_rate(5.0, 250, 0, 972);
+  pool.accept(old_tx, /*arrival=*/0);
+  pool.accept(new_tx, /*arrival=*/7200);  // two hours later
+
+  TemplateOptions options;
+  options.age_weight_per_hour = 0.10;
+  options.now = 7200;
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), old_tx.id());
+}
+
+TEST(BlockTemplate, AgingBonusCanOvertakeHigherFee) {
+  Mempool pool(1);
+  const auto stale = tx_with_rate(4.0, 250, 0, 973);   // 10h old
+  const auto fresh = tx_with_rate(5.0, 250, 0, 974);   // brand new
+  pool.accept(stale, 0);
+  pool.accept(fresh, 10 * 3600);
+  TemplateOptions options;
+  options.age_weight_per_hour = 0.10;  // stale effective: 4 * 2.0 = 8 > 5
+  options.now = 10 * 3600;
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), stale.id());
+  // Collected fees remain the real ones.
+  EXPECT_EQ(tpl.total_fees.value, static_cast<std::int64_t>((4.0 + 5.0) * 250));
+}
+
+TEST(BlockTemplate, ZeroAgingWeightIsPureFeeRate) {
+  Mempool pool(1);
+  const auto stale = tx_with_rate(4.0, 250, 0, 975);
+  const auto fresh = tx_with_rate(5.0, 250, 0, 976);
+  pool.accept(stale, 0);
+  pool.accept(fresh, 100 * 3600);
+  TemplateOptions options;  // age_weight_per_hour = 0
+  options.now = 100 * 3600;
+  const BlockTemplate tpl = build_template(pool, options);
+  EXPECT_EQ(tpl.txs[0].id(), fresh.id());
+}
+
+// Property: for independent (no-dependency) transactions, the template is
+// exactly sorted by fee-rate and fills greedily.
+class GreedyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyProperty, SortedAndMaximal) {
+  Mempool pool(1);
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u;
+  for (int i = 0; i < 60; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double rate = 1.0 + static_cast<double>(state % 1000) / 10.0;
+    pool.accept(tx_with_rate(rate, 250, 0, 10'000 + GetParam() * 100 + i), 0);
+  }
+  TemplateOptions options;
+  options.max_vsize = 250 * 40;  // room for 40 of 60
+  const BlockTemplate tpl = build_template(pool, options);
+  EXPECT_EQ(tpl.txs.size(), 40u);
+  for (std::size_t i = 1; i < tpl.txs.size(); ++i) {
+    EXPECT_GE(tpl.txs[i - 1].fee_rate().sat_per_vbyte(),
+              tpl.txs[i].fee_rate().sat_per_vbyte());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cn::node

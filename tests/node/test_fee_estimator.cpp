@@ -1,0 +1,53 @@
+#include "node/fee_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::node {
+namespace {
+
+using cn::test::block_with_rates;
+
+TEST(FeeEstimator, FallsBackWithoutHistory) {
+  const FeeEstimator est(6);
+  EXPECT_DOUBLE_EQ(est.recommend_sat_per_vb(0.5), 1.0);
+  EXPECT_EQ(est.sample_count(), 0u);
+}
+
+TEST(FeeEstimator, MedianOfRecentBlocks) {
+  FeeEstimator est(6);
+  est.on_block(block_with_rates(1, {1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(est.recommend_sat_per_vb(0.5), 3.0);
+  EXPECT_EQ(est.sample_count(), 5u);
+}
+
+TEST(FeeEstimator, WindowEvictsOldBlocks) {
+  FeeEstimator est(2);
+  est.on_block(block_with_rates(1, {100, 100}));
+  est.on_block(block_with_rates(2, {1, 1}));
+  est.on_block(block_with_rates(3, {2, 2}));
+  // Block 1 is out of the window: only rates {1,1,2,2} remain.
+  EXPECT_EQ(est.sample_count(), 4u);
+  EXPECT_LE(est.recommend_sat_per_vb(1.0), 2.0);
+}
+
+TEST(FeeEstimator, PercentilesOrdered) {
+  FeeEstimator est(6);
+  est.on_block(block_with_rates(1, {1, 5, 10, 20, 50}));
+  const double p25 = est.recommend_sat_per_vb(0.25);
+  const double p50 = est.recommend_sat_per_vb(0.50);
+  const double p75 = est.recommend_sat_per_vb(0.75);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p75);
+}
+
+TEST(FeeEstimator, EmptyBlocksContributeNothing) {
+  FeeEstimator est(3);
+  est.on_block(block_with_rates(1, {}));
+  EXPECT_EQ(est.sample_count(), 0u);
+  EXPECT_DOUBLE_EQ(est.recommend_sat_per_vb(0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace cn::node

@@ -1,0 +1,81 @@
+#include "node/legacy_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::node {
+namespace {
+
+using cn::test::tx_with_rate;
+
+btc::Transaction tx_with_value(double sat_per_vb, std::int64_t value_sat,
+                               SimTime issued, std::uint64_t nonce) {
+  const auto fee =
+      btc::Satoshi{static_cast<std::int64_t>(sat_per_vb * 250)};
+  return btc::make_payment(issued, 250, fee, btc::Address::derive("a"),
+                           btc::Address::derive("b"), btc::Satoshi{value_sat},
+                           nonce);
+}
+
+TEST(CoinAgePriority, GrowsWithValueAndAge) {
+  const auto small_young = tx_with_value(1.0, 1'000, 100, 1);
+  const auto big_young = tx_with_value(1.0, 1'000'000, 100, 2);
+  const auto small_old = tx_with_value(1.0, 1'000, 0, 3);
+  const SimTime now = 200;
+  EXPECT_GT(coin_age_priority(big_young, now), coin_age_priority(small_young, now));
+  EXPECT_GT(coin_age_priority(small_old, now), coin_age_priority(small_young, now));
+}
+
+TEST(CoinAgePriority, IgnoresFee) {
+  const auto cheap = tx_with_value(1.0, 50'000, 0, 4);
+  const auto pricey = tx_with_value(100.0, 50'000, 0, 5);
+  EXPECT_DOUBLE_EQ(coin_age_priority(cheap, 100), coin_age_priority(pricey, 100));
+}
+
+TEST(LegacyTemplate, OrdersByPriorityNotFee) {
+  Mempool pool(0);
+  // Low fee, huge old value -> top under the legacy norm.
+  const auto whale = tx_with_value(1.0, 100'000'000, 0, 11);
+  // High fee, small new value -> bottom under the legacy norm.
+  const auto spender = tx_with_value(80.0, 10'000, 90, 12);
+  pool.accept(whale, 0);
+  pool.accept(spender, 90);
+
+  const BlockTemplate tpl = build_legacy_template(pool, /*now=*/100);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), whale.id());
+  EXPECT_EQ(tpl.txs[1].id(), spender.id());
+}
+
+TEST(LegacyTemplate, RespectsBudget) {
+  Mempool pool(0);
+  for (int i = 0; i < 10; ++i) pool.accept(tx_with_value(1.0, 1'000'000, 0, 20 + i), 0);
+  LegacyTemplateOptions options;
+  options.max_vsize = 600;  // two 250 vB txs
+  const BlockTemplate tpl = build_legacy_template(pool, 100, options);
+  EXPECT_EQ(tpl.txs.size(), 2u);
+}
+
+TEST(LegacyTemplate, ParentsBeforeChildren) {
+  Mempool pool(0);
+  const auto parent = tx_with_value(1.0, 500'000, 0, 31);
+  const auto child = btc::make_child_payment(
+      50, 250, btc::Satoshi{250}, parent, btc::Address::derive("c"),
+      btc::Satoshi{400'000'000}, 32);  // child has huge value: top priority
+  pool.accept(parent, 0);
+  pool.accept(child, 50);
+
+  const BlockTemplate tpl = build_legacy_template(pool, 100);
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), parent.id());
+  EXPECT_EQ(tpl.txs[1].id(), child.id());
+}
+
+TEST(LegacyTemplate, EmptyMempool) {
+  Mempool pool(0);
+  EXPECT_TRUE(build_legacy_template(pool, 100).txs.empty());
+}
+
+}  // namespace
+}  // namespace cn::node

@@ -1,0 +1,131 @@
+#include "node/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::node {
+namespace {
+
+using cn::test::tx_with_rate;
+
+TEST(Mempool, AcceptAndSize) {
+  Mempool pool(1);
+  EXPECT_TRUE(pool.empty());
+  const auto tx = tx_with_rate(5.0, 300);
+  EXPECT_EQ(pool.accept(tx, 10), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.total_vsize(), 300u);
+  EXPECT_TRUE(pool.contains(tx.id()));
+}
+
+TEST(Mempool, RejectsDuplicates) {
+  Mempool pool(1);
+  const auto tx = tx_with_rate(5.0);
+  EXPECT_EQ(pool.accept(tx, 10), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.accept(tx, 11), AcceptResult::kDuplicate);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, EnforcesMinRelayFee) {
+  Mempool pool(1);  // 1 sat/vB floor (norm III)
+  EXPECT_EQ(pool.accept(tx_with_rate(0.5), 0), AcceptResult::kBelowMinFeeRate);
+  EXPECT_EQ(pool.accept(tx_with_rate(0.0), 0), AcceptResult::kBelowMinFeeRate);
+  EXPECT_EQ(pool.accept(tx_with_rate(1.0), 0), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, ZeroFloorAcceptsEverything) {
+  Mempool pool(0);  // data set B configuration
+  EXPECT_EQ(pool.accept(tx_with_rate(0.0), 0), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, RemoveUpdatesAccounting) {
+  Mempool pool(1);
+  const auto a = tx_with_rate(5.0, 300);
+  const auto b = tx_with_rate(3.0, 200);
+  pool.accept(a, 0);
+  pool.accept(b, 0);
+  EXPECT_TRUE(pool.remove(a.id()));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.total_vsize(), 200u);
+  EXPECT_FALSE(pool.remove(a.id()));  // already gone
+}
+
+TEST(Mempool, FindReturnsEntryWithArrival) {
+  Mempool pool(1);
+  const auto tx = tx_with_rate(2.0);
+  pool.accept(tx, 1234);
+  const MempoolEntry* entry = pool.find(tx.id());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->arrival, 1234);
+  EXPECT_EQ(pool.find(btc::Txid::hash_of("missing")), nullptr);
+}
+
+TEST(Mempool, EntriesByArrivalSorted) {
+  Mempool pool(1);
+  pool.accept(tx_with_rate(1.0, 250, 30), 30);
+  pool.accept(tx_with_rate(2.0, 250, 10), 10);
+  pool.accept(tx_with_rate(3.0, 250, 20), 20);
+  const auto entries = pool.entries_by_arrival();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->arrival, 10);
+  EXPECT_EQ(entries[1]->arrival, 20);
+  EXPECT_EQ(entries[2]->arrival, 30);
+}
+
+TEST(Mempool, AncestorsAndChildren) {
+  Mempool pool(1);
+  const auto parent = tx_with_rate(1.0, 250, 0, 801);
+  const auto child = btc::make_child_payment(
+      10, 200, btc::Satoshi{1000}, parent, btc::Address::derive("d"),
+      btc::Satoshi{100}, 802);
+  const auto grandchild = btc::make_child_payment(
+      20, 200, btc::Satoshi{1500}, child, btc::Address::derive("e"),
+      btc::Satoshi{50}, 803);
+  pool.accept(parent, 0);
+  pool.accept(child, 10);
+  pool.accept(grandchild, 20);
+
+  const auto anc = pool.ancestors_of(grandchild.id());
+  EXPECT_EQ(anc.size(), 2u);  // child + parent
+
+  const auto kids = pool.children_of(parent.id());
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(kids[0]->tx.id(), child.id());
+}
+
+TEST(Mempool, AncestorsStopAtConfirmedBoundary) {
+  Mempool pool(1);
+  const auto parent = tx_with_rate(1.0, 250, 0, 811);
+  const auto child = btc::make_child_payment(
+      10, 200, btc::Satoshi{1000}, parent, btc::Address::derive("d"),
+      btc::Satoshi{100}, 812);
+  // Parent is NOT in the mempool (already confirmed).
+  pool.accept(child, 10);
+  EXPECT_TRUE(pool.ancestors_of(child.id()).empty());
+}
+
+TEST(Mempool, RemoveCleansChildIndex) {
+  Mempool pool(1);
+  const auto parent = tx_with_rate(1.0, 250, 0, 821);
+  const auto child = btc::make_child_payment(
+      10, 200, btc::Satoshi{1000}, parent, btc::Address::derive("d"),
+      btc::Satoshi{100}, 822);
+  pool.accept(parent, 0);
+  pool.accept(child, 10);
+  pool.remove(child.id());
+  EXPECT_TRUE(pool.children_of(parent.id()).empty());
+}
+
+TEST(Mempool, ForEachVisitsAll) {
+  Mempool pool(1);
+  for (int i = 0; i < 10; ++i) pool.accept(tx_with_rate(1.0 + i), 0);
+  int visits = 0;
+  pool.for_each([&](const MempoolEntry&) { ++visits; });
+  EXPECT_EQ(visits, 10);
+}
+
+}  // namespace
+}  // namespace cn::node

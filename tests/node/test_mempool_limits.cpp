@@ -1,0 +1,170 @@
+// Conflict handling (replace-by-fee), size-capped eviction, and age
+// expiry — the Mempool's resource/admission machinery.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "node/mempool.hpp"
+
+namespace cn::node {
+namespace {
+
+using cn::test::tx_with_rate;
+
+btc::Transaction payment(double rate, std::uint64_t nonce,
+                         const std::string& from = "alice") {
+  return tx_with_rate(rate, 250, 0, nonce, from);
+}
+
+TEST(MempoolRbf, DetectsConflicts) {
+  Mempool pool(1);
+  const auto original = payment(2.0, 7001);
+  const auto bump = btc::make_replacement(10, original, btc::Satoshi{5'000}, 7002);
+  pool.accept(original, 0);
+  const auto conflicts = pool.conflicts_of(bump);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], original.id());
+  // An unrelated payment conflicts with nothing.
+  EXPECT_TRUE(pool.conflicts_of(payment(2.0, 7003)).empty());
+}
+
+TEST(MempoolRbf, AcceptsValidReplacement) {
+  Mempool pool(1);
+  const auto original = payment(2.0, 7011);
+  pool.accept(original, 0);
+  const auto bump = btc::make_replacement(10, original, btc::Satoshi{5'000}, 7012);
+  EXPECT_EQ(pool.accept(bump, 10), AcceptResult::kAccepted);
+  EXPECT_FALSE(pool.contains(original.id()));
+  EXPECT_TRUE(pool.contains(bump.id()));
+  EXPECT_EQ(pool.replaced_count(), 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(MempoolRbf, RejectsUnderpayingReplacement) {
+  Mempool pool(1);
+  const auto original = payment(10.0, 7021);  // fee 2500
+  pool.accept(original, 0);
+  // Same rate, lower absolute fee: must be rejected.
+  const auto cheap = btc::make_replacement(10, original, btc::Satoshi{2'000}, 7022);
+  EXPECT_EQ(pool.accept(cheap, 10), AcceptResult::kConflictRejected);
+  EXPECT_TRUE(pool.contains(original.id()));
+}
+
+TEST(MempoolRbf, RejectsEqualFeeRate) {
+  Mempool pool(1);
+  const auto original = payment(10.0, 7031);  // fee 2500, rate 10
+  pool.accept(original, 0);
+  // Higher fee but equal rate (vsize identical, fee +0): construct equal.
+  const auto same = btc::make_replacement(10, original, original.fee(), 7032);
+  EXPECT_EQ(pool.accept(same, 10), AcceptResult::kConflictRejected);
+}
+
+TEST(MempoolRbf, ReplacementMustOutbidEvictedDescendants) {
+  Mempool pool(0);
+  const auto original = payment(2.0, 7041);  // fee 500
+  const auto child = btc::make_child_payment(5, 250, btc::Satoshi{10'000}, original,
+                                             btc::Address::derive("x"),
+                                             btc::Satoshi{100}, 7042);
+  pool.accept(original, 0);
+  pool.accept(child, 5);
+  // Bump pays more than the original alone but less than original+child.
+  const auto weak = btc::make_replacement(10, original, btc::Satoshi{2'000}, 7043);
+  EXPECT_EQ(pool.accept(weak, 10), AcceptResult::kConflictRejected);
+  // A bump that outbids the whole package is accepted and evicts both.
+  const auto strong = btc::make_replacement(11, original, btc::Satoshi{11'000}, 7044);
+  EXPECT_EQ(pool.accept(strong, 11), AcceptResult::kAccepted);
+  EXPECT_FALSE(pool.contains(original.id()));
+  EXPECT_FALSE(pool.contains(child.id()));
+}
+
+TEST(MempoolRbf, ReplacingParentEvictsDescendants) {
+  Mempool pool(0);
+  const auto parent = payment(1.0, 7051);
+  const auto child = btc::make_child_payment(5, 250, btc::Satoshi{300}, parent,
+                                             btc::Address::derive("x"),
+                                             btc::Satoshi{100}, 7052);
+  const auto grandchild = btc::make_child_payment(6, 250, btc::Satoshi{300}, child,
+                                                  btc::Address::derive("y"),
+                                                  btc::Satoshi{50}, 7053);
+  pool.accept(parent, 0);
+  pool.accept(child, 5);
+  pool.accept(grandchild, 6);
+  const auto bump = btc::make_replacement(10, parent, btc::Satoshi{5'000}, 7054);
+  EXPECT_EQ(pool.accept(bump, 10), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.size(), 1u);  // child + grandchild evicted with the parent
+  EXPECT_EQ(pool.total_vsize(), bump.vsize());
+}
+
+TEST(MempoolEviction, EvictsLowestRateWhenFull) {
+  MempoolLimits limits;
+  limits.max_vsize = 750;  // three 250 vB txs
+  Mempool pool(1, limits);
+  pool.accept(payment(2.0, 7061), 0);
+  pool.accept(payment(5.0, 7062), 0);
+  pool.accept(payment(4.0, 7063), 0);
+  EXPECT_EQ(pool.size(), 3u);
+  // A 10 sat/vB tx evicts the 2.0 one.
+  EXPECT_EQ(pool.accept(payment(10.0, 7064), 1), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.evicted_count(), 1u);
+  bool has_low = false;
+  pool.for_each([&](const MempoolEntry& e) {
+    if (e.tx.fee_rate().sat_per_vbyte() < 3.0) has_low = true;
+  });
+  EXPECT_FALSE(has_low);
+}
+
+TEST(MempoolEviction, RejectsBelowEvictionFloor) {
+  MempoolLimits limits;
+  limits.max_vsize = 500;
+  Mempool pool(1, limits);
+  pool.accept(payment(5.0, 7071), 0);
+  pool.accept(payment(4.0, 7072), 0);
+  EXPECT_EQ(pool.accept(payment(3.0, 7073), 1), AcceptResult::kMempoolFull);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(MempoolEviction, UnlimitedByDefault) {
+  Mempool pool(1);
+  for (int i = 0; i < 100; ++i) pool.accept(payment(1.0 + i, 7100 + i), 0);
+  EXPECT_EQ(pool.size(), 100u);
+  EXPECT_EQ(pool.evicted_count(), 0u);
+}
+
+TEST(MempoolExpiry, DropsOldEntriesWithDescendants) {
+  Mempool pool(0);
+  const auto old_parent = payment(1.0, 7201);
+  const auto fresh_child = btc::make_child_payment(
+      500, 250, btc::Satoshi{300}, old_parent, btc::Address::derive("x"),
+      btc::Satoshi{100}, 7202);
+  const auto fresh = payment(2.0, 7203);
+  pool.accept(old_parent, 0);
+  pool.accept(fresh_child, 500);
+  pool.accept(fresh, 600);
+
+  const auto dropped = pool.expire_before(100);
+  EXPECT_EQ(dropped.size(), 2u);  // parent + its (fresh!) child
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.contains(fresh.id()));
+  EXPECT_EQ(pool.expired_count(), 1u);
+}
+
+TEST(MempoolExpiry, NoopWhenNothingOld) {
+  Mempool pool(1);
+  pool.accept(payment(2.0, 7211), 100);
+  EXPECT_TRUE(pool.expire_before(50).empty());
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(MempoolRbf, ObserverStyleOutOfOrderDelivery) {
+  // Replacement may arrive before the original at some nodes; the
+  // late-arriving original must then be rejected.
+  Mempool pool(1);
+  const auto original = payment(2.0, 7221);
+  const auto bump = btc::make_replacement(10, original, btc::Satoshi{5'000}, 7222);
+  EXPECT_EQ(pool.accept(bump, 10), AcceptResult::kAccepted);
+  EXPECT_EQ(pool.accept(original, 12), AcceptResult::kConflictRejected);
+  EXPECT_TRUE(pool.contains(bump.id()));
+}
+
+}  // namespace
+}  // namespace cn::node

@@ -1,0 +1,82 @@
+#include "node/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::node {
+namespace {
+
+using cn::test::block_with_rates;
+using cn::test::tx_with_rate;
+
+TEST(Observer, RecordsFirstSeen) {
+  ObserverNode obs(1);
+  const auto tx = tx_with_rate(5.0);
+  EXPECT_EQ(obs.on_transaction(tx, 123), AcceptResult::kAccepted);
+  const auto seen = obs.first_seen(tx.id());
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, 123);
+}
+
+TEST(Observer, FirstSeenSticksOnRebroadcast) {
+  ObserverNode obs(1);
+  const auto tx = tx_with_rate(5.0);
+  obs.on_transaction(tx, 100);
+  obs.on_transaction(tx, 200);  // duplicate
+  EXPECT_EQ(*obs.first_seen(tx.id()), 100);
+}
+
+TEST(Observer, CountsBelowFloorRejects) {
+  ObserverNode obs(1);
+  obs.on_transaction(tx_with_rate(0.2), 10);
+  obs.on_transaction(tx_with_rate(0.0), 20);
+  obs.on_transaction(tx_with_rate(2.0), 30);
+  EXPECT_EQ(obs.below_floor_count(), 2u);
+  EXPECT_EQ(obs.mempool().size(), 1u);
+}
+
+TEST(Observer, PermissiveNodeSeesZeroFee) {
+  ObserverNode obs(0);  // data set B configuration
+  const auto tx = tx_with_rate(0.0);
+  EXPECT_EQ(obs.on_transaction(tx, 10), AcceptResult::kAccepted);
+  EXPECT_TRUE(obs.first_seen(tx.id()).has_value());
+  EXPECT_EQ(obs.below_floor_count(), 0u);
+}
+
+TEST(Observer, BlockEvictsCommitted) {
+  ObserverNode obs(1);
+  const auto a = tx_with_rate(5.0, 250, 0, 1001);
+  const auto b = tx_with_rate(3.0, 250, 0, 1002);
+  obs.on_transaction(a, 10);
+  obs.on_transaction(b, 10);
+
+  btc::Coinbase cb;
+  std::vector<btc::Transaction> txs{a};
+  obs.on_block(btc::Block(1, 600, cb, std::move(txs)));
+
+  EXPECT_FALSE(obs.mempool().contains(a.id()));
+  EXPECT_TRUE(obs.mempool().contains(b.id()));
+  // first_seen survives commitment (it is the audit's t_i).
+  EXPECT_TRUE(obs.first_seen(a.id()).has_value());
+}
+
+TEST(Observer, SnapshotSeriesTracksMempool) {
+  ObserverNode obs(1);
+  obs.record_snapshot(15);
+  obs.on_transaction(tx_with_rate(5.0, 400), 20);
+  obs.record_snapshot(30);
+  const auto& stats = obs.snapshots().stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].tx_count, 0u);
+  EXPECT_EQ(stats[1].tx_count, 1u);
+  EXPECT_EQ(stats[1].total_vsize, 400u);
+}
+
+TEST(Observer, UnknownTxFirstSeenIsNullopt) {
+  ObserverNode obs(1);
+  EXPECT_FALSE(obs.first_seen(btc::Txid::hash_of("x")).has_value());
+}
+
+}  // namespace
+}  // namespace cn::node

@@ -1,0 +1,81 @@
+#include "node/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn::node {
+namespace {
+
+TEST(CongestionLevel, DefaultUnitBins) {
+  EXPECT_EQ(congestion_level(0), CongestionLevel::kNone);
+  EXPECT_EQ(congestion_level(1'000'000), CongestionLevel::kNone);
+  EXPECT_EQ(congestion_level(1'000'001), CongestionLevel::kLow);
+  EXPECT_EQ(congestion_level(2'000'000), CongestionLevel::kLow);
+  EXPECT_EQ(congestion_level(3'500'000), CongestionLevel::kMedium);
+  EXPECT_EQ(congestion_level(4'000'001), CongestionLevel::kHigh);
+}
+
+TEST(CongestionLevel, ScaledUnit) {
+  EXPECT_EQ(congestion_level(100'000, 100'000), CongestionLevel::kNone);
+  EXPECT_EQ(congestion_level(150'000, 100'000), CongestionLevel::kLow);
+  EXPECT_EQ(congestion_level(300'000, 100'000), CongestionLevel::kMedium);
+  EXPECT_EQ(congestion_level(500'000, 100'000), CongestionLevel::kHigh);
+}
+
+TEST(SnapshotSeries, RecordsAndExposes) {
+  SnapshotSeries s;
+  s.record({15, 10, 500});
+  s.record({30, 20, 1500});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.stats()[1].tx_count, 20u);
+}
+
+TEST(SnapshotSeries, FractionAbove) {
+  SnapshotSeries s;
+  s.record({15, 1, 500'000});
+  s.record({30, 2, 1'500'000});
+  s.record({45, 3, 2'500'000});
+  s.record({60, 4, 900'000});
+  EXPECT_DOUBLE_EQ(s.fraction_above(1'000'000), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(10'000'000), 0.0);
+}
+
+TEST(SnapshotSeries, FractionAboveEmpty) {
+  SnapshotSeries s;
+  EXPECT_DOUBLE_EQ(s.fraction_above(1), 0.0);
+}
+
+TEST(SnapshotSeries, MaxVsize) {
+  SnapshotSeries s;
+  s.record({15, 1, 100});
+  s.record({30, 1, 900});
+  s.record({45, 1, 400});
+  EXPECT_EQ(s.max_vsize(), 900u);
+}
+
+TEST(SnapshotSeries, LevelAtUsesMostRecentSnapshot) {
+  SnapshotSeries s;
+  s.record({15, 1, 500'000});    // none
+  s.record({30, 1, 3'000'000});  // medium
+  EXPECT_EQ(s.level_at(10), CongestionLevel::kNone);   // before first
+  EXPECT_EQ(s.level_at(15), CongestionLevel::kNone);
+  EXPECT_EQ(s.level_at(29), CongestionLevel::kNone);
+  EXPECT_EQ(s.level_at(30), CongestionLevel::kMedium);
+  EXPECT_EQ(s.level_at(1000), CongestionLevel::kMedium);
+}
+
+TEST(SnapshotSeries, LevelAtScaledUnit) {
+  SnapshotSeries s;
+  s.record({15, 1, 250'000});
+  EXPECT_EQ(s.level_at(20, 100'000), CongestionLevel::kMedium);
+  EXPECT_EQ(s.level_at(20, 1'000'000), CongestionLevel::kNone);
+}
+
+TEST(SnapshotSeriesDeathTest, RejectsNonIncreasingTime) {
+  SnapshotSeries s;
+  s.record({30, 1, 1});
+  EXPECT_DEATH(s.record({30, 1, 1}), "time");
+}
+
+}  // namespace
+}  // namespace cn::node

@@ -1,0 +1,105 @@
+#include "sim/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn::sim {
+namespace {
+
+TEST(DatasetProfiles, SharesRoughlySumTo100) {
+  for (const auto& pools : {paper_pools_a(), paper_pools_b(), paper_pools_c()}) {
+    double total = 0;
+    for (const auto& p : pools) total += p.hash_share;
+    EXPECT_NEAR(total, 100.0, 3.0);
+  }
+}
+
+TEST(DatasetProfiles, CHasPaperTop5) {
+  const auto pools = paper_pools_c();
+  ASSERT_GE(pools.size(), 5u);
+  EXPECT_EQ(pools[0].name, "F2Pool");
+  EXPECT_NEAR(pools[0].hash_share, 17.53, 0.01);
+  EXPECT_EQ(pools[1].name, "Poolin");
+  EXPECT_EQ(pools[2].name, "BTC.com");
+  EXPECT_EQ(pools[3].name, "AntPool");
+}
+
+TEST(DatasetProfiles, PlantedBehavioursMatchPaper) {
+  const auto pools = paper_pools_c();
+  const auto find = [&](const std::string& name) -> const PoolSpec& {
+    for (const auto& p : pools)
+      if (p.name == name) return p;
+    ADD_FAILURE() << name << " missing";
+    static PoolSpec dummy;
+    return dummy;
+  };
+  // Table 2 selfish pools.
+  EXPECT_TRUE(find("F2Pool").selfish);
+  EXPECT_TRUE(find("ViaBTC").selfish);
+  EXPECT_TRUE(find("1THash&58Coin").selfish);
+  EXPECT_TRUE(find("SlushPool").selfish);
+  EXPECT_FALSE(find("Poolin").selfish);
+  EXPECT_FALSE(find("AntPool").selfish);
+  // ViaBTC's collusion partners.
+  const auto& viabtc = find("ViaBTC");
+  ASSERT_EQ(viabtc.accelerates_for.size(), 2u);
+  // §5.4 acceleration services.
+  EXPECT_TRUE(find("BTC.com").offers_acceleration);
+  EXPECT_TRUE(find("AntPool").offers_acceleration);
+  EXPECT_FALSE(find("SlushPool").offers_acceleration);
+  // §4.2.3 low-fee tolerance.
+  EXPECT_TRUE(find("F2Pool").tolerates_low_fee);
+  EXPECT_FALSE(find("Huobi").tolerates_low_fee);
+  // No pool censors anything by default (the paper found no deceleration).
+  for (const auto& p : pools) EXPECT_TRUE(p.censored_wallets.empty());
+}
+
+TEST(DatasetConfig, PerDatasetObserverFloors) {
+  EXPECT_EQ(dataset_config(DatasetKind::kA, 1).observer_min_relay_sat_per_vb, 1);
+  EXPECT_EQ(dataset_config(DatasetKind::kB, 1).observer_min_relay_sat_per_vb, 0);
+  EXPECT_EQ(dataset_config(DatasetKind::kC, 1).observer_min_relay_sat_per_vb, 1);
+}
+
+TEST(DatasetConfig, GenesisHeightsMatchPaperTable1) {
+  EXPECT_EQ(dataset_config(DatasetKind::kA, 1).genesis_height, 563'833u);
+  EXPECT_EQ(dataset_config(DatasetKind::kB, 1).genesis_height, 578'717u);
+  EXPECT_EQ(dataset_config(DatasetKind::kC, 1).genesis_height, 610'691u);
+}
+
+TEST(DatasetConfig, ScaleStretchesDuration) {
+  const auto one = dataset_config(DatasetKind::kA, 1, 1.0);
+  const auto half = dataset_config(DatasetKind::kA, 1, 0.5);
+  EXPECT_NEAR(static_cast<double>(half.duration),
+              static_cast<double>(one.duration) / 2.0, 2.0);
+}
+
+TEST(DatasetConfig, OnlyCHasScamWindow) {
+  EXPECT_FALSE(dataset_config(DatasetKind::kA, 1).workload.scam.has_value());
+  EXPECT_FALSE(dataset_config(DatasetKind::kB, 1).workload.scam.has_value());
+  EXPECT_TRUE(dataset_config(DatasetKind::kC, 1).workload.scam.has_value());
+}
+
+TEST(DatasetConfig, RateForUtilizationScalesLinearly) {
+  const auto config = dataset_config(DatasetKind::kA, 1);
+  const double r1 = rate_for_utilization(config, 1.0);
+  const double r2 = rate_for_utilization(config, 2.0);
+  EXPECT_NEAR(r2, 2.0 * r1, 1e-12);
+  EXPECT_GT(r1, 0.0);
+}
+
+TEST(DatasetConfig, SetAllBuildersFlipsEveryPool) {
+  auto config = dataset_config(DatasetKind::kC, 1);
+  set_all_builders(config, BuilderKind::kLegacyPriority);
+  for (const auto& p : config.pools) {
+    EXPECT_EQ(p.builder, BuilderKind::kLegacyPriority);
+  }
+}
+
+TEST(Dataset, SmallScaleRunsEndToEnd) {
+  const SimResult r = make_dataset(DatasetKind::kA, 3, 0.05);
+  EXPECT_GT(r.chain.size(), 5u);
+  EXPECT_GT(r.chain.total_tx_count(), 100u);
+  EXPECT_GT(r.observer.snapshots().size(), 100u);
+}
+
+}  // namespace
+}  // namespace cn::sim

@@ -1,0 +1,61 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "btc/txid.hpp"
+
+namespace cn::sim {
+namespace {
+
+TEST(Propagation, Deterministic) {
+  const PropagationModel model;
+  const auto id = btc::Txid::hash_of("tx");
+  EXPECT_EQ(model.delay(id, "F2Pool"), model.delay(id, "F2Pool"));
+}
+
+TEST(Propagation, VariesAcrossNodes) {
+  const PropagationModel model;
+  const auto id = btc::Txid::hash_of("tx");
+  bool varies = false;
+  const SimTime first = model.delay(id, "node-0");
+  for (int i = 1; i < 20; ++i) {
+    if (model.delay(id, "node-" + std::to_string(i)) != first) {
+      varies = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Propagation, BoundedByCap) {
+  PropagationModel model;
+  model.cap_seconds = 5.0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = btc::Txid::hash_of("tx" + std::to_string(i));
+    const SimTime d = model.delay(id, "pool");
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 5 + 1);  // +1 for rounding
+  }
+}
+
+TEST(Propagation, MeanNearConfigured) {
+  const PropagationModel model;  // floor 0.2 + exp(mean 3), cap 30
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(
+        model.delay(btc::Txid::hash_of("t" + std::to_string(i)), "x"));
+  }
+  const double mean = sum / n;
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 4.5);
+}
+
+TEST(Propagation, ArrivalAddsBroadcastTime) {
+  const PropagationModel model;
+  const auto id = btc::Txid::hash_of("tx");
+  EXPECT_EQ(model.arrival(id, "n", 1000), 1000 + model.delay(id, "n"));
+}
+
+}  // namespace
+}  // namespace cn::sim

@@ -1,0 +1,172 @@
+#include "sim/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::sim {
+namespace {
+
+using cn::test::tx_with_rate;
+
+const btc::Address kPoolWallet = btc::Address::derive("pool/wallet/0");
+const btc::Address kPartnerWallet = btc::Address::derive("partner/wallet/0");
+const btc::Address kUser = btc::Address::derive("some-user");
+
+btc::Transaction payout(std::uint64_t nonce) {
+  return btc::make_payment(0, 250, btc::Satoshi{250}, kPoolWallet, kUser,
+                           btc::Satoshi{1'000'000}, nonce);
+}
+
+TEST(SelfInterestPolicy, BoostsOwnWalletTxs) {
+  node::Mempool pool(1);
+  const auto own = payout(1);
+  const auto other = tx_with_rate(1.0, 250, 0, 2);
+  pool.accept(own, 0);
+  pool.accept(other, 0);
+
+  std::unordered_set<btc::Address> wallets{kPoolWallet};
+  PolicyContext ctx;
+  ctx.own_wallets = &wallets;
+
+  node::TemplateOptions options;
+  SelfInterestPolicy{}.apply(options, pool, ctx);
+  ASSERT_EQ(options.fee_deltas.size(), 1u);
+  EXPECT_EQ(options.fee_deltas.at(own.id()), kPriorityBoost);
+}
+
+TEST(SelfInterestPolicy, BoostsIncomingToo) {
+  node::Mempool pool(1);
+  const auto deposit = btc::make_payment(0, 250, btc::Satoshi{250}, kUser,
+                                         kPoolWallet, btc::Satoshi{500}, 3);
+  pool.accept(deposit, 0);
+  std::unordered_set<btc::Address> wallets{kPoolWallet};
+  PolicyContext ctx;
+  ctx.own_wallets = &wallets;
+  node::TemplateOptions options;
+  SelfInterestPolicy{}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fee_deltas.contains(deposit.id()));
+}
+
+TEST(CollusionPolicy, BoostsPartnerWallets) {
+  node::Mempool pool(1);
+  const auto partner_tx = btc::make_payment(
+      0, 250, btc::Satoshi{250}, kPartnerWallet, kUser, btc::Satoshi{500}, 4);
+  const auto own_tx = payout(5);
+  pool.accept(partner_tx, 0);
+  pool.accept(own_tx, 0);
+
+  std::unordered_set<btc::Address> own{kPoolWallet};
+  std::unordered_set<btc::Address> partner{kPartnerWallet};
+  PolicyContext ctx;
+  ctx.own_wallets = &own;
+  ctx.partner_wallets.push_back(&partner);
+
+  node::TemplateOptions options;
+  CollusionPolicy{}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fee_deltas.contains(partner_tx.id()));
+  EXPECT_FALSE(options.fee_deltas.contains(own_tx.id()));
+}
+
+TEST(CollusionPolicy, NoPartnersIsNoop) {
+  node::Mempool pool(1);
+  pool.accept(payout(6), 0);
+  PolicyContext ctx;
+  node::TemplateOptions options;
+  CollusionPolicy{}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fee_deltas.empty());
+}
+
+TEST(DarkFeePolicy, BoostsOnlyOwnServiceCustomers) {
+  node::Mempool pool(1);
+  const auto paid = tx_with_rate(1.0, 250, 0, 7);
+  const auto other_service = tx_with_rate(1.0, 250, 0, 8);
+  pool.accept(paid, 0);
+  pool.accept(other_service, 0);
+
+  AccelerationService service;
+  service.accelerate(paid.id(), "BTC.com", btc::Satoshi{100'000});
+  service.accelerate(other_service.id(), "AntPool", btc::Satoshi{100'000});
+
+  PolicyContext ctx;
+  ctx.pool_name = "BTC.com";
+  ctx.acceleration = &service;
+
+  node::TemplateOptions options;
+  DarkFeePolicy{}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fee_deltas.contains(paid.id()));
+  EXPECT_FALSE(options.fee_deltas.contains(other_service.id()));
+}
+
+TEST(DarkFeePolicy, SkipsCommittedCustomers) {
+  node::Mempool pool(1);  // tx NOT in mempool
+  const auto gone = tx_with_rate(1.0, 250, 0, 9);
+  AccelerationService service;
+  service.accelerate(gone.id(), "BTC.com", btc::Satoshi{100'000});
+  PolicyContext ctx;
+  ctx.pool_name = "BTC.com";
+  ctx.acceleration = &service;
+  node::TemplateOptions options;
+  DarkFeePolicy{}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fee_deltas.empty());
+}
+
+TEST(CensorshipPolicy, ExcludesBlacklistedWallets) {
+  node::Mempool pool(1);
+  const btc::Address scam = btc::Address::derive("scam-wallet");
+  const auto scam_tx = btc::make_payment(0, 250, btc::Satoshi{2500}, kUser, scam,
+                                         btc::Satoshi{500}, 10);
+  const auto fine_tx = tx_with_rate(5.0, 250, 0, 11);
+  pool.accept(scam_tx, 0);
+  pool.accept(fine_tx, 0);
+
+  CensorshipPolicy policy({scam});
+  PolicyContext ctx;
+  node::TemplateOptions options;
+  policy.apply(options, pool, ctx);
+  EXPECT_TRUE(options.exclude.contains(scam_tx.id()));
+  EXPECT_FALSE(options.exclude.contains(fine_tx.id()));
+}
+
+TEST(LowFeeTolerance, LiftsFloorPeriodically) {
+  node::Mempool pool(1);
+  LowFeeTolerancePolicy policy(/*period=*/4);
+  PolicyContext ctx;
+  ctx.pool_name = "F2Pool";
+
+  int lifted = 0;
+  for (std::uint64_t h = 0; h < 400; ++h) {
+    node::TemplateOptions options;
+    options.min_rate = btc::FeeRate::from_sat_per_vb(1);
+    ctx.height = h;
+    policy.apply(options, pool, ctx);
+    if (!options.min_rate.valid()) ++lifted;
+  }
+  // Expect roughly 1 in 4 heights, deterministic given pool/height.
+  EXPECT_GT(lifted, 60);
+  EXPECT_LT(lifted, 140);
+}
+
+TEST(LowFeeTolerance, DeterministicPerPoolAndHeight) {
+  LowFeeTolerancePolicy policy(4);
+  node::Mempool pool(1);
+  PolicyContext ctx;
+  ctx.pool_name = "F2Pool";
+  ctx.height = 123;
+  node::TemplateOptions a, b;
+  a.min_rate = b.min_rate = btc::FeeRate::from_sat_per_vb(1);
+  policy.apply(a, pool, ctx);
+  policy.apply(b, pool, ctx);
+  EXPECT_EQ(a.min_rate.valid(), b.min_rate.valid());
+}
+
+TEST(PolicyNames, AreStable) {
+  EXPECT_EQ(SelfInterestPolicy{}.name(), "self-interest");
+  EXPECT_EQ(CollusionPolicy{}.name(), "collusion");
+  EXPECT_EQ(DarkFeePolicy{}.name(), "dark-fee");
+  EXPECT_EQ(CensorshipPolicy{{}}.name(), "censorship");
+  EXPECT_EQ(LowFeeTolerancePolicy{}.name(), "low-fee-tolerance");
+}
+
+}  // namespace
+}  // namespace cn::sim

@@ -1,0 +1,153 @@
+#include "sim/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace cn::sim {
+namespace {
+
+using cn::test::tx_with_rate;
+
+PoolSpec basic_spec(std::string name = "TestPool") {
+  PoolSpec spec;
+  spec.name = std::move(name);
+  spec.hash_share = 0.1;
+  spec.wallet_count = 3;
+  return spec;
+}
+
+TEST(MiningPool, DerivesDistinctWallets) {
+  const MiningPool pool(basic_spec());
+  EXPECT_EQ(pool.wallets().size(), 3u);
+  EXPECT_EQ(pool.wallet_set().size(), 3u);
+}
+
+TEST(MiningPool, WalletsAreStableAcrossInstances) {
+  const MiningPool a(basic_spec());
+  const MiningPool b(basic_spec());
+  EXPECT_EQ(a.wallets(), b.wallets());
+}
+
+TEST(MiningPool, DifferentPoolsDifferentWallets) {
+  const MiningPool a(basic_spec("PoolA"));
+  const MiningPool b(basic_spec("PoolB"));
+  for (const auto& w : a.wallets()) {
+    EXPECT_FALSE(b.wallet_set().contains(w));
+  }
+}
+
+TEST(MiningPool, RewardWalletRotates) {
+  MiningPool pool(basic_spec());
+  const auto w0 = pool.next_reward_wallet();
+  const auto w1 = pool.next_reward_wallet();
+  const auto w2 = pool.next_reward_wallet();
+  const auto w3 = pool.next_reward_wallet();
+  EXPECT_NE(w0, w1);
+  EXPECT_NE(w1, w2);
+  EXPECT_EQ(w0, w3);  // wraps around
+}
+
+TEST(MiningPool, CoinbaseTag) {
+  EXPECT_EQ(MiningPool(basic_spec("F2Pool")).coinbase_tag(), "/F2Pool/");
+  PoolSpec anon = basic_spec();
+  anon.anonymous = true;
+  EXPECT_EQ(MiningPool(anon).coinbase_tag(), "");
+}
+
+TEST(MiningPool, PolicyStackFromSpec) {
+  PoolSpec spec = basic_spec();
+  spec.selfish = true;
+  spec.offers_acceleration = true;
+  spec.tolerates_low_fee = true;
+  spec.accelerates_for = {"Partner"};
+  spec.censored_wallets = {btc::Address::derive("bad")};
+  const MiningPool pool(spec);
+  EXPECT_EQ(pool.policies().size(), 5u);
+}
+
+TEST(MiningPool, HonestPoolHasNoPolicies) {
+  const MiningPool pool(basic_spec());
+  EXPECT_TRUE(pool.policies().empty());
+}
+
+TEST(MiningPool, BuildTemplateAppliesFloorAndBudget) {
+  node::Mempool mempool(0);
+  mempool.accept(tx_with_rate(0.4, 250, 0, 41), 0);  // below pool floor
+  mempool.accept(tx_with_rate(5.0, 250, 0, 42), 0);
+  mempool.accept(tx_with_rate(4.0, 250, 0, 43), 0);
+
+  MiningPool pool(basic_spec());
+  PolicyContext ctx;
+  ctx.max_template_vsize = 250;  // only one fits
+  ctx.own_wallets = &pool.wallet_set();
+  ctx.pool_name = pool.name();
+
+  const auto tpl = pool.build_template(mempool, ctx, {});
+  ASSERT_EQ(tpl.txs.size(), 1u);
+  EXPECT_DOUBLE_EQ(tpl.txs[0].fee_rate().sat_per_vbyte(), 5.0);
+}
+
+TEST(MiningPool, SelfishPoolPutsOwnTxFirst) {
+  PoolSpec spec = basic_spec("Selfish");
+  spec.selfish = true;
+  MiningPool pool(spec);
+
+  node::Mempool mempool(0);
+  const auto own = btc::make_payment(0, 250, btc::Satoshi{250},
+                                     pool.wallets()[0],
+                                     btc::Address::derive("u"),
+                                     btc::Satoshi{1'000'000}, 51);
+  mempool.accept(own, 0);
+  mempool.accept(tx_with_rate(80.0, 250, 0, 52), 0);
+
+  PolicyContext ctx;
+  ctx.own_wallets = &pool.wallet_set();
+  ctx.pool_name = pool.name();
+  const auto tpl = pool.build_template(mempool, ctx, {});
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), own.id());
+}
+
+TEST(MiningPool, BaseExcludeRespected) {
+  node::Mempool mempool(0);
+  const auto unseen = tx_with_rate(50.0, 250, 0, 61);
+  mempool.accept(unseen, 0);
+  mempool.accept(tx_with_rate(5.0, 250, 0, 62), 0);
+
+  MiningPool pool(basic_spec());
+  PolicyContext ctx;
+  ctx.own_wallets = &pool.wallet_set();
+  const auto tpl = pool.build_template(mempool, ctx, {unseen.id()});
+  ASSERT_EQ(tpl.txs.size(), 1u);
+  EXPECT_NE(tpl.txs[0].id(), unseen.id());
+}
+
+TEST(MiningPool, LegacyBuilderIgnoresFeeDeltas) {
+  PoolSpec spec = basic_spec("OldTimer");
+  spec.builder = BuilderKind::kLegacyPriority;
+  spec.selfish = true;  // would boost under GBT; legacy ignores it
+  MiningPool pool(spec);
+
+  node::Mempool mempool(0);
+  const auto big_old = btc::make_payment(0, 250, btc::Satoshi{250},
+                                         btc::Address::derive("a"),
+                                         btc::Address::derive("b"),
+                                         btc::Satoshi{900'000'000}, 71);
+  const auto own = btc::make_payment(90, 250, btc::Satoshi{250},
+                                     pool.wallets()[0],
+                                     btc::Address::derive("u"),
+                                     btc::Satoshi{1000}, 72);
+  mempool.accept(big_old, 0);
+  mempool.accept(own, 90);
+
+  PolicyContext ctx;
+  ctx.now = 100;
+  ctx.own_wallets = &pool.wallet_set();
+  const auto tpl = pool.build_template(mempool, ctx, {});
+  ASSERT_EQ(tpl.txs.size(), 2u);
+  EXPECT_EQ(tpl.txs[0].id(), big_old.id());  // coin-age wins, not ownership
+}
+
+}  // namespace
+}  // namespace cn::sim

@@ -1,0 +1,118 @@
+#include "stats/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cn::stats {
+namespace {
+
+TEST(BinomialPmf, SumsToOne) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= 20; ++k) sum += binomial_pmf(k, 20, p);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(BinomialPmf, MatchesHandComputedValues) {
+  // Binomial(4, 0.5): pmf = {1,4,6,4,1}/16.
+  EXPECT_NEAR(binomial_pmf(0, 4, 0.5), 1.0 / 16, 1e-14);
+  EXPECT_NEAR(binomial_pmf(2, 4, 0.5), 6.0 / 16, 1e-14);
+  EXPECT_NEAR(binomial_pmf(4, 4, 0.5), 1.0 / 16, 1e-14);
+}
+
+TEST(BinomialPmf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(1, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(9, 10, 1.0), 0.0);
+}
+
+TEST(BinomialCdf, BasicIdentities) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(20, 20, 0.3), 1.0);
+  EXPECT_NEAR(binomial_cdf(0, 10, 0.5), std::pow(0.5, 10), 1e-14);
+}
+
+TEST(BinomialCdf, ComplementsSurvival) {
+  for (std::uint64_t k = 0; k <= 30; ++k) {
+    const double cdf = binomial_cdf(k, 30, 0.37);
+    const double sf = binomial_sf(k + 1, 30, 0.37);
+    EXPECT_NEAR(cdf + sf, 1.0, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(BinomialSf, KnownValue) {
+  // Pr[B >= 8 | n=10, p=0.5] = (45 + 10 + 1)/1024.
+  EXPECT_NEAR(binomial_sf(8, 10, 0.5), 56.0 / 1024.0, 1e-12);
+}
+
+TEST(AccelerationTest, PaperMagnitudeExample) {
+  // Table 2's F2Pool row: x=466 of y=839 c-blocks at theta0=0.1753 is
+  // overwhelming evidence (reported p = 0.0000).
+  const double p = acceleration_p_value(466, 839, 0.1753);
+  EXPECT_LT(p, 1e-100);
+  // And the deceleration p-value is ~1.
+  EXPECT_GT(deceleration_p_value(466, 839, 0.1753), 0.9999);
+}
+
+TEST(AccelerationTest, NullBehaviourIsUniformish) {
+  // x = expected value -> p around 0.5, certainly not significant.
+  const double p = acceleration_p_value(100, 1000, 0.1);
+  EXPECT_GT(p, 0.4);
+  EXPECT_LT(p, 0.6);
+}
+
+TEST(AccelerationTest, ZeroXNeverSignificant) {
+  EXPECT_DOUBLE_EQ(acceleration_p_value(0, 50, 0.2), 1.0);
+}
+
+TEST(DecelerationTest, DetectsCensorship) {
+  // A 20%-hash-rate pool that mined none of 100 c-blocks.
+  const double p = deceleration_p_value(0, 100, 0.2);
+  EXPECT_LT(p, 1e-9);
+}
+
+TEST(DecelerationTest, Table3HuobiShape) {
+  // Table 3: Huobi x=1, y=53, theta0=0.0955 -> p_decel ~ 0.0323 (not
+  // significant at alpha=0.001).
+  const double p = deceleration_p_value(1, 53, 0.0955);
+  EXPECT_NEAR(p, 0.0323, 0.002);
+  EXPECT_GT(p, 0.001);
+}
+
+TEST(BinomialLogPmf, StaysFiniteForHugeN) {
+  const double lp = binomial_log_pmf(5'000, 50'000, 0.1);
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, 0.0);
+}
+
+// Normal approximation tracks the exact test for large y (paper §5.1.3).
+struct ApproxCase {
+  std::uint64_t x, y;
+  double theta0;
+};
+
+class NormalApprox : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(NormalApprox, TracksExactTest) {
+  const auto& c = GetParam();
+  const double exact = acceleration_p_value(c.x, c.y, c.theta0);
+  const double approx = acceleration_p_value_normal(c.x, c.y, c.theta0);
+  EXPECT_NEAR(approx, exact, 0.01)
+      << "x=" << c.x << " y=" << c.y << " theta0=" << c.theta0;
+
+  const double exact_d = deceleration_p_value(c.x, c.y, c.theta0);
+  const double approx_d = deceleration_p_value_normal(c.x, c.y, c.theta0);
+  EXPECT_NEAR(approx_d, exact_d, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargeSamples, NormalApprox,
+    ::testing::Values(ApproxCase{200, 1000, 0.2}, ApproxCase{230, 1000, 0.2},
+                      ApproxCase{170, 1000, 0.2}, ApproxCase{500, 5000, 0.1},
+                      ApproxCase{550, 5000, 0.1}, ApproxCase{2500, 5000, 0.5},
+                      ApproxCase{2600, 5000, 0.5}, ApproxCase{100, 800, 0.15}));
+
+}  // namespace
+}  // namespace cn::stats

@@ -1,0 +1,77 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace cn::stats {
+namespace {
+
+TEST(Bootstrap, PointEqualsStatisticOnSample) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const auto ci = bootstrap_mean_ci(v, 0.95, 200, 7);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+  EXPECT_EQ(ci.resamples, 200u);
+}
+
+TEST(Bootstrap, IntervalBracketsPoint) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.normal(10.0, 2.0));
+  const auto ci = bootstrap_mean_ci(v);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  // ~95% CI half-width for n=500, sigma=2: ~0.18. Allow slack.
+  EXPECT_LT(ci.hi - ci.lo, 0.6);
+  EXPECT_GT(ci.hi - ci.lo, 0.1);
+}
+
+TEST(Bootstrap, CoversTrueMeanUsually) {
+  // Repeat over seeds; the 95% CI should cover mu=5 nearly always.
+  int covered = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 99);
+    std::vector<double> v;
+    for (int i = 0; i < 200; ++i) v.push_back(rng.exponential(0.2));  // mean 5
+    const auto ci = bootstrap_mean_ci(v, 0.95, 400, seed);
+    if (ci.lo <= 5.0 && 5.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 17);  // ~19 expected
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> v = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto a = bootstrap_mean_ci(v, 0.9, 300, 42);
+  const auto b = bootstrap_mean_ci(v, 0.9, 300, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  // 1..20 plus one huge outlier; the median CI must not chase the outlier
+  // (with a reasonable sample size, unlike the mean's CI).
+  std::vector<double> v;
+  for (int i = 1; i <= 20; ++i) v.push_back(static_cast<double>(i));
+  v.push_back(1e6);
+  const auto med_ci = bootstrap_ci(
+      v, [](std::span<const double> s) { return median(s); }, 0.95, 400, 5);
+  EXPECT_DOUBLE_EQ(med_ci.point, 11.0);
+  EXPECT_LT(med_ci.hi, 21.0);
+  const auto mean_ci = bootstrap_mean_ci(v, 0.95, 400, 5);
+  EXPECT_GT(mean_ci.hi, 1000.0);  // the mean does chase it
+}
+
+TEST(Bootstrap, WiderIntervalAtHigherConfidence) {
+  Rng rng(11);
+  std::vector<double> v;
+  for (int i = 0; i < 300; ++i) v.push_back(rng.normal(0.0, 1.0));
+  const auto c90 = bootstrap_mean_ci(v, 0.90, 500, 3);
+  const auto c99 = bootstrap_mean_ci(v, 0.99, 500, 3);
+  EXPECT_GT(c99.hi - c99.lo, c90.hi - c90.lo);
+}
+
+}  // namespace
+}  // namespace cn::stats

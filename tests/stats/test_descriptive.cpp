@@ -1,0 +1,109 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cn::stats {
+namespace {
+
+TEST(Descriptive, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Descriptive, MeanBasic) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Descriptive, KahanSumHandlesCancellation) {
+  // Naive summation loses the small terms entirely.
+  std::vector<double> v;
+  v.push_back(1e16);
+  for (int i = 0; i < 10'000; ++i) v.push_back(1.0);
+  v.push_back(-1e16);
+  EXPECT_DOUBLE_EQ(kahan_sum(v), 10'000.0);
+}
+
+TEST(Descriptive, SampleStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Population stddev of this classic example is 2; sample stddev larger.
+  EXPECT_NEAR(population_stddev(v), 2.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(v), 2.138, 0.001);
+}
+
+TEST(Descriptive, StddevDegenerateCases) {
+  EXPECT_EQ(sample_stddev({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(sample_stddev(one), 0.0);
+  EXPECT_EQ(population_stddev(one), 0.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> v = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+}
+
+TEST(Descriptive, QuantileSingleElement) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.73), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  const std::vector<double> odd = {3, 1, 2};
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, SummaryMatchesComponents) {
+  const std::vector<double> v = {5, 1, 4, 2, 3};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Descriptive, SummaryOfEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+// Property sweep: quantiles are monotone in q for arbitrary data.
+class QuantileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  std::vector<double> v;
+  unsigned state = static_cast<unsigned>(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    state = state * 1664525u + 1013904223u;
+    v.push_back(static_cast<double>(state % 1000));
+  }
+  double prev = quantile(v, 0.0);
+  for (int step = 1; step <= 20; ++step) {
+    const double q = static_cast<double>(step) / 20.0;
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cn::stats

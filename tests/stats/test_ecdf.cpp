@@ -1,0 +1,77 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cn::stats {
+namespace {
+
+TEST(Ecdf, EmptyEvaluatesToZero) {
+  Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.evaluate(5.0), 0.0);
+}
+
+TEST(Ecdf, EvaluateStepFunction) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  const Ecdf e{std::span<const double>(v)};
+  EXPECT_DOUBLE_EQ(e.evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.evaluate(100.0), 1.0);
+}
+
+TEST(Ecdf, SurvivalComplementsEvaluate) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const Ecdf e{std::span<const double>(v)};
+  for (double x : {0.0, 2.0, 3.5, 6.0}) {
+    EXPECT_DOUBLE_EQ(e.evaluate(x) + e.survival(x), 1.0);
+  }
+}
+
+TEST(Ecdf, UnsortedInputIsSorted) {
+  const std::vector<double> v = {4, 1, 3, 2};
+  const Ecdf e{std::span<const double>(v)};
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 4.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 2.5);
+}
+
+TEST(Ecdf, DuplicatesHandled) {
+  const std::vector<double> v = {2, 2, 2, 5};
+  const Ecdf e{std::span<const double>(v)};
+  EXPECT_DOUBLE_EQ(e.evaluate(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.evaluate(1.9), 0.0);
+}
+
+TEST(Ecdf, PointsCoverFullRange) {
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(static_cast<double>(i));
+  const Ecdf e{std::span<const double>(v)};
+  const auto pts = e.points(100);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_LE(pts.size(), 102u);
+  EXPECT_DOUBLE_EQ(pts.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().x, 1999.0);
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+  // Monotone in both coordinates.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GE(pts[i].f, pts[i - 1].f);
+  }
+}
+
+TEST(Ecdf, QuantileEvaluateConsistency) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Ecdf e{std::span<const double>(v)};
+  for (double q : {0.1, 0.25, 0.5, 0.9}) {
+    const double x = e.quantile(q);
+    EXPECT_NEAR(e.evaluate(x), q, 0.02) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace cn::stats

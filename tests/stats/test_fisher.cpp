@@ -1,0 +1,45 @@
+#include "stats/fisher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cn::stats {
+namespace {
+
+TEST(Fisher, SinglePValueRoundTrips) {
+  // Combining one p-value returns (approximately) itself:
+  // -2 ln p ~ chi2(2) whose sf at -2 ln p is exactly p.
+  for (double p : {0.9, 0.5, 0.05, 0.001}) {
+    EXPECT_NEAR(fisher_combine(std::vector<double>{p}), p, 1e-9);
+  }
+}
+
+TEST(Fisher, ConsistentEvidenceCompounds) {
+  const std::vector<double> p = {0.05, 0.05, 0.05};
+  // X = -2 * 3 * ln(0.05) ~ 17.97, chi2(6) sf ~ 0.0063.
+  const double combined = fisher_combine(p);
+  EXPECT_LT(combined, 0.05);
+  EXPECT_NEAR(combined, 0.0063, 0.0005);
+}
+
+TEST(Fisher, MixedEvidenceDilutes) {
+  const std::vector<double> p = {0.01, 0.9, 0.9, 0.9};
+  const double combined = fisher_combine(p);
+  EXPECT_GT(combined, 0.01);
+}
+
+TEST(Fisher, AllOnesIsOne) {
+  const std::vector<double> p = {1.0, 1.0};
+  EXPECT_NEAR(fisher_combine(p), 1.0, 1e-12);
+}
+
+TEST(Fisher, ClampsZeroPValues) {
+  const std::vector<double> p = {0.0, 0.5};
+  const double combined = fisher_combine(p);
+  EXPECT_GE(combined, 0.0);
+  EXPECT_LT(combined, 1e-200);
+}
+
+}  // namespace
+}  // namespace cn::stats

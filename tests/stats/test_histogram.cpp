@@ -1,0 +1,76 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cn::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, FractionIncludesOutliers) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0);
+  h.add(20.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> v = {0.5, 1.5, 2.5, 3.5};
+  h.add_all(v);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h.count(i), 1u);
+}
+
+TEST(LogHistogram, GeometricEdges) {
+  LogHistogram h(1.0, 1000.0, 3);
+  EXPECT_NEAR(h.bin_lo(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_lo(2), 100.0, 1e-6);
+  EXPECT_NEAR(h.bin_hi(2), 1000.0, 1e-6);
+}
+
+TEST(LogHistogram, BinsSpanningOrdersOfMagnitude) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(2.0);    // bin 0
+  h.add(50.0);   // bin 1
+  h.add(500.0);  // bin 2
+  h.add(0.5);    // out of range (below)
+  h.add(-3.0);   // non-positive: dropped
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+}  // namespace
+}  // namespace cn::stats

@@ -1,0 +1,83 @@
+#include "stats/ks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cn::stats {
+namespace {
+
+TEST(KolmogorovSf, KnownValues) {
+  // Q(1.3581) ~ 0.05 ; Q(1.2238) ~ 0.10 ; Q(1.6276) ~ 0.01.
+  EXPECT_NEAR(kolmogorov_sf(1.3581), 0.05, 0.002);
+  EXPECT_NEAR(kolmogorov_sf(1.2238), 0.10, 0.003);
+  EXPECT_NEAR(kolmogorov_sf(1.6276), 0.01, 0.001);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+  EXPECT_LT(kolmogorov_sf(3.0), 1e-7);
+}
+
+TEST(KsTwoSample, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const auto r = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTwoSample, DisjointSamplesHaveDistanceOne) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 11, 12};
+  const auto r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 0.1);
+}
+
+TEST(KsTwoSample, SameDistributionNotRejected) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.lognormal(1.0, 0.7));
+  for (int i = 0; i < 2000; ++i) b.push_back(rng.lognormal(1.0, 0.7));
+  const auto r = ks_two_sample(a, b);
+  EXPECT_LT(r.statistic, 0.06);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTwoSample, ShiftedDistributionRejected) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) a.push_back(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 2000; ++i) b.push_back(rng.normal(0.5, 1.0));
+  const auto r = ks_two_sample(a, b);
+  EXPECT_GT(r.statistic, 0.15);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTwoSample, UnequalSampleSizes) {
+  Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) a.push_back(rng.uniform01());
+  for (int i = 0; i < 100; ++i) b.push_back(rng.uniform01());
+  const auto r = ks_two_sample(a, b);
+  EXPECT_EQ(r.n1, 5000u);
+  EXPECT_EQ(r.n2, 100u);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+// Calibration sweep: under H0 the p-value should exceed 0.05 in the
+// overwhelming majority of seeds.
+class KsCalibration : public ::testing::TestWithParam<int> {};
+
+TEST_P(KsCalibration, NullNotOverRejected) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1337);
+  std::vector<double> a, b;
+  for (int i = 0; i < 800; ++i) a.push_back(rng.exponential(1.0));
+  for (int i = 0; i < 800; ++i) b.push_back(rng.exponential(1.0));
+  const auto r = ks_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KsCalibration, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cn::stats

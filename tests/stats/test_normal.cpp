@@ -1,0 +1,47 @@
+#include "stats/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cn::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.1586553, 1e-6);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-6);
+}
+
+TEST(NormalCdf, DeepTailsStayAccurate) {
+  // erfc-based tails keep relative accuracy far out.
+  EXPECT_NEAR(normal_sf(6.0) / 9.8659e-10, 1.0, 1e-3);
+  EXPECT_GT(normal_sf(38.0), 0.0);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double z : {0.3, 1.7, 4.2}) {
+    EXPECT_NEAR(normal_cdf(-z), normal_sf(z), 1e-15);
+  }
+}
+
+TEST(NormalPdf, PeakValue) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_NEAR(normal_pdf(2.0), normal_pdf(-2.0), 1e-18);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.0013499), -3.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace cn::stats

@@ -1,0 +1,79 @@
+#include "stats/rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cn::stats {
+namespace {
+
+TEST(PercentileRank, EndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(percentile_rank(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_rank(4, 5), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_rank(2, 5), 50.0);
+}
+
+TEST(PercentileRank, SingleItemIsZero) {
+  EXPECT_DOUBLE_EQ(percentile_rank(0, 1), 0.0);
+}
+
+TEST(DescendingOrder, SortsByKeyDescending) {
+  const std::vector<double> keys = {1.0, 5.0, 3.0};
+  const auto order = descending_order(keys);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);  // 5.0 first
+  EXPECT_EQ(order[1], 2u);  // 3.0
+  EXPECT_EQ(order[2], 0u);  // 1.0
+}
+
+TEST(DescendingOrder, TiesKeepOriginalOrder) {
+  const std::vector<double> keys = {2.0, 2.0, 2.0};
+  const auto order = descending_order(keys);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(PredictedPositions, InverseOfOrder) {
+  const std::vector<double> keys = {1.0, 5.0, 3.0, 4.0};
+  const auto pos = predicted_positions(keys);
+  // 5.0 -> rank 0, 4.0 -> 1, 3.0 -> 2, 1.0 -> 3.
+  EXPECT_EQ(pos[0], 3u);
+  EXPECT_EQ(pos[1], 0u);
+  EXPECT_EQ(pos[2], 2u);
+  EXPECT_EQ(pos[3], 1u);
+}
+
+TEST(PredictedPositions, AlreadySortedIsIdentity) {
+  const std::vector<double> keys = {9.0, 7.0, 5.0, 3.0};
+  const auto pos = predicted_positions(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(pos[i], i);
+}
+
+TEST(PredictedPositions, EmptyInput) {
+  EXPECT_TRUE(predicted_positions({}).empty());
+}
+
+// Property: predicted_positions is always a permutation.
+class PermutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationProperty, IsPermutation) {
+  std::vector<double> keys;
+  unsigned state = static_cast<unsigned>(GetParam()) * 2654435761u;
+  for (int i = 0; i < 50; ++i) {
+    state = state * 1664525u + 1013904223u;
+    keys.push_back(static_cast<double>(state % 17));  // plenty of ties
+  }
+  const auto pos = predicted_positions(keys);
+  std::vector<bool> seen(pos.size(), false);
+  for (std::size_t p : pos) {
+    ASSERT_LT(p, pos.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace cn::stats

@@ -1,0 +1,84 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cn::stats {
+namespace {
+
+TEST(LogChoose, SmallValues) {
+  EXPECT_NEAR(log_choose(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_choose(10, 5), std::log(252.0), 1e-12);
+  EXPECT_DOUBLE_EQ(log_choose(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_choose(7, 7), 0.0);
+}
+
+TEST(LogChoose, Symmetry) {
+  EXPECT_NEAR(log_choose(100, 30), log_choose(100, 70), 1e-9);
+}
+
+TEST(LogChoose, LargeValuesFinite) {
+  const double v = log_choose(1'000'000, 500'000);
+  EXPECT_TRUE(std::isfinite(v));
+  // ~ n*ln(2) for the central coefficient.
+  EXPECT_NEAR(v, 1e6 * std::log(2.0), 20.0);
+}
+
+TEST(RegGamma, ComplementaryPair) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(reg_gamma_p(a, x) + reg_gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegGamma, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.0, 0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(reg_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(ChiSquare, KnownQuantiles) {
+  // Chi-square(2) survival at x is exp(-x/2).
+  EXPECT_NEAR(chi_square_sf(5.991, 2), 0.05, 1e-3);
+  // Chi-square(1): sf(3.841) ~ 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 1e-3);
+  // Chi-square(10): sf(18.307) ~ 0.05.
+  EXPECT_NEAR(chi_square_sf(18.307, 10), 0.05, 1e-3);
+}
+
+TEST(ChiSquare, EdgeCases) {
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_sf(-1.0, 4), 1.0);
+  EXPECT_LT(chi_square_sf(1000.0, 4), 1e-100);
+}
+
+TEST(LogAddExp, Basic) {
+  EXPECT_NEAR(log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(log_add_exp(0.0, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(LogAddExp, HandlesNegInfinity) {
+  constexpr double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(log_add_exp(ninf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(log_add_exp(1.5, ninf), 1.5);
+}
+
+TEST(LogAddExp, NoOverflowForLargeInputs) {
+  const double v = log_add_exp(1000.0, 1000.0);
+  EXPECT_NEAR(v, 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(Log1mExp, AccurateBothRegimes) {
+  // log(1 - exp(-0.1))
+  EXPECT_NEAR(log1m_exp(-0.1), std::log(1.0 - std::exp(-0.1)), 1e-12);
+  // log(1 - exp(-50)) ~ -exp(-50)
+  EXPECT_NEAR(log1m_exp(-50.0), -std::exp(-50.0), 1e-30);
+  EXPECT_EQ(log1m_exp(0.0), -std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace cn::stats

@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cn {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSeparators) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/cn_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    ASSERT_TRUE(csv.ok());
+    csv.header({"name", "value"});
+    csv.field("pi").field(3.14159, 2);
+    csv.end_row();
+    csv.field("n").field(std::int64_t{-5});
+    csv.end_row();
+  }
+  EXPECT_EQ(read_all(path_), "name,value\npi,3.14\nn,-5\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialFields) {
+  {
+    CsvWriter csv(path_);
+    csv.field("a,b").field(std::uint64_t{7});
+    csv.end_row();
+  }
+  EXPECT_EQ(read_all(path_), "\"a,b\",7\n");
+}
+
+TEST(CsvWriter, ReportsFailureForBadPath) {
+  CsvWriter csv("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(csv.ok());
+}
+
+}  // namespace
+}  // namespace cn

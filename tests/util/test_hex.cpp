@@ -1,0 +1,59 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn {
+namespace {
+
+TEST(Hex, EncodesEmpty) {
+  EXPECT_EQ(hex_encode({}), "");
+}
+
+TEST(Hex, EncodesBytes) {
+  const std::uint8_t data[] = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(hex_encode(std::span<const std::uint8_t>(data, 4)), "000fa5ff");
+}
+
+TEST(Hex, DecodesLowerAndUpperCase) {
+  const auto lower = hex_decode("deadbeef");
+  const auto upper = hex_decode("DEADBEEF");
+  ASSERT_TRUE(lower.has_value());
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(*lower, *upper);
+  EXPECT_EQ((*lower)[0], 0xde);
+  EXPECT_EQ((*lower)[3], 0xef);
+}
+
+TEST(Hex, RoundTrips) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<std::uint8_t>(i));
+  const auto decoded = hex_decode(hex_encode(bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bytes);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_FALSE(hex_decode("abc").has_value());
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_FALSE(hex_decode("zz").has_value());
+  EXPECT_FALSE(hex_decode("0g").has_value());
+  EXPECT_FALSE(hex_decode("0x12").has_value());
+}
+
+TEST(Hex, DecodesEmptyToEmpty) {
+  const auto decoded = hex_decode("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Hex, IsHexPredicate) {
+  EXPECT_TRUE(is_hex("00ff"));
+  EXPECT_FALSE(is_hex(""));
+  EXPECT_FALSE(is_hex("0"));
+  EXPECT_FALSE(is_hex("0xff"));
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,168 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng f1 = parent.fork("workload");
+  Rng f2 = parent.fork("workload");
+  Rng g = parent.fork("blocks");
+  EXPECT_EQ(f1.next(), f2.next());
+  EXPECT_NE(f1.next(), g.next());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowIsBounded) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+  // n == 1 always yields 0.
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.uniform_below(8)];
+  for (int c : counts) EXPECT_GT(c, 800);  // each ~1000 expected
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 50'001; ++i) xs.push_back(rng.lognormal(std::log(10.0), 0.8));
+  std::nth_element(xs.begin(), xs.begin() + 25'000, xs.end());
+  EXPECT_NEAR(xs[25'000], 10.0, 0.5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ParetoBoundedBelow) {
+  Rng rng(37);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(41);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(43);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(StableHash, DeterministicAndSpread) {
+  EXPECT_EQ(stable_hash64("pool"), stable_hash64("pool"));
+  EXPECT_NE(stable_hash64("pool-a"), stable_hash64("pool-b"));
+  EXPECT_NE(stable_hash64(""), stable_hash64("a"));
+}
+
+}  // namespace
+}  // namespace cn

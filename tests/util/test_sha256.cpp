@@ -1,0 +1,82 @@
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/hex.hpp"
+
+namespace cn {
+namespace {
+
+std::string digest_hex(const Sha256Digest& d) {
+  return hex_encode(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finalize(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("garbage");
+  (void)h.finalize();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finalize(), sha256("abc"));
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message exercises the no-buffer fast path + padding block.
+  const std::string msg(64, 'x');
+  Sha256 h;
+  h.update(msg);
+  EXPECT_EQ(h.finalize(), sha256(msg));
+}
+
+TEST(Sha256, DoubleHashDiffersFromSingle) {
+  EXPECT_NE(sha256d("abc"), sha256("abc"));
+  // sha256d = sha256(sha256(x)) exactly.
+  const Sha256Digest inner = sha256("abc");
+  EXPECT_EQ(sha256d("abc"),
+            sha256(std::span<const std::uint8_t>(inner.data(), inner.size())));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256("a"), sha256("b"));
+  EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,67 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cn {
+namespace {
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(std::uint64_t{0}), "0");
+  EXPECT_EQ(with_commas(std::uint64_t{999}), "999");
+  EXPECT_EQ(with_commas(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(with_commas(std::uint64_t{1234567}), "1,234,567");
+  EXPECT_EQ(with_commas(std::int64_t{-1234567}), "-1,234,567");
+}
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(0.1234), "12.34%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("/F2Pool/", "/F2"));
+  EXPECT_FALSE(starts_with("F2", "/F2Pool/"));
+}
+
+TEST(Strings, ContainsIcase) {
+  EXPECT_TRUE(contains_icase("Mined by /f2pool/ v1", "/F2Pool/"));
+  EXPECT_TRUE(contains_icase("abc", ""));
+  EXPECT_FALSE(contains_icase("short", "longer needle"));
+  EXPECT_FALSE(contains_icase("viabtc", "slush"));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,306 @@
+// cnaudit — command-line front end to the chainneutrality library.
+//
+//   cnaudit simulate  --dataset A|B|C [--seed N] [--scale X] --out DIR
+//       Simulate a data set and export it (blocks/txs/inputs/outputs CSV
+//       plus Mempool snapshots and the observer's first-seen log).
+//
+//   cnaudit audit      --data DIR [--alpha P] [--min-share F]
+//       Import a chain and run the §5 cross-pool differential-
+//       prioritization audit (Table 2 style), printing findings.
+//
+//   cnaudit report     --data DIR [--alpha P]
+//       The whole §4-§5 methodology in one shot (run_full_audit):
+//       PPE, cross-pool findings with bootstrap CIs, dark-fee
+//       suspicion, and the neutrality scorecard.
+//
+//   cnaudit neutrality --data DIR
+//       Print the per-pool chain-neutrality scorecard (§6.1).
+//
+//   cnaudit ppe        --data DIR
+//       Norm-adherence summary: PPE distribution over all blocks and the
+//       top pools (Figure 7 style).
+//
+//   cnaudit darkfee    --data DIR [--pool NAME] [--sppe T]
+//       Flag suspected dark-fee (accelerated) transactions by SPPE
+//       (Table 4's detector; validation against a service API requires
+//       the service, so only counts and positions are reported).
+//
+// Every subcommand works on exported data, so audits can be re-run (or
+// written by others, e.g. in Python against the same CSVs) without
+// re-simulating.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/audit_pipeline.hpp"
+#include "core/darkfee.hpp"
+#include "core/neutrality.hpp"
+#include "core/ppe.hpp"
+#include "core/prio_test.hpp"
+#include "core/report.hpp"
+#include "core/sppe.hpp"
+#include "core/wallet_inference.hpp"
+#include "io/dataset_io.hpp"
+#include "sim/dataset.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace cn;
+
+/// "--key value" option map; positional args rejected.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        ok_ = false;
+        bad_ = key;
+        return;
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& bad() const { return bad_; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string get_or(const std::string& key, const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto v = get(key);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string bad_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cnaudit <simulate|audit|report|neutrality|ppe|darkfee> [--key value ...]\n"
+               "  simulate   --dataset A|B|C [--seed N] [--scale X] --out DIR\n"
+               "  audit      --data DIR [--alpha P] [--min-share F]\n"
+               "  report     --data DIR [--alpha P]\n"
+               "  neutrality --data DIR\n"
+               "  ppe        --data DIR\n"
+               "  darkfee    --data DIR [--pool NAME] [--sppe T]\n");
+  return 2;
+}
+
+std::optional<btc::Chain> load_chain(const Args& args) {
+  const auto dir = args.get("data");
+  if (!dir) {
+    std::fprintf(stderr, "cnaudit: --data DIR is required\n");
+    return std::nullopt;
+  }
+  auto chain = io::import_chain(*dir);
+  if (!chain) {
+    std::fprintf(stderr, "cnaudit: failed to load a chain from %s\n", dir->c_str());
+    return std::nullopt;
+  }
+  std::printf("loaded %zu blocks, %llu transactions from %s\n\n", chain->size(),
+              static_cast<unsigned long long>(chain->total_tx_count()),
+              dir->c_str());
+  return chain;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string kind_str = args.get_or("dataset", "C");
+  sim::DatasetKind kind;
+  if (kind_str == "A") {
+    kind = sim::DatasetKind::kA;
+  } else if (kind_str == "B") {
+    kind = sim::DatasetKind::kB;
+  } else if (kind_str == "C") {
+    kind = sim::DatasetKind::kC;
+  } else {
+    std::fprintf(stderr, "cnaudit: unknown --dataset %s\n", kind_str.c_str());
+    return 2;
+  }
+  const auto out = args.get("out");
+  if (!out) {
+    std::fprintf(stderr, "cnaudit: --out DIR is required\n");
+    return 2;
+  }
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const double scale = args.get_double("scale", 0.5);
+
+  std::printf("simulating data set %s (seed %llu, scale %.2f)...\n",
+              kind_str.c_str(), static_cast<unsigned long long>(seed), scale);
+  const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+  std::printf("  %zu blocks, %llu committed transactions\n", world.chain.size(),
+              static_cast<unsigned long long>(world.chain.total_tx_count()));
+
+  if (!io::export_chain(world.chain, *out) ||
+      !io::export_snapshots(world.observer.snapshots(), *out + "/snapshots.csv") ||
+      !io::export_first_seen(world.observer.first_seen_map(),
+                             *out + "/first_seen.csv")) {
+    std::fprintf(stderr, "cnaudit: export to %s failed\n", out->c_str());
+    return 1;
+  }
+  std::printf("exported to %s (blocks/txs/inputs/outputs/snapshots/first_seen)\n",
+              out->c_str());
+  return 0;
+}
+
+int cmd_audit(const Args& args) {
+  const auto chain = load_chain(args);
+  if (!chain) return 1;
+  const double alpha = args.get_double("alpha", 0.001);
+  const double min_share = args.get_double("min-share", 0.03);
+
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const core::PoolAttribution attribution(*chain, registry);
+
+  std::vector<std::string> pools;
+  for (const auto& pool : attribution.pools_by_blocks()) {
+    if (attribution.hash_share(pool) >= min_share) pools.push_back(pool);
+  }
+
+  core::TablePrinter table({"txs of", "miner", "x", "y", "p-accel", "p-decel",
+                            "SPPE", "verdict"},
+                           {16, 16, 6, 6, 9, 9, 8, 12});
+  table.print_header();
+  int findings = 0;
+  for (const auto& owner : pools) {
+    const auto txs = core::self_interest_txs(*chain, attribution, owner);
+    if (txs.size() < 10) continue;
+    for (const auto& miner : pools) {
+      const auto r =
+          core::test_differential_prioritization(*chain, attribution, miner, txs);
+      const bool accel = r.p_accelerate < alpha && r.sppe > 25.0;
+      const bool decel = r.p_decelerate < alpha && r.x == 0;
+      if (!accel && !decel) continue;
+      ++findings;
+      table.print_row({owner, miner, std::to_string(r.x), std::to_string(r.y),
+                       core::format_p_value(r.p_accelerate),
+                       core::format_p_value(r.p_decelerate), fixed(r.sppe, 1),
+                       accel ? (owner == miner ? "SELFISH" : "COLLUSION")
+                             : "CENSORSHIP?"});
+    }
+  }
+  std::printf("\n%d finding(s) at alpha=%.4g.\n", findings, alpha);
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto chain = load_chain(args);
+  if (!chain) return 1;
+  core::AuditOptions options;
+  options.alpha = args.get_double("alpha", 0.001);
+  const auto report = core::run_full_audit(
+      *chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+  core::print_audit_report(report);
+  return 0;
+}
+
+int cmd_neutrality(const Args& args) {
+  const auto chain = load_chain(args);
+  if (!chain) return 1;
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const core::PoolAttribution attribution(*chain, registry);
+  const auto reports = core::neutrality_reports(*chain, attribution);
+
+  core::TablePrinter table({"pool", "blocks", "PPE%", "boost%", "self-p",
+                            "floor%", "score"},
+                           {16, 9, 8, 9, 9, 9, 8});
+  table.print_header();
+  for (const auto& r : reports) {
+    table.print_row({r.pool, with_commas(r.blocks), fixed(r.mean_ppe, 2),
+                     fixed(r.boosted_tx_rate * 100.0, 3),
+                     core::format_p_value(r.self_dealing_p),
+                     fixed(r.below_floor_block_rate * 100.0, 1),
+                     fixed(r.score, 1)});
+  }
+  return 0;
+}
+
+int cmd_ppe(const Args& args) {
+  const auto chain = load_chain(args);
+  if (!chain) return 1;
+  const auto ppe = core::chain_ppe(*chain);
+  const auto s = stats::summarize(ppe);
+  const stats::Ecdf cdf{std::span<const double>(ppe)};
+  core::print_summary_row("PPE (all)", s);
+  if (!cdf.empty()) {
+    std::printf("80%% of blocks below %.2f%%; share of blocks under 5%%: %s\n",
+                cdf.quantile(0.8), percent(cdf.evaluate(5.0)).c_str());
+  }
+  return 0;
+}
+
+int cmd_darkfee(const Args& args) {
+  const auto chain = load_chain(args);
+  if (!chain) return 1;
+  const double threshold = args.get_double("sppe", 99.0);
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const core::PoolAttribution attribution(*chain, registry);
+
+  std::vector<std::string> pools;
+  if (const auto pool = args.get("pool")) {
+    pools.push_back(*pool);
+  } else {
+    for (const auto& p : attribution.pools_by_blocks()) {
+      if (attribution.blocks_of(p) >= 10) pools.push_back(p);
+    }
+  }
+  core::TablePrinter table({"pool", "txs", "flagged", "rate"}, {16, 11, 9, 10});
+  table.print_header();
+  for (const auto& pool : pools) {
+    const auto flagged = core::detect_accelerated(*chain, attribution, pool, threshold);
+    std::uint64_t txs = 0;
+    for (const auto& block : chain->blocks()) {
+      const auto owner = attribution.pool_of(block.height());
+      if (owner.has_value() && *owner == pool) txs += block.tx_count();
+    }
+    if (txs == 0) continue;
+    table.print_row({pool, with_commas(txs),
+                     with_commas(static_cast<std::uint64_t>(flagged.size())),
+                     percent(static_cast<double>(flagged.size()) /
+                             static_cast<double>(txs), 3)});
+  }
+  std::printf("\nflagged = committed transactions with SPPE >= %.1f (placed far\n"
+              "above their public fee rank). Validate against an acceleration\n"
+              "service's public query where one exists (paper §5.4.2).\n",
+              threshold);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.ok()) {
+    std::fprintf(stderr, "cnaudit: bad argument '%s'\n", args.bad().c_str());
+    return usage();
+  }
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "audit") return cmd_audit(args);
+  if (command == "report") return cmd_report(args);
+  if (command == "neutrality") return cmd_neutrality(args);
+  if (command == "ppe") return cmd_ppe(args);
+  if (command == "darkfee") return cmd_darkfee(args);
+  std::fprintf(stderr, "cnaudit: unknown command '%s'\n", command.c_str());
+  return usage();
+}

@@ -1,0 +1,37 @@
+# CTest script: exercises the cnaudit CLI end to end
+# (simulate -> export -> audit/ppe/neutrality/darkfee on the export).
+if(NOT DEFINED CNAUDIT)
+  message(FATAL_ERROR "pass -DCNAUDIT=<path>")
+endif()
+
+set(workdir "${CMAKE_CURRENT_BINARY_DIR}/cnaudit_cli_test")
+file(REMOVE_RECURSE "${workdir}")
+
+execute_process(
+  COMMAND "${CNAUDIT}" simulate --dataset A --seed 11 --scale 0.1 --out "${workdir}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed (${rc}): ${out}${err}")
+endif()
+
+foreach(subcommand audit report ppe neutrality darkfee)
+  execute_process(
+    COMMAND "${CNAUDIT}" ${subcommand} --data "${workdir}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${subcommand} failed (${rc}): ${out}${err}")
+  endif()
+  string(FIND "${out}" "loaded" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "${subcommand} did not load the export: ${out}")
+  endif()
+endforeach()
+
+# Unknown command must fail with usage.
+execute_process(COMMAND "${CNAUDIT}" frobnicate RESULT_VARIABLE rc
+                OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown command unexpectedly succeeded")
+endif()
+
+file(REMOVE_RECURSE "${workdir}")
