@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aging.dir/bench_ablation_aging.cpp.o"
+  "CMakeFiles/bench_ablation_aging.dir/bench_ablation_aging.cpp.o.d"
+  "bench_ablation_aging"
+  "bench_ablation_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_detection.dir/bench_ablation_detection.cpp.o"
+  "CMakeFiles/bench_ablation_detection.dir/bench_ablation_detection.cpp.o.d"
+  "bench_ablation_detection"
+  "bench_ablation_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig01_ppe_norm_shift.cpp" "bench/CMakeFiles/bench_fig01_ppe_norm_shift.dir/bench_fig01_ppe_norm_shift.cpp.o" "gcc" "bench/CMakeFiles/bench_fig01_ppe_norm_shift.dir/bench_fig01_ppe_norm_shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_ppe_norm_shift.dir/bench_fig01_ppe_norm_shift.cpp.o"
+  "CMakeFiles/bench_fig01_ppe_norm_shift.dir/bench_fig01_ppe_norm_shift.cpp.o.d"
+  "bench_fig01_ppe_norm_shift"
+  "bench_fig01_ppe_norm_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_ppe_norm_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

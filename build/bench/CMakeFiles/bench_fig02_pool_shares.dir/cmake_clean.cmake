@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_pool_shares.dir/bench_fig02_pool_shares.cpp.o"
+  "CMakeFiles/bench_fig02_pool_shares.dir/bench_fig02_pool_shares.cpp.o.d"
+  "bench_fig02_pool_shares"
+  "bench_fig02_pool_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_pool_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_congestion.dir/bench_fig03_congestion.cpp.o"
+  "CMakeFiles/bench_fig03_congestion.dir/bench_fig03_congestion.cpp.o.d"
+  "bench_fig03_congestion"
+  "bench_fig03_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_fees_delays.dir/bench_fig04_fees_delays.cpp.o"
+  "CMakeFiles/bench_fig04_fees_delays.dir/bench_fig04_fees_delays.cpp.o.d"
+  "bench_fig04_fees_delays"
+  "bench_fig04_fees_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_fees_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_delay_by_feerate.dir/bench_fig05_delay_by_feerate.cpp.o"
+  "CMakeFiles/bench_fig05_delay_by_feerate.dir/bench_fig05_delay_by_feerate.cpp.o.d"
+  "bench_fig05_delay_by_feerate"
+  "bench_fig05_delay_by_feerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_delay_by_feerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

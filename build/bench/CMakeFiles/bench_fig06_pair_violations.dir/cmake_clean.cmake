@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pair_violations.dir/bench_fig06_pair_violations.cpp.o"
+  "CMakeFiles/bench_fig06_pair_violations.dir/bench_fig06_pair_violations.cpp.o.d"
+  "bench_fig06_pair_violations"
+  "bench_fig06_pair_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pair_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ppe_pools.dir/bench_fig07_ppe_pools.cpp.o"
+  "CMakeFiles/bench_fig07_ppe_pools.dir/bench_fig07_ppe_pools.cpp.o.d"
+  "bench_fig07_ppe_pools"
+  "bench_fig07_ppe_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ppe_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

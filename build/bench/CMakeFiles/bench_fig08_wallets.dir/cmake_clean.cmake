@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_wallets.dir/bench_fig08_wallets.cpp.o"
+  "CMakeFiles/bench_fig08_wallets.dir/bench_fig08_wallets.cpp.o.d"
+  "bench_fig08_wallets"
+  "bench_fig08_wallets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_wallets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

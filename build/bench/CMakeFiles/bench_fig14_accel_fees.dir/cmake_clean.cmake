@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_accel_fees.dir/bench_fig14_accel_fees.cpp.o"
+  "CMakeFiles/bench_fig14_accel_fees.dir/bench_fig14_accel_fees.cpp.o.d"
+  "bench_fig14_accel_fees"
+  "bench_fig14_accel_fees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_accel_fees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

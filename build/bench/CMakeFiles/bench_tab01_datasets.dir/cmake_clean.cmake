@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_datasets.dir/bench_tab01_datasets.cpp.o"
+  "CMakeFiles/bench_tab01_datasets.dir/bench_tab01_datasets.cpp.o.d"
+  "bench_tab01_datasets"
+  "bench_tab01_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_self_interest.dir/bench_tab02_self_interest.cpp.o"
+  "CMakeFiles/bench_tab02_self_interest.dir/bench_tab02_self_interest.cpp.o.d"
+  "bench_tab02_self_interest"
+  "bench_tab02_self_interest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_self_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

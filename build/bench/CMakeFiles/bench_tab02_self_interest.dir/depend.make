@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab02_self_interest.
+# This may be replaced when dependencies are built.

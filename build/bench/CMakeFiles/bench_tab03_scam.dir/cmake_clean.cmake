@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab03_scam.dir/bench_tab03_scam.cpp.o"
+  "CMakeFiles/bench_tab03_scam.dir/bench_tab03_scam.cpp.o.d"
+  "bench_tab03_scam"
+  "bench_tab03_scam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab03_scam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_darkfee.dir/bench_tab04_darkfee.cpp.o"
+  "CMakeFiles/bench_tab04_darkfee.dir/bench_tab04_darkfee.cpp.o.d"
+  "bench_tab04_darkfee"
+  "bench_tab04_darkfee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_darkfee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_fee_revenue.dir/bench_tab05_fee_revenue.cpp.o"
+  "CMakeFiles/bench_tab05_fee_revenue.dir/bench_tab05_fee_revenue.cpp.o.d"
+  "bench_tab05_fee_revenue"
+  "bench_tab05_fee_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_fee_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

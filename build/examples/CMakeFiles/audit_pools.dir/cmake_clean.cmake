@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_pools.dir/audit_pools.cpp.o"
+  "CMakeFiles/audit_pools.dir/audit_pools.cpp.o.d"
+  "audit_pools"
+  "audit_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darkfee_hunt.dir/darkfee_hunt.cpp.o"
+  "CMakeFiles/darkfee_hunt.dir/darkfee_hunt.cpp.o.d"
+  "darkfee_hunt"
+  "darkfee_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darkfee_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neutrality_report.dir/neutrality_report.cpp.o"
+  "CMakeFiles/neutrality_report.dir/neutrality_report.cpp.o.d"
+  "neutrality_report"
+  "neutrality_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neutrality_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

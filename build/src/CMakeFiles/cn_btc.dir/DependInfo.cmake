@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btc/amount.cpp" "src/CMakeFiles/cn_btc.dir/btc/amount.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/amount.cpp.o.d"
+  "/root/repo/src/btc/block.cpp" "src/CMakeFiles/cn_btc.dir/btc/block.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/block.cpp.o.d"
+  "/root/repo/src/btc/chain.cpp" "src/CMakeFiles/cn_btc.dir/btc/chain.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/chain.cpp.o.d"
+  "/root/repo/src/btc/coinbase_tags.cpp" "src/CMakeFiles/cn_btc.dir/btc/coinbase_tags.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/coinbase_tags.cpp.o.d"
+  "/root/repo/src/btc/header.cpp" "src/CMakeFiles/cn_btc.dir/btc/header.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/header.cpp.o.d"
+  "/root/repo/src/btc/merkle.cpp" "src/CMakeFiles/cn_btc.dir/btc/merkle.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/merkle.cpp.o.d"
+  "/root/repo/src/btc/rewards.cpp" "src/CMakeFiles/cn_btc.dir/btc/rewards.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/rewards.cpp.o.d"
+  "/root/repo/src/btc/transaction.cpp" "src/CMakeFiles/cn_btc.dir/btc/transaction.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/transaction.cpp.o.d"
+  "/root/repo/src/btc/txid.cpp" "src/CMakeFiles/cn_btc.dir/btc/txid.cpp.o" "gcc" "src/CMakeFiles/cn_btc.dir/btc/txid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_btc.dir/btc/amount.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/amount.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/block.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/block.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/chain.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/chain.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/coinbase_tags.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/coinbase_tags.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/header.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/header.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/merkle.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/merkle.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/rewards.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/rewards.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/transaction.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/transaction.cpp.o.d"
+  "CMakeFiles/cn_btc.dir/btc/txid.cpp.o"
+  "CMakeFiles/cn_btc.dir/btc/txid.cpp.o.d"
+  "libcn_btc.a"
+  "libcn_btc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_btc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

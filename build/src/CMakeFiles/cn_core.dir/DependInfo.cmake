@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit_pipeline.cpp" "src/CMakeFiles/cn_core.dir/core/audit_pipeline.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/audit_pipeline.cpp.o.d"
+  "/root/repo/src/core/congestion.cpp" "src/CMakeFiles/cn_core.dir/core/congestion.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/congestion.cpp.o.d"
+  "/root/repo/src/core/darkfee.cpp" "src/CMakeFiles/cn_core.dir/core/darkfee.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/darkfee.cpp.o.d"
+  "/root/repo/src/core/delay_model.cpp" "src/CMakeFiles/cn_core.dir/core/delay_model.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/delay_model.cpp.o.d"
+  "/root/repo/src/core/fee_revenue.cpp" "src/CMakeFiles/cn_core.dir/core/fee_revenue.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/fee_revenue.cpp.o.d"
+  "/root/repo/src/core/neutrality.cpp" "src/CMakeFiles/cn_core.dir/core/neutrality.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/neutrality.cpp.o.d"
+  "/root/repo/src/core/pair_violations.cpp" "src/CMakeFiles/cn_core.dir/core/pair_violations.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/pair_violations.cpp.o.d"
+  "/root/repo/src/core/ppe.cpp" "src/CMakeFiles/cn_core.dir/core/ppe.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/ppe.cpp.o.d"
+  "/root/repo/src/core/prio_test.cpp" "src/CMakeFiles/cn_core.dir/core/prio_test.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/prio_test.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/cn_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sppe.cpp" "src/CMakeFiles/cn_core.dir/core/sppe.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/sppe.cpp.o.d"
+  "/root/repo/src/core/wallet_inference.cpp" "src/CMakeFiles/cn_core.dir/core/wallet_inference.cpp.o" "gcc" "src/CMakeFiles/cn_core.dir/core/wallet_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_core.dir/core/audit_pipeline.cpp.o"
+  "CMakeFiles/cn_core.dir/core/audit_pipeline.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/congestion.cpp.o"
+  "CMakeFiles/cn_core.dir/core/congestion.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/darkfee.cpp.o"
+  "CMakeFiles/cn_core.dir/core/darkfee.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/delay_model.cpp.o"
+  "CMakeFiles/cn_core.dir/core/delay_model.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/fee_revenue.cpp.o"
+  "CMakeFiles/cn_core.dir/core/fee_revenue.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/neutrality.cpp.o"
+  "CMakeFiles/cn_core.dir/core/neutrality.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/pair_violations.cpp.o"
+  "CMakeFiles/cn_core.dir/core/pair_violations.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/ppe.cpp.o"
+  "CMakeFiles/cn_core.dir/core/ppe.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/prio_test.cpp.o"
+  "CMakeFiles/cn_core.dir/core/prio_test.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/report.cpp.o"
+  "CMakeFiles/cn_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/sppe.cpp.o"
+  "CMakeFiles/cn_core.dir/core/sppe.cpp.o.d"
+  "CMakeFiles/cn_core.dir/core/wallet_inference.cpp.o"
+  "CMakeFiles/cn_core.dir/core/wallet_inference.cpp.o.d"
+  "libcn_core.a"
+  "libcn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

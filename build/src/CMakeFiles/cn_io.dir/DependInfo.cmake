@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dataset_io.cpp" "src/CMakeFiles/cn_io.dir/io/dataset_io.cpp.o" "gcc" "src/CMakeFiles/cn_io.dir/io/dataset_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_io.dir/io/dataset_io.cpp.o"
+  "CMakeFiles/cn_io.dir/io/dataset_io.cpp.o.d"
+  "libcn_io.a"
+  "libcn_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/block_template.cpp" "src/CMakeFiles/cn_node.dir/node/block_template.cpp.o" "gcc" "src/CMakeFiles/cn_node.dir/node/block_template.cpp.o.d"
+  "/root/repo/src/node/fee_estimator.cpp" "src/CMakeFiles/cn_node.dir/node/fee_estimator.cpp.o" "gcc" "src/CMakeFiles/cn_node.dir/node/fee_estimator.cpp.o.d"
+  "/root/repo/src/node/legacy_priority.cpp" "src/CMakeFiles/cn_node.dir/node/legacy_priority.cpp.o" "gcc" "src/CMakeFiles/cn_node.dir/node/legacy_priority.cpp.o.d"
+  "/root/repo/src/node/mempool.cpp" "src/CMakeFiles/cn_node.dir/node/mempool.cpp.o" "gcc" "src/CMakeFiles/cn_node.dir/node/mempool.cpp.o.d"
+  "/root/repo/src/node/observer.cpp" "src/CMakeFiles/cn_node.dir/node/observer.cpp.o" "gcc" "src/CMakeFiles/cn_node.dir/node/observer.cpp.o.d"
+  "/root/repo/src/node/snapshot.cpp" "src/CMakeFiles/cn_node.dir/node/snapshot.cpp.o" "gcc" "src/CMakeFiles/cn_node.dir/node/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_node.dir/node/block_template.cpp.o"
+  "CMakeFiles/cn_node.dir/node/block_template.cpp.o.d"
+  "CMakeFiles/cn_node.dir/node/fee_estimator.cpp.o"
+  "CMakeFiles/cn_node.dir/node/fee_estimator.cpp.o.d"
+  "CMakeFiles/cn_node.dir/node/legacy_priority.cpp.o"
+  "CMakeFiles/cn_node.dir/node/legacy_priority.cpp.o.d"
+  "CMakeFiles/cn_node.dir/node/mempool.cpp.o"
+  "CMakeFiles/cn_node.dir/node/mempool.cpp.o.d"
+  "CMakeFiles/cn_node.dir/node/observer.cpp.o"
+  "CMakeFiles/cn_node.dir/node/observer.cpp.o.d"
+  "CMakeFiles/cn_node.dir/node/snapshot.cpp.o"
+  "CMakeFiles/cn_node.dir/node/snapshot.cpp.o.d"
+  "libcn_node.a"
+  "libcn_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

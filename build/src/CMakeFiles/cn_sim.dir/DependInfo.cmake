@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/acceleration.cpp" "src/CMakeFiles/cn_sim.dir/sim/acceleration.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/acceleration.cpp.o.d"
+  "/root/repo/src/sim/dataset.cpp" "src/CMakeFiles/cn_sim.dir/sim/dataset.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/dataset.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/cn_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/cn_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/CMakeFiles/cn_sim.dir/sim/policy.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/policy.cpp.o.d"
+  "/root/repo/src/sim/pool.cpp" "src/CMakeFiles/cn_sim.dir/sim/pool.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/pool.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/cn_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/cn_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

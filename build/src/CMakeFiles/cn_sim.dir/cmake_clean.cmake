@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_sim.dir/sim/acceleration.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/acceleration.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/sim/dataset.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/dataset.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/sim/policy.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/policy.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/sim/pool.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/pool.cpp.o.d"
+  "CMakeFiles/cn_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/cn_sim.dir/sim/workload.cpp.o.d"
+  "libcn_sim.a"
+  "libcn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

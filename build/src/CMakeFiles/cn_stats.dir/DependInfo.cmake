@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/binomial.cpp" "src/CMakeFiles/cn_stats.dir/stats/binomial.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/binomial.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/CMakeFiles/cn_stats.dir/stats/bootstrap.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/cn_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/CMakeFiles/cn_stats.dir/stats/ecdf.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/fisher.cpp" "src/CMakeFiles/cn_stats.dir/stats/fisher.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/fisher.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/cn_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/CMakeFiles/cn_stats.dir/stats/ks.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/ks.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/CMakeFiles/cn_stats.dir/stats/normal.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/normal.cpp.o.d"
+  "/root/repo/src/stats/rank.cpp" "src/CMakeFiles/cn_stats.dir/stats/rank.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/rank.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/CMakeFiles/cn_stats.dir/stats/special.cpp.o" "gcc" "src/CMakeFiles/cn_stats.dir/stats/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

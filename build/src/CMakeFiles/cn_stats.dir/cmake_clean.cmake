@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_stats.dir/stats/binomial.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/binomial.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/bootstrap.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/bootstrap.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/ecdf.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/ecdf.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/fisher.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/fisher.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/ks.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/ks.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/normal.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/normal.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/rank.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/rank.cpp.o.d"
+  "CMakeFiles/cn_stats.dir/stats/special.cpp.o"
+  "CMakeFiles/cn_stats.dir/stats/special.cpp.o.d"
+  "libcn_stats.a"
+  "libcn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

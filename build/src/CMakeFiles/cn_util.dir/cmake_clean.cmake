@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_util.dir/util/csv.cpp.o"
+  "CMakeFiles/cn_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/cn_util.dir/util/hex.cpp.o"
+  "CMakeFiles/cn_util.dir/util/hex.cpp.o.d"
+  "CMakeFiles/cn_util.dir/util/rng.cpp.o"
+  "CMakeFiles/cn_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/cn_util.dir/util/sha256.cpp.o"
+  "CMakeFiles/cn_util.dir/util/sha256.cpp.o.d"
+  "CMakeFiles/cn_util.dir/util/strings.cpp.o"
+  "CMakeFiles/cn_util.dir/util/strings.cpp.o.d"
+  "libcn_util.a"
+  "libcn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

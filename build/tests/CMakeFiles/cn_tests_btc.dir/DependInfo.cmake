@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btc/test_amount.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_amount.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_amount.cpp.o.d"
+  "/root/repo/tests/btc/test_block.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_block.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_block.cpp.o.d"
+  "/root/repo/tests/btc/test_chain.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_chain.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_chain.cpp.o.d"
+  "/root/repo/tests/btc/test_coinbase_tags.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_coinbase_tags.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_coinbase_tags.cpp.o.d"
+  "/root/repo/tests/btc/test_header.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_header.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_header.cpp.o.d"
+  "/root/repo/tests/btc/test_merkle.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_merkle.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_merkle.cpp.o.d"
+  "/root/repo/tests/btc/test_rewards.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_rewards.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_rewards.cpp.o.d"
+  "/root/repo/tests/btc/test_transaction.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_transaction.cpp.o.d"
+  "/root/repo/tests/btc/test_txid.cpp" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_txid.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_btc.dir/btc/test_txid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_btc.dir/btc/test_amount.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_amount.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_block.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_block.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_chain.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_chain.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_coinbase_tags.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_coinbase_tags.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_header.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_header.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_merkle.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_merkle.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_rewards.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_rewards.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_transaction.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_transaction.cpp.o.d"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_txid.cpp.o"
+  "CMakeFiles/cn_tests_btc.dir/btc/test_txid.cpp.o.d"
+  "cn_tests_btc"
+  "cn_tests_btc.pdb"
+  "cn_tests_btc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_btc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

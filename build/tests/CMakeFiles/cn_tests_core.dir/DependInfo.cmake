@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_audit_pipeline.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_audit_pipeline.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_audit_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_congestion.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_congestion.cpp.o.d"
+  "/root/repo/tests/core/test_darkfee.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_darkfee.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_darkfee.cpp.o.d"
+  "/root/repo/tests/core/test_delay_model.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_delay_model.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_delay_model.cpp.o.d"
+  "/root/repo/tests/core/test_fee_revenue.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_fee_revenue.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_fee_revenue.cpp.o.d"
+  "/root/repo/tests/core/test_neutrality.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_neutrality.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_neutrality.cpp.o.d"
+  "/root/repo/tests/core/test_pair_violations.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_pair_violations.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_pair_violations.cpp.o.d"
+  "/root/repo/tests/core/test_ppe.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_ppe.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_ppe.cpp.o.d"
+  "/root/repo/tests/core/test_prio_test.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_prio_test.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_prio_test.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_sppe.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_sppe.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_sppe.cpp.o.d"
+  "/root/repo/tests/core/test_wallet_inference.cpp" "tests/CMakeFiles/cn_tests_core.dir/core/test_wallet_inference.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_core.dir/core/test_wallet_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_core.dir/core/test_audit_pipeline.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_audit_pipeline.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_congestion.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_congestion.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_darkfee.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_darkfee.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_delay_model.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_delay_model.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_fee_revenue.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_fee_revenue.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_neutrality.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_neutrality.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_pair_violations.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_pair_violations.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_ppe.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_ppe.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_prio_test.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_prio_test.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_sppe.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_sppe.cpp.o.d"
+  "CMakeFiles/cn_tests_core.dir/core/test_wallet_inference.cpp.o"
+  "CMakeFiles/cn_tests_core.dir/core/test_wallet_inference.cpp.o.d"
+  "cn_tests_core"
+  "cn_tests_core.pdb"
+  "cn_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_integration.dir/integration/test_audit_end_to_end.cpp.o"
+  "CMakeFiles/cn_tests_integration.dir/integration/test_audit_end_to_end.cpp.o.d"
+  "cn_tests_integration"
+  "cn_tests_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

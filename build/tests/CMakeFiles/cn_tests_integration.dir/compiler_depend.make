@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cn_tests_integration.
+# This may be replaced when dependencies are built.

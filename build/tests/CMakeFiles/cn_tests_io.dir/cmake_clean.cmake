@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_io.dir/io/test_dataset_io.cpp.o"
+  "CMakeFiles/cn_tests_io.dir/io/test_dataset_io.cpp.o.d"
+  "cn_tests_io"
+  "cn_tests_io.pdb"
+  "cn_tests_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/node/test_block_template.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_block_template.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_block_template.cpp.o.d"
+  "/root/repo/tests/node/test_fee_estimator.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_fee_estimator.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_fee_estimator.cpp.o.d"
+  "/root/repo/tests/node/test_legacy_priority.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_legacy_priority.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_legacy_priority.cpp.o.d"
+  "/root/repo/tests/node/test_mempool.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_mempool.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_mempool.cpp.o.d"
+  "/root/repo/tests/node/test_mempool_limits.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_mempool_limits.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_mempool_limits.cpp.o.d"
+  "/root/repo/tests/node/test_observer.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_observer.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_observer.cpp.o.d"
+  "/root/repo/tests/node/test_snapshot.cpp" "tests/CMakeFiles/cn_tests_node.dir/node/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_node.dir/node/test_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

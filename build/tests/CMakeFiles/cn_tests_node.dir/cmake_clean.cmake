@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_node.dir/node/test_block_template.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_block_template.cpp.o.d"
+  "CMakeFiles/cn_tests_node.dir/node/test_fee_estimator.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_fee_estimator.cpp.o.d"
+  "CMakeFiles/cn_tests_node.dir/node/test_legacy_priority.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_legacy_priority.cpp.o.d"
+  "CMakeFiles/cn_tests_node.dir/node/test_mempool.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_mempool.cpp.o.d"
+  "CMakeFiles/cn_tests_node.dir/node/test_mempool_limits.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_mempool_limits.cpp.o.d"
+  "CMakeFiles/cn_tests_node.dir/node/test_observer.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_observer.cpp.o.d"
+  "CMakeFiles/cn_tests_node.dir/node/test_snapshot.cpp.o"
+  "CMakeFiles/cn_tests_node.dir/node/test_snapshot.cpp.o.d"
+  "cn_tests_node"
+  "cn_tests_node.pdb"
+  "cn_tests_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

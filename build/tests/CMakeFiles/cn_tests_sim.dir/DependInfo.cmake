@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_acceleration.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_acceleration.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_acceleration.cpp.o.d"
+  "/root/repo/tests/sim/test_dataset.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_dataset.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_policy.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_policy.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_policy.cpp.o.d"
+  "/root/repo/tests/sim/test_pool.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_pool.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_pool.cpp.o.d"
+  "/root/repo/tests/sim/test_workload.cpp" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_workload.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_sim.dir/sim/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

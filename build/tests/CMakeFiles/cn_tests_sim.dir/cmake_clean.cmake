@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_sim.dir/sim/test_acceleration.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_acceleration.cpp.o.d"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_dataset.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_dataset.cpp.o.d"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_network.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_policy.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_policy.cpp.o.d"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_pool.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_pool.cpp.o.d"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_workload.cpp.o"
+  "CMakeFiles/cn_tests_sim.dir/sim/test_workload.cpp.o.d"
+  "cn_tests_sim"
+  "cn_tests_sim.pdb"
+  "cn_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/test_binomial.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_binomial.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_binomial.cpp.o.d"
+  "/root/repo/tests/stats/test_bootstrap.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/stats/test_descriptive.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "/root/repo/tests/stats/test_ecdf.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_ecdf.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_ecdf.cpp.o.d"
+  "/root/repo/tests/stats/test_fisher.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_fisher.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_fisher.cpp.o.d"
+  "/root/repo/tests/stats/test_histogram.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_histogram.cpp.o.d"
+  "/root/repo/tests/stats/test_ks.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_ks.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_ks.cpp.o.d"
+  "/root/repo/tests/stats/test_normal.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_normal.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_normal.cpp.o.d"
+  "/root/repo/tests/stats/test_rank.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_rank.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_rank.cpp.o.d"
+  "/root/repo/tests/stats/test_special.cpp" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_special.cpp.o" "gcc" "tests/CMakeFiles/cn_tests_stats.dir/stats/test_special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_btc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

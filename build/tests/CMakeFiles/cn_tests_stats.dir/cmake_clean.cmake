@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_stats.dir/stats/test_binomial.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_binomial.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_bootstrap.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_bootstrap.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_ecdf.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_ecdf.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_fisher.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_fisher.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_ks.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_ks.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_normal.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_normal.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_rank.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_rank.cpp.o.d"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_special.cpp.o"
+  "CMakeFiles/cn_tests_stats.dir/stats/test_special.cpp.o.d"
+  "cn_tests_stats"
+  "cn_tests_stats.pdb"
+  "cn_tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cn_tests_util.dir/util/test_csv.cpp.o"
+  "CMakeFiles/cn_tests_util.dir/util/test_csv.cpp.o.d"
+  "CMakeFiles/cn_tests_util.dir/util/test_hex.cpp.o"
+  "CMakeFiles/cn_tests_util.dir/util/test_hex.cpp.o.d"
+  "CMakeFiles/cn_tests_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/cn_tests_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/cn_tests_util.dir/util/test_sha256.cpp.o"
+  "CMakeFiles/cn_tests_util.dir/util/test_sha256.cpp.o.d"
+  "CMakeFiles/cn_tests_util.dir/util/test_strings.cpp.o"
+  "CMakeFiles/cn_tests_util.dir/util/test_strings.cpp.o.d"
+  "cn_tests_util"
+  "cn_tests_util.pdb"
+  "cn_tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cn_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

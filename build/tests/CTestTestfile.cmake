@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cn_tests_util[1]_include.cmake")
+include("/root/repo/build/tests/cn_tests_stats[1]_include.cmake")
+include("/root/repo/build/tests/cn_tests_node[1]_include.cmake")
+include("/root/repo/build/tests/cn_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/cn_tests_io[1]_include.cmake")
+include("/root/repo/build/tests/cn_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/cn_tests_btc[1]_include.cmake")
+add_test(integration.audit_end_to_end "/root/repo/build/tests/cn_tests_integration")
+set_tests_properties(integration.audit_end_to_end PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnaudit.dir/cnaudit.cpp.o"
+  "CMakeFiles/cnaudit.dir/cnaudit.cpp.o.d"
+  "cnaudit"
+  "cnaudit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnaudit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
