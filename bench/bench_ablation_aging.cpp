@@ -30,6 +30,8 @@ struct Outcome {
   std::size_t low_committed = 0;  ///< low-band txs that committed at all
   double total_fees_btc = 0.0;
   double mean_ppe = 0.0;
+  std::uint64_t txs = 0;
+  std::uint64_t blocks = 0;
 };
 
 Outcome run_with_aging(double age_weight, std::uint64_t seed, double scale) {
@@ -55,6 +57,8 @@ Outcome run_with_aging(double age_weight, std::uint64_t seed, double scale) {
   for (const auto& block : world.chain.blocks()) fees += block.total_fees();
   out.total_fees_btc = fees.btc();
   out.mean_ppe = stats::mean(core::chain_ppe(world.chain));
+  out.txs = world.chain.total_tx_count();
+  out.blocks = world.chain.size();
   return out;
 }
 
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(0.5);
+  bench::JsonReport json("ablation_aging");
 
   core::TablePrinter table({"age bonus/h", "low committed", "low next%",
                             "low p99", ">50blk%", "fees (BTC)", "PPE%"},
@@ -94,6 +99,8 @@ int main(int argc, char** argv) {
   Outcome strongest{};
   for (double w : {0.0, 0.20, 1.0}) {
     const Outcome o = run_with_aging(w, seed, scale);
+    json.add("txs", static_cast<double>(o.txs));
+    json.add("blocks", static_cast<double>(o.blocks));
     if (w == 0.0) baseline = o;
     strongest = o;
     table.print_row({percent(w, 0),

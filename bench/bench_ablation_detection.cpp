@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   bench::banner("Ablations — power, calibration, and signal attribution",
                 "(extensions beyond the paper, enabled by ground truth)");
   const std::uint64_t seed = bench::seed_from_env();
+  bench::JsonReport json("ablation_detection");
 
   // --- A: power curve over self-interest volume --------------------------
   std::printf("A. detection power vs self-interest tx volume (F2Pool, selfish ON):\n");
@@ -70,6 +71,8 @@ int main(int argc, char** argv) {
   power.print_header();
   for (double volume : {0.02, 0.08, 0.2, 0.5}) {
     const auto world = run_variant(seed, volume, true, true);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const auto r = f2pool_test(world);
     power.print_row({fixed(volume, 2), std::to_string(r.x), std::to_string(r.y),
                      core::format_p_value(r.p_accelerate), fixed(r.sppe, 1)});
@@ -84,6 +87,8 @@ int main(int argc, char** argv) {
   int false_positives = 0;
   for (std::uint64_t s = 0; s < 3; ++s) {
     const auto world = run_variant(seed + s, 0.5, false, true);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const auto r = f2pool_test(world);
     calib.print_row({std::to_string(seed + s), std::to_string(r.x),
                      std::to_string(r.y), core::format_p_value(r.p_accelerate),
@@ -98,6 +103,8 @@ int main(int argc, char** argv) {
   std::printf("C. pairwise violations with/without P2P propagation skew:\n");
   for (const bool propagation : {true, false}) {
     const auto world = run_variant(seed, 0.3, true, propagation);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const auto seen = core::collect_seen_txs(
         world.chain,
         [&](const btc::Txid& id) { return world.observer.first_seen(id); });
@@ -118,6 +125,8 @@ int main(int argc, char** argv) {
   std::printf("D. windowed Fisher combination (F2Pool, selfish ON):\n");
   {
     const auto world = run_variant(seed, 0.5, true, true);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const auto registry = btc::CoinbaseTagRegistry::paper_registry();
     const core::PoolAttribution attribution(world.chain, registry);
     const auto txs = core::self_interest_txs(world.chain, attribution, "F2Pool");

@@ -60,9 +60,14 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(0.5);
+  bench::JsonReport json("fig01_ppe_norm_shift");
 
   const sim::SimResult modern = run_era(sim::BuilderKind::kGbt, seed, scale);
   const sim::SimResult legacy = run_era(sim::BuilderKind::kLegacyPriority, seed, scale);
+  json.metric("txs", static_cast<double>(modern.chain.total_tx_count() +
+                                         legacy.chain.total_tx_count()));
+  json.metric("blocks",
+              static_cast<double>(modern.chain.size() + legacy.chain.size()));
 
   const std::vector<double> modern_ppe = core::chain_ppe(modern.chain);
   const std::vector<double> legacy_ppe = core::chain_ppe(legacy.chain);

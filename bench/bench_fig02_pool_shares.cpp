@@ -13,9 +13,11 @@
 namespace {
 
 void report(cn::sim::DatasetKind kind, const char* name, std::uint64_t seed,
-            double scale, cn::CsvWriter& csv) {
+            double scale, cn::CsvWriter& csv, cn::bench::JsonReport& json) {
   using namespace cn;
   const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+  json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.add("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
   const core::PoolAttribution attribution(world.chain, registry);
 
@@ -83,9 +85,10 @@ int main(int argc, char** argv) {
   csv.header({"dataset", "pool", "blocks", "share_percent", "txs"});
 
   const std::uint64_t seed = bench::seed_from_env();
-  report(sim::DatasetKind::kA, "A", seed, bench::scale_from_env(0.6), csv);
-  report(sim::DatasetKind::kB, "B", seed, bench::scale_from_env(0.6), csv);
-  report(sim::DatasetKind::kC, "C", seed, bench::scale_from_env(0.6), csv);
+  bench::JsonReport json("fig02_pool_shares");
+  report(sim::DatasetKind::kA, "A", seed, bench::scale_from_env(0.6), csv, json);
+  report(sim::DatasetKind::kB, "B", seed, bench::scale_from_env(0.6), csv, json);
+  report(sim::DatasetKind::kC, "C", seed, bench::scale_from_env(0.6), csv, json);
   std::printf("CSV: %s/fig02_pool_shares.csv\n", bench::out_dir().c_str());
 
   return cn::bench::run_microbenchmarks(argc, argv);

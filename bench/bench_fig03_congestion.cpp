@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("fig03_congestion");
 
   CsvWriter series_csv(bench::out_dir() + "/fig03_mempool_series.csv");
   series_csv.header({"dataset", "time_s", "tx_count", "vsize_vb"});
@@ -43,6 +44,16 @@ int main(int argc, char** argv) {
     const sim::SimResult world = sim::make_dataset(kind, seed, scale);
     const auto& snaps = world.observer.snapshots();
     const std::uint64_t unit = world.config.max_block_vsize;
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
+    std::uint64_t peak_entries = 0;
+    for (const auto& s : snaps.stats()) {
+      peak_entries = std::max<std::uint64_t>(peak_entries, s.tx_count);
+    }
+    json.metric(std::string("peak_entries_") + name,
+                static_cast<double>(peak_entries));
+    json.metric(std::string("peak_vsize_") + name,
+                static_cast<double>(snaps.max_vsize()));
 
     std::printf("--- data set %s ---\n", name);
     bench::compare("fraction of time congested (>1 block)", paper_frac,

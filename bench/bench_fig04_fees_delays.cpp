@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("fig04_fees_delays");
 
   for (const auto& [kind, name, paper_next] :
        {std::tuple{sim::DatasetKind::kA, "A", "65%"},
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
       return world.observer.first_seen(id);
     };
     const auto seen = core::collect_seen_txs(world.chain, first_seen);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const auto delays = core::commit_delays_blocks(world.chain, seen);
     const stats::Ecdf delay_cdf{std::span<const double>(delays)};
 

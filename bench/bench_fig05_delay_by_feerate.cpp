@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("fig05_delay_by_feerate");
 
   for (const auto& [kind, name] : {std::pair{sim::DatasetKind::kA, "A"},
                                    std::pair{sim::DatasetKind::kB, "B"}}) {
@@ -41,6 +42,8 @@ int main(int argc, char** argv) {
         world.chain,
         [&](const btc::Txid& id) { return world.observer.first_seen(id); });
     const auto delays = core::commit_delays_blocks(world.chain, seen);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
 
     std::printf("--- data set %s ---\n", name);
     static const char* kBands[] = {"low <1e-4 BTC/KB", "high 1e-4..1e-3",

@@ -18,19 +18,66 @@
 
 namespace {
 
-void BM_PairViolations(benchmark::State& state) {
+std::vector<cn::core::SeenTx> synthetic_txs(std::size_t n) {
   using namespace cn;
   std::vector<core::SeenTx> txs;
+  txs.reserve(n);
   Rng rng(1);
-  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     txs.push_back(core::SeenTx{static_cast<SimTime>(i), rng.uniform(1.0, 100.0),
                                1 + rng.uniform_below(40), false, false});
   }
+  return txs;
+}
+
+void BM_PairViolationsFenwick(benchmark::State& state) {
+  using namespace cn;
+  const auto txs = synthetic_txs(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::count_pair_violations(txs, 0, false));
+    benchmark::DoNotOptimize(core::count_pair_violations(
+        txs, 0, false, 0, core::PairAlgorithm::kFenwick));
   }
 }
-BENCHMARK(BM_PairViolations)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairViolationsFenwick)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PairViolationsBruteForce(benchmark::State& state) {
+  using namespace cn;
+  const auto txs = synthetic_txs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::count_pair_violations(
+        txs, 0, false, 0, core::PairAlgorithm::kBruteForce));
+  }
+}
+BENCHMARK(BM_PairViolationsBruteForce)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+/// One timed run of each algorithm at n = 100k (downsampling disabled);
+/// returns {fenwick_seconds, brute_seconds} and checks they agree.
+std::pair<double, double> speedup_at_100k() {
+  using namespace cn;
+  const auto txs = synthetic_txs(100'000);
+  const auto timed = [&](core::PairAlgorithm algorithm) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto stats = core::count_pair_violations(txs, 0, false, 0, algorithm);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return std::make_pair(seconds, stats);
+  };
+  const auto [fenwick_s, fenwick_stats] = timed(core::PairAlgorithm::kFenwick);
+  const auto [brute_s, brute_stats] = timed(core::PairAlgorithm::kBruteForce);
+  if (fenwick_stats.predicted_pairs != brute_stats.predicted_pairs ||
+      fenwick_stats.violations != brute_stats.violations) {
+    std::printf("  !! ALGORITHM MISMATCH at n=100k\n");
+  }
+  return {fenwick_s, brute_s};
+}
 
 }  // namespace
 
@@ -42,8 +89,11 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("fig06_pair_violations");
 
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, seed, scale);
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto seen = core::collect_seen_txs(
       world.chain,
       [&](const btc::Txid& id) { return world.observer.first_seen(id); });
@@ -131,6 +181,18 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("CSV: %s/fig06_pair_violations.csv\n", bench::out_dir().c_str());
+
+  // Exact counting at scale: Fenwick/CDQ vs the O(n^2) reference at
+  // n = 100k with downsampling disabled.
+  {
+    const auto [fenwick_s, brute_s] = speedup_at_100k();
+    std::printf("\n  exact counting, n=100k, no downsampling:\n");
+    std::printf("    fenwick  %8.3f s\n    brute    %8.3f s\n    speedup  %.1fx\n",
+                fenwick_s, brute_s, fenwick_s > 0 ? brute_s / fenwick_s : 0.0);
+    json.metric("fenwick_seconds_100k", fenwick_s);
+    json.metric("brute_seconds_100k", brute_s);
+    json.metric("speedup_100k", fenwick_s > 0 ? brute_s / fenwick_s : 0.0);
+  }
 
   return cn::bench::run_microbenchmarks(argc, argv);
 }

@@ -36,7 +36,10 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("fig07_ppe_pools");
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
 
   const std::vector<double> all_ppe = core::chain_ppe(world.chain);
   const auto summary = stats::summarize(all_ppe);

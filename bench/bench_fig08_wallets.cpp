@@ -36,7 +36,10 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("fig08_wallets");
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
   const core::PoolAttribution attribution(world.chain, registry);
 
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
   const double self_share =
       static_cast<double>(total_self) /
       static_cast<double>(std::max<std::uint64_t>(world.chain.total_tx_count(), 1));
+  json.metric("self_interest_txs", static_cast<double>(total_self));
   bench::compare("total inferred self-interest txs", "12,121 (0.011%)",
                  with_commas(total_self) + " (" + percent(self_share, 3) + ")");
   std::printf("CSV: %s/fig08_wallets.csv\n", bench::out_dir().c_str());

@@ -40,15 +40,19 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(0.4);
+  bench::JsonReport json("fig14_accel_fees");
 
   // Recreate the paper's setup: take a Mempool snapshot mid-run and quote
   // every pending transaction through the acceleration service.
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto seen = core::collect_seen_txs(
       world.chain,
       [&](const btc::Txid& id) { return world.observer.first_seen(id); });
   const SimTime snapshot_time = world.config.duration / 2;
   const auto pending = core::pending_at(seen, world.chain, snapshot_time);
+  json.metric("pending_at_snapshot", static_cast<double>(pending.size()));
 
   sim::AccelerationService service(world.config.quote_model);
   Rng rng(seed ^ 0xacce1);

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("tab01_datasets");
 
   core::TablePrinter table({"set", "blocks", "txs committed", "txs/block",
                             "CPFP%", "empty", "paper CPFP%", "paper empty/blk"},
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
                                     sim::DatasetKind::kC};
   for (int i = 0; i < 3; ++i) {
     const sim::SimResult world = sim::make_dataset(kinds[i], seed, scale);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     std::uint64_t cpfp = 0;
     for (const auto& block : world.chain.blocks()) {
       cpfp += block.cpfp_positions().size();

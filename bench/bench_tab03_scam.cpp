@@ -34,7 +34,10 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("tab03_scam");
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
 
   // Scam-window slice (the paper tests within July 14 - Aug 9 blocks).

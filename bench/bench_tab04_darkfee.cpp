@@ -36,7 +36,10 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("tab04_darkfee");
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
   const core::PoolAttribution attribution(world.chain, registry);
   const auto is_accel = [&](const btc::Txid& id) {

@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
+  bench::JsonReport json("tab05_fee_revenue");
 
   CsvWriter csv(bench::out_dir() + "/tab05_fee_revenue.csv");
   csv.header({"year", "blocks", "mean", "std", "median", "p75", "max", "paper_mean"});
@@ -79,6 +80,8 @@ int main(int argc, char** argv) {
   for (const YearRegime& regime : kYears) {
     const std::uint64_t genesis = btc::approx_height_of_year(regime.year);
     const sim::SimResult world = run_year_slice(genesis, regime, seed, scale);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const double subsidy_scale =
         static_cast<double>(world.config.max_block_vsize) / 1'000'000.0;
     const auto s = core::fee_share_summary(world.chain, subsidy_scale);
@@ -98,6 +101,8 @@ int main(int argc, char** argv) {
     const YearRegime regime{2020, 8.90, 2.0, 0.82};
     const sim::SimResult world =
         run_year_slice(btc::kThirdHalvingHeight + 100, regime, seed + 7, scale);
+    json.add("txs", static_cast<double>(world.chain.total_tx_count()));
+    json.add("blocks", static_cast<double>(world.chain.size()));
     const double subsidy_scale =
         static_cast<double>(world.config.max_block_vsize) / 1'000'000.0;
     const auto s = core::fee_share_summary(world.chain, subsidy_scale);

@@ -13,10 +13,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/report.hpp"
 #include "sim/dataset.hpp"
@@ -42,6 +46,96 @@ inline std::string out_dir() {
   }();
   return dir;
 }
+
+/// Machine-readable companion to the human-readable bench output.
+///
+/// Every bench binary owns one JsonReport for its lifetime; on
+/// destruction (or an explicit flush) it writes
+/// `bench_out/BENCH_<name>.json` so successive PRs can track the perf
+/// trajectory without scraping stdout. Schema (all values numbers):
+///
+///   {
+///     "bench": "<name>",
+///     "seed": <CN_SEED>,
+///     "scale": <CN_SCALE>,
+///     "wall_seconds": <total main() wall time>,
+///     "metrics": { "<key>": <value>, ... }   // insertion order
+///   }
+///
+/// When a "txs" metric was recorded, flush() derives "txs_per_s" from it
+/// and the wall time. Wall-clock use is confined to this harness — the
+/// simulation itself stays deterministic.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { flush(); }
+
+  /// Adds @p delta to a metric, creating it at zero. For benches that
+  /// simulate several worlds (data sets A/B/C, year slices, ablation
+  /// variants) and want an aggregate "txs"/"blocks" total.
+  void add(const std::string& key, double delta) {
+    for (auto& [k, v] : metrics_) {
+      if (k == key) {
+        v += delta;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, delta);
+  }
+
+  /// Records (or overwrites) one numeric metric.
+  void metric(const std::string& key, double value) {
+    for (auto& [k, v] : metrics_) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, value);
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    for (const auto& [k, v] : metrics_) {
+      if (k == "txs" && wall > 0.0) {
+        metric("txs_per_s", v / wall);
+        break;
+      }
+    }
+    const std::string path = out_dir() + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed_from_env()));
+    std::fprintf(f, "  \"scale\": %.17g,\n", scale_from_env());
+    std::fprintf(f, "  \"wall_seconds\": %.6f,\n", wall);
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const double v = std::isfinite(metrics_[i].second) ? metrics_[i].second : 0.0;
+      std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                   metrics_[i].first.c_str(), v);
+    }
+    std::fprintf(f, "%s}\n}\n", metrics_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("JSON: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  bool flushed_ = false;
+};
 
 inline void banner(const char* experiment, const char* claim) {
   std::printf("================================================================\n");

@@ -1,6 +1,8 @@
 #include "core/audit_pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "core/darkfee.hpp"
 #include "core/ppe.hpp"
@@ -8,6 +10,7 @@
 #include "core/sppe.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cn::core {
 
@@ -32,30 +35,53 @@ AuditReport run_full_audit(const btc::Chain& chain,
     if (attribution.hash_share(pool) >= options.min_share) pools.push_back(pool);
   }
 
-  // §5.2: cross-pool differential prioritization of self-interest txs.
-  for (const auto& owner : pools) {
-    const auto txs = self_interest_txs(chain, attribution, owner);
-    if (txs.size() < 10) continue;
-    for (const auto& miner : pools) {
-      const auto test = test_differential_prioritization(chain, attribution,
-                                                         miner, txs);
-      if (test.p_accelerate >= options.alpha || test.sppe <= 25.0) continue;
+  // Fan-out pool for every independent audit stage below. Each task's
+  // inputs and RNG seed depend only on its index, and every merge walks
+  // the results in index order, so the report is byte-identical whatever
+  // the lane count (threads == 1 runs everything inline).
+  util::ThreadPool workers(options.threads);
 
-      AccelerationFinding finding;
-      finding.tx_owner = owner;
-      finding.miner = miner;
-      finding.collusion = owner != miner;
-      finding.test = test;
-      if (options.bootstrap_resamples > 0) {
-        const auto values = sppe_values(chain, txs, attribution, miner);
-        if (!values.empty()) {
-          finding.sppe_ci = stats::bootstrap_mean_ci(
-              values, 0.95, options.bootstrap_resamples,
-              stable_hash64(owner + "/" + miner));
+  // §5.2: cross-pool differential prioritization of self-interest txs.
+  const auto owner_txs = workers.parallel_map(pools.size(), [&](std::size_t i) {
+    return self_interest_txs(chain, attribution, pools[i]);
+  });
+  // Candidate (owner, miner) pairs in the serial nested-loop order.
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  candidates.reserve(pools.size() * pools.size());
+  for (std::size_t o = 0; o < pools.size(); ++o) {
+    if (owner_txs[o].size() < 10) continue;
+    for (std::size_t m = 0; m < pools.size(); ++m) candidates.emplace_back(o, m);
+  }
+  auto candidate_findings = workers.parallel_map(
+      candidates.size(),
+      [&](std::size_t k) -> std::optional<AccelerationFinding> {
+        const auto [o, m] = candidates[k];
+        const std::string& owner = pools[o];
+        const std::string& miner = pools[m];
+        const auto& txs = owner_txs[o];
+        const auto test =
+            test_differential_prioritization(chain, attribution, miner, txs);
+        if (test.p_accelerate >= options.alpha || test.sppe <= 25.0) {
+          return std::nullopt;
         }
-      }
-      report.findings.push_back(std::move(finding));
-    }
+
+        AccelerationFinding finding;
+        finding.tx_owner = owner;
+        finding.miner = miner;
+        finding.collusion = owner != miner;
+        finding.test = test;
+        if (options.bootstrap_resamples > 0) {
+          const auto values = sppe_values(chain, txs, attribution, miner);
+          if (!values.empty()) {
+            finding.sppe_ci = stats::bootstrap_mean_ci(
+                values, 0.95, options.bootstrap_resamples,
+                stable_hash64(owner + "/" + miner));
+          }
+        }
+        return finding;
+      });
+  for (auto& finding : candidate_findings) {
+    if (finding.has_value()) report.findings.push_back(std::move(*finding));
   }
   std::sort(report.findings.begin(), report.findings.end(),
             [](const AccelerationFinding& a, const AccelerationFinding& b) {
@@ -64,14 +90,27 @@ AuditReport run_full_audit(const btc::Chain& chain,
               return a.test.sppe > b.test.sppe;
             });
 
-  // §5.3: watched-address screens.
-  for (const btc::Address& address : options.watch_addresses) {
+  // §5.3: watched-address screens (one task per address x pool).
+  const auto watched_refs = workers.parallel_map(
+      options.watch_addresses.size(), [&](std::size_t a) {
+        return txs_paying_to(chain, options.watch_addresses[a]);
+      });
+  std::vector<PrioTestResult> screen_tests;
+  if (!pools.empty()) {
+    screen_tests = workers.parallel_map(
+        options.watch_addresses.size() * pools.size(), [&](std::size_t k) {
+          const std::size_t a = k / pools.size();
+          const std::size_t p = k % pools.size();
+          return test_differential_prioritization(chain, attribution, pools[p],
+                                                  watched_refs[a]);
+        });
+  }
+  for (std::size_t a = 0; a < options.watch_addresses.size(); ++a) {
     WatchedAddressScreen screen;
-    screen.address = address;
-    const auto refs = txs_paying_to(chain, address);
-    screen.tx_count = refs.size();
-    for (const auto& pool : pools) {
-      auto test = test_differential_prioritization(chain, attribution, pool, refs);
+    screen.address = options.watch_addresses[a];
+    screen.tx_count = watched_refs[a].size();
+    for (std::size_t p = 0; p < pools.size(); ++p) {
+      auto test = std::move(screen_tests[a * pools.size() + p]);
       screen.any_significant = screen.any_significant ||
                                test.p_accelerate < options.alpha ||
                                test.p_decelerate < options.alpha;
@@ -81,18 +120,18 @@ AuditReport run_full_audit(const btc::Chain& chain,
   }
 
   // Table 4 detector (counts only; validation needs the service API).
-  for (const auto& pool : pools) {
+  report.darkfee = workers.parallel_map(pools.size(), [&](std::size_t p) {
     DarkFeeSuspicion suspicion;
-    suspicion.pool = pool;
+    suspicion.pool = pools[p];
     for (const btc::Block& block : chain.blocks()) {
       const auto owner = attribution.pool_of(block.height());
-      if (owner.has_value() && *owner == pool) suspicion.txs += block.tx_count();
+      if (owner.has_value() && *owner == pools[p]) suspicion.txs += block.tx_count();
     }
-    suspicion.flagged = detect_accelerated(chain, attribution, pool,
+    suspicion.flagged = detect_accelerated(chain, attribution, pools[p],
                                            options.darkfee_sppe_threshold)
                             .size();
-    report.darkfee.push_back(std::move(suspicion));
-  }
+    return suspicion;
+  });
   std::sort(report.darkfee.begin(), report.darkfee.end(),
             [](const DarkFeeSuspicion& a, const DarkFeeSuspicion& b) {
               const double ra = a.txs ? static_cast<double>(a.flagged) / a.txs : 0;
@@ -101,8 +140,10 @@ AuditReport run_full_audit(const btc::Chain& chain,
               return a.pool < b.pool;
             });
 
-  // §6.1 scorecard.
-  report.neutrality = neutrality_reports(chain, attribution, options.neutrality);
+  // §6.1 scorecard, fanned out per pool (each pool's report scans the
+  // whole chain; results are identical to the serial overload).
+  report.neutrality =
+      neutrality_reports(chain, attribution, options.neutrality, workers);
   return report;
 }
 

@@ -37,6 +37,12 @@ struct AuditOptions {
   NeutralityOptions neutrality;
   /// Resamples for the SPPE confidence interval (0 disables the CI).
   std::size_t bootstrap_resamples = 500;
+  /// Execution lanes for the fan-out stages (pool-pair tests, screens,
+  /// dark-fee detection, bootstrap CIs): 0 = hardware concurrency,
+  /// 1 = fully serial. The report is byte-identical for every value —
+  /// tasks use per-task stable_hash64 RNG seeds and results merge in a
+  /// fixed index order.
+  unsigned threads = 0;
 };
 
 /// A confirmed differential-prioritization finding (§5.2 / Table 2).

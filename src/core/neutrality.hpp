@@ -23,6 +23,10 @@
 #include "btc/chain.hpp"
 #include "core/wallet_inference.hpp"
 
+namespace cn::util {
+class ThreadPool;
+}
+
 namespace cn::core {
 
 struct NeutralityOptions {
@@ -51,6 +55,14 @@ struct NeutralityReport {
 std::vector<NeutralityReport> neutrality_reports(
     const btc::Chain& chain, const PoolAttribution& attribution,
     const NeutralityOptions& options = {});
+
+/// Same scorecards, with the per-pool chain scans fanned out over
+/// @p workers. The result is identical to the serial overload for any
+/// pool size (each pool's report is independent; ordering is restored
+/// by the final worst-first sort).
+std::vector<NeutralityReport> neutrality_reports(
+    const btc::Chain& chain, const PoolAttribution& attribution,
+    const NeutralityOptions& options, util::ThreadPool& workers);
 
 /// The composite score for one report (exposed for testing; also set on
 /// the reports returned above).

@@ -7,7 +7,7 @@ namespace cn::core {
 namespace {
 
 /// Shared preprocessing: CPFP filter, arrival sort, deterministic
-/// downsampling.
+/// downsampling (opt-in via max_txs > 0).
 std::vector<SeenTx> prepare(std::vector<SeenTx> txs, bool exclude_cpfp,
                             std::size_t max_txs) {
   if (exclude_cpfp) {
@@ -28,40 +28,204 @@ std::vector<SeenTx> prepare(std::vector<SeenTx> txs, bool exclude_cpfp,
   return txs;
 }
 
+/// Point-update / prefix-sum tree over [0, n) ranks.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t rank, std::int64_t delta) {
+    for (std::size_t i = rank + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum over ranks [0, count).
+  std::uint64_t prefix(std::size_t count) const {
+    std::int64_t sum = 0;
+    for (std::size_t i = std::min(count, tree_.size() - 1); i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return static_cast<std::uint64_t>(sum);
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+/// One transaction contributes two events: a *query* at its arrival t_j
+/// (count the already-visible better-qualified transactions) and a
+/// deferred *insert* at t_i + epsilon (become visible to later queries
+/// only once the arrival slack has elapsed). Ordering queries before
+/// inserts at equal time realizes the strict t_i + eps < t_j window.
+struct Event {
+  SimTime time = 0;
+  bool is_insert = false;
+  std::uint32_t fee_rank = 0;    ///< ascending fee-rate rank
+  std::uint32_t block_rank = 0;  ///< ascending block-height rank
+  std::uint32_t tx_index = 0;    ///< index into the arrival-sorted txs
+};
+
+bool event_order(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.is_insert < b.is_insert;  // queries first at equal time
+}
+
+/// CDQ divide-and-conquer: counts, for every query event, the insert
+/// events earlier in the sequence with strictly higher fee rank AND
+/// strictly higher block rank, accumulating into viol[tx_index]. The
+/// sequence order already encodes the epsilon time window, so the cross
+/// step is a plain 2-D dominance count (fee-descending sweep over a
+/// Fenwick tree keyed by block rank).
+void cdq_violations(const std::vector<Event>& events, std::size_t lo,
+                    std::size_t hi, Fenwick& block_bit,
+                    std::vector<std::uint64_t>& viol) {
+  if (hi - lo <= 1) return;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  cdq_violations(events, lo, mid, block_bit, viol);
+  cdq_violations(events, mid, hi, block_bit, viol);
+
+  std::vector<const Event*> inserts;
+  std::vector<const Event*> queries;
+  for (std::size_t i = lo; i < mid; ++i) {
+    if (events[i].is_insert) inserts.push_back(&events[i]);
+  }
+  for (std::size_t i = mid; i < hi; ++i) {
+    if (!events[i].is_insert) queries.push_back(&events[i]);
+  }
+  if (inserts.empty() || queries.empty()) return;
+
+  const auto by_fee_desc = [](const Event* a, const Event* b) {
+    return a->fee_rank > b->fee_rank;
+  };
+  std::sort(inserts.begin(), inserts.end(), by_fee_desc);
+  std::sort(queries.begin(), queries.end(), by_fee_desc);
+
+  std::size_t p = 0;
+  std::uint64_t visible = 0;
+  for (const Event* q : queries) {
+    while (p < inserts.size() && inserts[p]->fee_rank > q->fee_rank) {
+      block_bit.add(inserts[p]->block_rank, +1);
+      ++visible;
+      ++p;
+    }
+    // Visible transactions out-fee q; those also committed in a LATER
+    // block than q's jumped the queue illegitimately.
+    viol[q->tx_index] += visible - block_bit.prefix(q->block_rank + 1);
+  }
+  for (std::size_t k = 0; k < p; ++k) block_bit.add(inserts[k]->block_rank, -1);
+}
+
+struct SweepCounts {
+  std::uint64_t predicted = 0;
+  std::vector<std::uint64_t> violations_per_tx;  ///< indexed like txs
+};
+
+/// Exact counts over arrival-sorted @p txs.
+SweepCounts exact_counts(const std::vector<SeenTx>& txs, SimTime epsilon) {
+  SweepCounts out;
+  out.violations_per_tx.assign(txs.size(), 0);
+  if (txs.size() < 2) return out;
+
+  std::vector<double> fees;
+  std::vector<std::uint64_t> heights;
+  fees.reserve(txs.size());
+  heights.reserve(txs.size());
+  for (const SeenTx& t : txs) {
+    fees.push_back(t.fee_rate);
+    heights.push_back(t.block_height);
+  }
+  std::sort(fees.begin(), fees.end());
+  fees.erase(std::unique(fees.begin(), fees.end()), fees.end());
+  std::sort(heights.begin(), heights.end());
+  heights.erase(std::unique(heights.begin(), heights.end()), heights.end());
+
+  std::vector<Event> events;
+  events.reserve(2 * txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    const auto fee_rank = static_cast<std::uint32_t>(
+        std::lower_bound(fees.begin(), fees.end(), txs[i].fee_rate) - fees.begin());
+    const auto block_rank = static_cast<std::uint32_t>(
+        std::lower_bound(heights.begin(), heights.end(), txs[i].block_height) -
+        heights.begin());
+    const auto index = static_cast<std::uint32_t>(i);
+    events.push_back(Event{txs[i].first_seen, false, fee_rank, block_rank, index});
+    events.push_back(
+        Event{txs[i].first_seen + epsilon, true, fee_rank, block_rank, index});
+  }
+  std::sort(events.begin(), events.end(), event_order);
+
+  // Pass 1 — predicted pairs: Fenwick over fee ranks, single time sweep.
+  Fenwick fee_bit(fees.size());
+  std::uint64_t visible = 0;
+  for (const Event& e : events) {
+    if (e.is_insert) {
+      fee_bit.add(e.fee_rank, +1);
+      ++visible;
+    } else {
+      out.predicted += visible - fee_bit.prefix(e.fee_rank + 1);
+    }
+  }
+
+  // Pass 2 — violations: add the block dimension via CDQ.
+  Fenwick block_bit(heights.size());
+  cdq_violations(events, 0, events.size(), block_bit, out.violations_per_tx);
+  return out;
+}
+
 }  // namespace
 
 PairViolationStats count_pair_violations(std::vector<SeenTx> txs,
                                          SimTime epsilon,
                                          bool exclude_cpfp,
-                                         std::size_t max_txs) {
+                                         std::size_t max_txs,
+                                         PairAlgorithm algorithm) {
   txs = prepare(std::move(txs), exclude_cpfp, max_txs);
+  if (epsilon < 0) epsilon = 0;
 
   PairViolationStats out;
-  for (std::size_t i = 0; i < txs.size(); ++i) {
-    for (std::size_t j = i + 1; j < txs.size(); ++j) {
-      // txs sorted by arrival: i earlier than j.
-      if (txs[i].first_seen + epsilon >= txs[j].first_seen) continue;
-      if (txs[i].fee_rate <= txs[j].fee_rate) continue;
-      ++out.predicted_pairs;
-      if (txs[i].block_height > txs[j].block_height) ++out.violations;
+  if (algorithm == PairAlgorithm::kBruteForce) {
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      for (std::size_t j = i + 1; j < txs.size(); ++j) {
+        // txs sorted by arrival: i earlier than j.
+        if (txs[i].first_seen + epsilon >= txs[j].first_seen) continue;
+        if (txs[i].fee_rate <= txs[j].fee_rate) continue;
+        ++out.predicted_pairs;
+        if (txs[i].block_height > txs[j].block_height) ++out.violations;
+      }
     }
+    return out;
   }
+
+  const SweepCounts counts = exact_counts(txs, epsilon);
+  out.predicted_pairs = counts.predicted;
+  for (const std::uint64_t v : counts.violations_per_tx) out.violations += v;
   return out;
 }
 
 std::unordered_map<std::uint64_t, std::uint64_t> violations_by_block(
     std::vector<SeenTx> txs, SimTime epsilon, bool exclude_cpfp,
-    std::size_t max_txs) {
+    std::size_t max_txs, PairAlgorithm algorithm) {
   txs = prepare(std::move(txs), exclude_cpfp, max_txs);
+  if (epsilon < 0) epsilon = 0;
 
   std::unordered_map<std::uint64_t, std::uint64_t> out;
-  for (std::size_t i = 0; i < txs.size(); ++i) {
-    for (std::size_t j = i + 1; j < txs.size(); ++j) {
-      if (txs[i].first_seen + epsilon >= txs[j].first_seen) continue;
-      if (txs[i].fee_rate <= txs[j].fee_rate) continue;
-      if (txs[i].block_height > txs[j].block_height) {
-        ++out[txs[j].block_height];
+  if (algorithm == PairAlgorithm::kBruteForce) {
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      for (std::size_t j = i + 1; j < txs.size(); ++j) {
+        if (txs[i].first_seen + epsilon >= txs[j].first_seen) continue;
+        if (txs[i].fee_rate <= txs[j].fee_rate) continue;
+        if (txs[i].block_height > txs[j].block_height) {
+          ++out[txs[j].block_height];
+        }
       }
+    }
+    return out;
+  }
+
+  const SweepCounts counts = exact_counts(txs, epsilon);
+  for (std::size_t j = 0; j < txs.size(); ++j) {
+    if (counts.violations_per_tx[j] > 0) {
+      out[txs[j].block_height] += counts.violations_per_tx[j];
     }
   }
   return out;

@@ -6,6 +6,16 @@
 // offered a higher fee-rate (f_i > f_j) yet was committed later
 // (b_i > b_j). The reported fraction is violations over the pairs the
 // norm makes a prediction for (t_i + eps < t_j and f_i > f_j).
+//
+// Counting is exact and sub-quadratic: predicted pairs come from a
+// Fenwick-tree sweep over fee-rate ranks (Kendall-tau style, O(n log n));
+// violations add the third (block-height) dimension and are counted with
+// a CDQ divide-and-conquer over the same event sequence (O(n log^2 n)).
+// The epsilon arrival window is handled by splitting every transaction
+// into a query event at t_j and a deferred insert event at t_i + eps, so
+// a transaction only becomes "visible" to later queries once its slack
+// has elapsed. The O(n^2) reference loop is kept behind
+// PairAlgorithm::kBruteForce for cross-validation.
 #pragma once
 
 #include <cstdint>
@@ -35,15 +45,23 @@ struct PairViolationStats {
   }
 };
 
-/// Counts violating pairs among @p txs with arrival slack @p epsilon.
+/// Counting strategy. Both produce identical results on any input (the
+/// property suite cross-validates them); kFenwick is the production path.
+enum class PairAlgorithm {
+  kFenwick,     ///< O(n log n) sweep + O(n log^2 n) CDQ (exact, default)
+  kBruteForce,  ///< O(n^2) reference double loop (cross-validation)
+};
+
+/// Counts violating pairs among @p txs with arrival slack @p epsilon
+/// (negative epsilon is clamped to 0).
 /// When @p exclude_cpfp, transactions that are in-block CPFP children or
 /// parents of one are discarded first (the paper's Fig 6b).
-/// @p max_txs bounds the quadratic cost: larger snapshots are
-/// deterministically downsampled (every k-th transaction by arrival).
-PairViolationStats count_pair_violations(std::vector<SeenTx> txs,
-                                         SimTime epsilon,
-                                         bool exclude_cpfp,
-                                         std::size_t max_txs = 4000);
+/// @p max_txs is an opt-in deterministic downsample (every k-th
+/// transaction by arrival) kept for comparability with older runs;
+/// 0 (the default) counts every pair exactly.
+PairViolationStats count_pair_violations(
+    std::vector<SeenTx> txs, SimTime epsilon, bool exclude_cpfp,
+    std::size_t max_txs = 0, PairAlgorithm algorithm = PairAlgorithm::kFenwick);
 
 /// Extension beyond Fig 6: attributes each violating pair to the block
 /// height that *caused* it — the block committing the later-arriving,
@@ -53,6 +71,6 @@ PairViolationStats count_pair_violations(std::vector<SeenTx> txs,
 /// PoolAttribution. Same filtering semantics as count_pair_violations.
 std::unordered_map<std::uint64_t, std::uint64_t> violations_by_block(
     std::vector<SeenTx> txs, SimTime epsilon, bool exclude_cpfp,
-    std::size_t max_txs = 4000);
+    std::size_t max_txs = 0, PairAlgorithm algorithm = PairAlgorithm::kFenwick);
 
 }  // namespace cn::core

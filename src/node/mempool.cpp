@@ -14,13 +14,14 @@ bool is_real_outpoint(const btc::TxInput& in) { return !in.prev_txid.is_null(); 
 
 std::vector<btc::Txid> Mempool::conflicts_of(const btc::Transaction& tx) const {
   std::vector<btc::Txid> out;
+  out.reserve(tx.inputs().size());
+  std::unordered_set<btc::Txid> seen;
+  seen.reserve(tx.inputs().size());
   for (const btc::TxInput& in : tx.inputs()) {
     if (!is_real_outpoint(in)) continue;
     const auto it = spenders_.find(Outpoint{in.prev_txid, in.prev_vout});
     if (it == spenders_.end()) continue;
-    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
-      out.push_back(it->second);
-    }
+    if (seen.insert(it->second).second) out.push_back(it->second);
   }
   return out;
 }
@@ -48,19 +49,15 @@ bool Mempool::make_room(const btc::Transaction& incoming) {
   if (limits_.max_vsize == 0) return true;
   while (total_vsize_ + incoming.vsize() > limits_.max_vsize) {
     if (entries_.empty()) return incoming.vsize() <= limits_.max_vsize;
-    // Evict the lowest fee-rate entry (with its descendants).
-    const MempoolEntry* worst = nullptr;
-    for (const auto& [id, entry] : entries_) {
-      if (worst == nullptr || entry.tx.fee_rate() < worst->tx.fee_rate() ||
-          (entry.tx.fee_rate() == worst->tx.fee_rate() &&
-           entry.tx.id() < worst->tx.id())) {
-        worst = &entry;
-      }
-    }
+    // Evict the lowest fee-rate entry (with its descendants): the
+    // eviction floor is the front of the fee-rate index.
+    const auto floor_it = by_rate_.begin();
     // A full pool only admits transactions that beat its floor.
-    if (incoming.fee_rate() <= worst->tx.fee_rate()) return false;
+    if (incoming.fee_rate() <= floor_it->first) return false;
+    // Copy before remove_subtree: unlink erases the index node.
+    const btc::Txid worst_id = floor_it->second;
     ++evicted_;
-    remove_subtree(worst->tx.id());
+    remove_subtree(worst_id);
   }
   return true;
 }
@@ -89,6 +86,7 @@ AcceptResult Mempool::accept(btc::Transaction tx, SimTime now) {
     children_[in.prev_txid].push_back(id);
     spenders_.emplace(Outpoint{in.prev_txid, in.prev_vout}, id);
   }
+  by_rate_.emplace(tx.fee_rate(), id);
   entries_.emplace(id, MempoolEntry{std::move(tx), now});
   return AcceptResult::kAccepted;
 }
@@ -97,6 +95,7 @@ void Mempool::unlink(const btc::Txid& id) {
   const auto it = entries_.find(id);
   CN_ASSERT(it != entries_.end());
   total_vsize_ -= it->second.tx.vsize();
+  by_rate_.erase({it->second.tx.fee_rate(), id});
   for (const btc::TxInput& in : it->second.tx.inputs()) {
     if (!is_real_outpoint(in)) continue;
     const auto cit = children_.find(in.prev_txid);
@@ -170,7 +169,7 @@ std::vector<const MempoolEntry*> Mempool::entries_by_arrival() const {
 std::vector<const MempoolEntry*> Mempool::ancestors_of(const btc::Txid& id) const {
   std::vector<const MempoolEntry*> out;
   std::vector<btc::Txid> frontier{id};
-  std::vector<btc::Txid> seen;
+  std::unordered_set<btc::Txid> seen;
   while (!frontier.empty()) {
     const btc::Txid cur = frontier.back();
     frontier.pop_back();
@@ -178,10 +177,10 @@ std::vector<const MempoolEntry*> Mempool::ancestors_of(const btc::Txid& id) cons
     if (it == entries_.end()) continue;  // parent already confirmed
     for (const btc::TxInput& in : it->second.tx.inputs()) {
       if (!is_real_outpoint(in)) continue;
-      if (std::find(seen.begin(), seen.end(), in.prev_txid) != seen.end()) continue;
+      if (seen.contains(in.prev_txid)) continue;
       const auto pit = entries_.find(in.prev_txid);
       if (pit == entries_.end()) continue;
-      seen.push_back(in.prev_txid);
+      seen.insert(in.prev_txid);
       out.push_back(&pit->second);
       frontier.push_back(in.prev_txid);
     }
@@ -203,14 +202,16 @@ std::vector<const MempoolEntry*> Mempool::children_of(const btc::Txid& id) const
 std::vector<btc::Txid> Mempool::descendants_of(const btc::Txid& id) const {
   std::vector<btc::Txid> out;
   std::vector<btc::Txid> frontier{id};
+  std::unordered_set<btc::Txid> seen;
   while (!frontier.empty()) {
     const btc::Txid cur = frontier.back();
     frontier.pop_back();
     const auto it = children_.find(cur);
     if (it == children_.end()) continue;
     for (const btc::Txid& child : it->second) {
-      if (std::find(out.begin(), out.end(), child) != out.end()) continue;
+      if (seen.contains(child)) continue;
       if (!entries_.contains(child)) continue;
+      seen.insert(child);
       out.push_back(child);
       frontier.push_back(child);
     }

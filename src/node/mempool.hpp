@@ -13,7 +13,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "btc/amount.hpp"
@@ -130,6 +133,11 @@ class Mempool {
   std::unordered_map<btc::Txid, std::vector<btc::Txid>> children_;
   /// outpoint -> the queued tx spending it (conflict index).
   std::unordered_map<Outpoint, btc::Txid, OutpointHash> spenders_;
+  /// Fee-rate-ordered eviction index: begin() is the eviction floor
+  /// (lowest fee-rate, txid tie-break), so make_room is O(log n) per
+  /// evicted transaction instead of a full-pool scan. Kept in lockstep
+  /// with entries_ by accept()/unlink().
+  std::set<std::pair<btc::FeeRate, btc::Txid>> by_rate_;
   std::uint64_t total_vsize_ = 0;
   btc::FeeRate min_rate_;
   MempoolLimits limits_;

@@ -9,7 +9,15 @@ namespace cn::stats {
 
 double log_gamma(double x) noexcept {
   CN_ASSERT(x > 0.0);
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // lgamma() writes the global signgam, so concurrent audit tasks race on
+  // it; the reentrant variant reports the sign through a local instead
+  // (always +1 here since x > 0).
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double log_choose(std::uint64_t n, std::uint64_t k) noexcept {

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace cn::util {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned lanes = resolve_threads(threads);
+  workers_.reserve(lanes - 1);
+  for (unsigned i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping so ~ThreadPool never drops
+      // submitted work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<unsigned> pending{0};
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto shared = std::make_shared<Shared>();
+  const unsigned helpers = static_cast<unsigned>(
+      std::min<std::size_t>(workers_.size(), n - 1));
+  shared->pending.store(helpers, std::memory_order_relaxed);
+
+  for (unsigned t = 0; t < helpers; ++t) {
+    // fn outlives the tasks: the caller blocks below until pending == 0,
+    // and every helper touches fn only before decrementing pending.
+    submit([shared, n, &fn] {
+      std::size_t i;
+      while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        fn(i);
+      }
+      if (shared->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->done.notify_all();
+      }
+    });
+  }
+
+  std::size_t i;
+  while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) fn(i);
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->done.wait(lock, [&] {
+    return shared->pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace cn::util

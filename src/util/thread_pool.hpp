@@ -1,0 +1,78 @@
+// A small fixed-size worker pool for deterministic fan-out.
+//
+// The audit pipeline parallelizes embarrassingly parallel stages (per-pool
+// tests, bootstrap resampling, watched-address screens) without giving up
+// reproducibility: tasks write into index-addressed result slots and every
+// merge happens in index order, so the output is byte-identical whatever
+// the thread count or scheduling. Work distribution is a shared atomic
+// counter (no work stealing, no per-thread queues) — the simplest scheme
+// that load-balances uneven task costs.
+//
+// ThreadPool(1) spawns no workers and runs everything inline on the
+// calling thread, which keeps the serial path trivially identical.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cn::util {
+
+/// Maps the user-facing thread knob to a concrete lane count:
+/// 0 -> hardware concurrency (at least 1), anything else -> itself.
+unsigned resolve_threads(unsigned requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// @p threads — total execution lanes including the caller's thread
+  /// during parallel_for; 0 resolves to hardware concurrency, 1 runs
+  /// everything inline (no workers are spawned).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution lanes available to parallel_for (workers + caller).
+  unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Enqueues a fire-and-forget task. Tasks must not throw. With no
+  /// workers (threads() == 1) the task runs inline.
+  void submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the
+  /// workers plus the calling thread; returns when all n calls finished.
+  /// fn must not throw and must be safe to invoke concurrently on
+  /// distinct indices. Not reentrant from inside a pool task.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for that collects fn(i) into a vector in index order. The
+  /// result is byte-identical to the serial loop regardless of threads().
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<T> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace cn::util

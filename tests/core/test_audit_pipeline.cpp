@@ -114,6 +114,105 @@ TEST_F(AuditPipelineTest, PrintDoesNotCrash) {
   std::fclose(tmp);
 }
 
+// --- threading determinism -------------------------------------------------
+
+namespace determinism {
+
+void expect_tests_identical(const PrioTestResult& a, const PrioTestResult& b) {
+  EXPECT_EQ(a.pool, b.pool);
+  EXPECT_EQ(a.theta0, b.theta0);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.p_accelerate, b.p_accelerate);
+  EXPECT_EQ(a.p_decelerate, b.p_decelerate);
+  EXPECT_EQ(a.sppe, b.sppe);
+  EXPECT_EQ(a.sppe_count, b.sppe_count);
+}
+
+/// Field-exact equality over everything run_full_audit computes (options
+/// excluded: they echo the input and differ in `threads` by design).
+void expect_reports_identical(const AuditReport& a, const AuditReport& b) {
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.txs, b.txs);
+  EXPECT_EQ(a.unidentified_blocks, b.unidentified_blocks);
+  EXPECT_EQ(a.ppe.mean, b.ppe.mean);
+  EXPECT_EQ(a.ppe.stddev, b.ppe.stddev);
+  EXPECT_EQ(a.ppe.count, b.ppe.count);
+
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].tx_owner, b.findings[i].tx_owner);
+    EXPECT_EQ(a.findings[i].miner, b.findings[i].miner);
+    EXPECT_EQ(a.findings[i].collusion, b.findings[i].collusion);
+    expect_tests_identical(a.findings[i].test, b.findings[i].test);
+    EXPECT_EQ(a.findings[i].sppe_ci.point, b.findings[i].sppe_ci.point);
+    EXPECT_EQ(a.findings[i].sppe_ci.lo, b.findings[i].sppe_ci.lo);
+    EXPECT_EQ(a.findings[i].sppe_ci.hi, b.findings[i].sppe_ci.hi);
+    EXPECT_EQ(a.findings[i].sppe_ci.resamples, b.findings[i].sppe_ci.resamples);
+  }
+
+  ASSERT_EQ(a.screens.size(), b.screens.size());
+  for (std::size_t i = 0; i < a.screens.size(); ++i) {
+    EXPECT_EQ(a.screens[i].address, b.screens[i].address);
+    EXPECT_EQ(a.screens[i].tx_count, b.screens[i].tx_count);
+    EXPECT_EQ(a.screens[i].any_significant, b.screens[i].any_significant);
+    ASSERT_EQ(a.screens[i].per_pool.size(), b.screens[i].per_pool.size());
+    for (std::size_t p = 0; p < a.screens[i].per_pool.size(); ++p) {
+      expect_tests_identical(a.screens[i].per_pool[p], b.screens[i].per_pool[p]);
+    }
+  }
+
+  ASSERT_EQ(a.darkfee.size(), b.darkfee.size());
+  for (std::size_t i = 0; i < a.darkfee.size(); ++i) {
+    EXPECT_EQ(a.darkfee[i].pool, b.darkfee[i].pool);
+    EXPECT_EQ(a.darkfee[i].txs, b.darkfee[i].txs);
+    EXPECT_EQ(a.darkfee[i].flagged, b.darkfee[i].flagged);
+  }
+
+  ASSERT_EQ(a.neutrality.size(), b.neutrality.size());
+  for (std::size_t i = 0; i < a.neutrality.size(); ++i) {
+    EXPECT_EQ(a.neutrality[i].pool, b.neutrality[i].pool);
+    EXPECT_EQ(a.neutrality[i].score, b.neutrality[i].score);
+    EXPECT_EQ(a.neutrality[i].mean_ppe, b.neutrality[i].mean_ppe);
+    EXPECT_EQ(a.neutrality[i].self_dealing_p, b.neutrality[i].self_dealing_p);
+  }
+}
+
+std::string rendered(const AuditReport& report) {
+  std::FILE* tmp = std::tmpfile();
+  print_audit_report(report, tmp);
+  const long size = std::ftell(tmp);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::rewind(tmp);
+  const std::size_t read = std::fread(out.data(), 1, out.size(), tmp);
+  std::fclose(tmp);
+  out.resize(read);
+  return out;
+}
+
+}  // namespace determinism
+
+TEST_F(AuditPipelineTest, ThreadedReportIsByteIdenticalToSerial) {
+  AuditOptions serial_options;
+  serial_options.watch_addresses.push_back(world_->scam_address);
+  serial_options.threads = 1;
+  AuditOptions threaded_options = serial_options;
+  threaded_options.threads = 4;
+
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const auto serial = run_full_audit(world_->chain, registry, serial_options);
+  const auto threaded = run_full_audit(world_->chain, registry, threaded_options);
+
+  determinism::expect_reports_identical(serial, threaded);
+  // The rendered reports agree byte for byte (options are not printed
+  // beyond the shared dark-fee threshold).
+  EXPECT_EQ(determinism::rendered(serial), determinism::rendered(threaded));
+
+  // A second threaded run is also stable (no scheduling dependence).
+  const auto again = run_full_audit(world_->chain, registry, threaded_options);
+  determinism::expect_reports_identical(threaded, again);
+}
+
 TEST(AuditPipeline, EmptyChainYieldsEmptyReport) {
   btc::Chain chain(1);
   const auto report =

@@ -120,5 +120,137 @@ TEST(PairViolations, EmptyAndSingleton) {
   EXPECT_EQ(count_pair_violations({seen(0, 1.0, 1)}, 0, false).predicted_pairs, 0u);
 }
 
+// --- Fenwick vs brute-force cross-validation -------------------------------
+
+namespace property {
+
+/// Deterministic workload generator covering the nasty cases: duplicate
+/// arrival times (epsilon boundary), duplicate fee-rates (strict-fee
+/// tie-breaking), narrow block ranges, and CPFP flags.
+std::vector<SeenTx> random_workload(unsigned seed, std::size_t n,
+                                    SimTime time_range, int fee_levels,
+                                    std::uint64_t block_levels,
+                                    bool with_cpfp) {
+  std::vector<SeenTx> txs;
+  txs.reserve(n);
+  unsigned state = seed;
+  const auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    SeenTx t;
+    t.first_seen = static_cast<SimTime>(next() % (time_range + 1));
+    t.fee_rate = 1.0 + static_cast<double>(next() % fee_levels);
+    t.block_height = 1 + next() % block_levels;
+    if (with_cpfp) {
+      t.cpfp = next() % 8 == 0;
+      t.cpfp_parent = next() % 8 == 1;
+    }
+    txs.push_back(t);
+  }
+  return txs;
+}
+
+void expect_algorithms_agree(const std::vector<SeenTx>& txs, SimTime epsilon,
+                             bool exclude_cpfp, const char* label) {
+  const auto fast = count_pair_violations(txs, epsilon, exclude_cpfp, 0,
+                                          PairAlgorithm::kFenwick);
+  const auto slow = count_pair_violations(txs, epsilon, exclude_cpfp, 0,
+                                          PairAlgorithm::kBruteForce);
+  EXPECT_EQ(fast.predicted_pairs, slow.predicted_pairs) << label;
+  EXPECT_EQ(fast.violations, slow.violations) << label;
+
+  const auto fast_by_block =
+      violations_by_block(txs, epsilon, exclude_cpfp, 0, PairAlgorithm::kFenwick);
+  const auto slow_by_block = violations_by_block(txs, epsilon, exclude_cpfp, 0,
+                                                 PairAlgorithm::kBruteForce);
+  EXPECT_EQ(fast_by_block, slow_by_block) << label;
+}
+
+}  // namespace property
+
+TEST(PairViolationsProperty, FenwickMatchesBruteForceOnRandomWorkloads) {
+  for (unsigned seed : {1u, 7u, 42u, 1337u, 99991u}) {
+    const auto txs = property::random_workload(seed, 400, 5'000, 60, 40, false);
+    for (SimTime eps : {SimTime{0}, SimTime{1}, SimTime{13}, SimTime{600}}) {
+      property::expect_algorithms_agree(txs, eps, false, "random workload");
+    }
+  }
+}
+
+TEST(PairViolationsProperty, AgreesUnderHeavyTies) {
+  // Few distinct times/fees/blocks: the epsilon boundary (t_i + eps ==
+  // t_j) and the strict fee comparison are hit constantly.
+  for (unsigned seed : {3u, 17u, 2024u}) {
+    const auto txs = property::random_workload(seed, 300, 20, 4, 3, false);
+    for (SimTime eps : {SimTime{0}, SimTime{1}, SimTime{5}, SimTime{20}}) {
+      property::expect_algorithms_agree(txs, eps, false, "heavy ties");
+    }
+  }
+}
+
+TEST(PairViolationsProperty, AgreesWithCpfpExclusion) {
+  for (unsigned seed : {11u, 23u, 456u}) {
+    const auto txs = property::random_workload(seed, 350, 3'000, 30, 25, true);
+    property::expect_algorithms_agree(txs, 0, true, "cpfp excluded");
+    property::expect_algorithms_agree(txs, 10, true, "cpfp excluded eps=10");
+    property::expect_algorithms_agree(txs, 0, false, "cpfp kept");
+  }
+}
+
+TEST(PairViolationsProperty, AgreesOnEpsilonExactBoundary) {
+  // Pairs exactly eps apart must NOT be predicted (strict inequality).
+  const std::vector<SeenTx> txs = {seen(0, 10.0, 5), seen(10, 2.0, 4),
+                                   seen(20, 1.0, 3), seen(30, 5.0, 2)};
+  for (SimTime eps : {SimTime{9}, SimTime{10}, SimTime{11}, SimTime{30}}) {
+    property::expect_algorithms_agree(txs, eps, false, "exact boundary");
+  }
+  const auto at_eps10 =
+      count_pair_violations(txs, 10, false, 0, PairAlgorithm::kFenwick);
+  // (0,1) is exactly 10 apart -> excluded; (0,2), (0,3), (1,2), (1,3), (2,3)
+  // have gaps 20/30/10/20/10 -> only gaps > 10 qualify, with f_i > f_j:
+  // (0,2) predicted+violation, (0,3) predicted+violation, (1,3) gap 20 but
+  // 2.0 < 5.0 -> no prediction.
+  EXPECT_EQ(at_eps10.predicted_pairs, 2u);
+  EXPECT_EQ(at_eps10.violations, 2u);
+}
+
+TEST(PairViolationsProperty, NegativeEpsilonClampedToZero) {
+  const auto txs = property::random_workload(5u, 200, 1'000, 20, 10, false);
+  const auto clamped =
+      count_pair_violations(txs, -50, false, 0, PairAlgorithm::kFenwick);
+  const auto zero = count_pair_violations(txs, 0, false, 0,
+                                          PairAlgorithm::kBruteForce);
+  EXPECT_EQ(clamped.predicted_pairs, zero.predicted_pairs);
+  EXPECT_EQ(clamped.violations, zero.violations);
+}
+
+TEST(PairViolationsProperty, DownsamplingStillSupportedOptIn) {
+  const auto txs = property::random_workload(21u, 1'000, 10'000, 50, 30, false);
+  const auto fast = count_pair_violations(txs, 0, false, /*max_txs=*/250,
+                                          PairAlgorithm::kFenwick);
+  const auto slow = count_pair_violations(txs, 0, false, /*max_txs=*/250,
+                                          PairAlgorithm::kBruteForce);
+  EXPECT_EQ(fast.predicted_pairs, slow.predicted_pairs);
+  EXPECT_EQ(fast.violations, slow.violations);
+  // The sample really is smaller than the full set.
+  const auto full = count_pair_violations(txs, 0, false, 0);
+  EXPECT_LT(fast.predicted_pairs, full.predicted_pairs);
+}
+
+TEST(PairViolationsProperty, ByBlockTotalsMatchAcrossAlgorithms) {
+  const auto txs = property::random_workload(31u, 500, 4'000, 40, 20, true);
+  for (const bool exclude : {false, true}) {
+    const auto stats =
+        count_pair_violations(txs, 7, exclude, 0, PairAlgorithm::kFenwick);
+    const auto by_block =
+        violations_by_block(txs, 7, exclude, 0, PairAlgorithm::kFenwick);
+    std::uint64_t total = 0;
+    for (const auto& [height, n] : by_block) total += n;
+    EXPECT_EQ(total, stats.violations);
+  }
+}
+
 }  // namespace
 }  // namespace cn::core

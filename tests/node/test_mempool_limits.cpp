@@ -2,6 +2,8 @@
 // expiry — the Mempool's resource/admission machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "../helpers.hpp"
 #include "node/mempool.hpp"
 
@@ -128,6 +130,85 @@ TEST(MempoolEviction, UnlimitedByDefault) {
   for (int i = 0; i < 100; ++i) pool.accept(payment(1.0 + i, 7100 + i), 0);
   EXPECT_EQ(pool.size(), 100u);
   EXPECT_EQ(pool.evicted_count(), 0u);
+}
+
+TEST(MempoolEviction, SustainedPressureEvictsLowestRateFirst) {
+  // Regression for the fee-rate eviction index: under sustained
+  // congestion every admission evicts exactly the current floor, in
+  // strictly ascending fee-rate order.
+  MempoolLimits limits;
+  limits.max_vsize = 2'500;  // ten 250 vB transactions
+  Mempool pool(1, limits);
+  for (int r = 1; r <= 10; ++r) {
+    ASSERT_EQ(pool.accept(payment(static_cast<double>(r), 7300 + r), 0),
+              AcceptResult::kAccepted);
+  }
+  ASSERT_EQ(pool.size(), 10u);
+
+  for (int r = 11; r <= 40; ++r) {
+    ASSERT_EQ(pool.accept(payment(static_cast<double>(r), 7300 + r), r),
+              AcceptResult::kAccepted)
+        << "rate " << r;
+    ASSERT_EQ(pool.size(), 10u);
+    ASSERT_LE(pool.total_vsize(), limits.max_vsize);
+    // The floor after admitting rate r is rate r - 9; everything below
+    // was evicted in ascending order.
+    double min_rate = 1e9;
+    pool.for_each([&](const MempoolEntry& e) {
+      min_rate = std::min(min_rate, e.tx.fee_rate().sat_per_vbyte());
+    });
+    ASSERT_NEAR(min_rate, static_cast<double>(r - 9), 1e-9);
+  }
+  EXPECT_EQ(pool.evicted_count(), 30u);
+}
+
+TEST(MempoolEviction, EqualRateFloorBreaksTiesByTxid) {
+  MempoolLimits limits;
+  limits.max_vsize = 500;
+  Mempool pool(1, limits);
+  const auto a = payment(2.0, 7401);
+  const auto b = payment(2.0, 7402);
+  pool.accept(a, 0);
+  pool.accept(b, 0);
+  ASSERT_EQ(pool.accept(payment(9.0, 7403), 1), AcceptResult::kAccepted);
+  // The lexicographically smaller txid is the floor and goes first.
+  const btc::Txid expected_evicted = std::min(a.id(), b.id());
+  const btc::Txid expected_kept = std::max(a.id(), b.id());
+  EXPECT_FALSE(pool.contains(expected_evicted));
+  EXPECT_TRUE(pool.contains(expected_kept));
+}
+
+TEST(MempoolEviction, IndexStaysInSyncThroughReplacementAndExpiry) {
+  MempoolLimits limits;
+  limits.max_vsize = 1'000;  // four 250 vB transactions
+  Mempool pool(1, limits);
+  const auto original = payment(2.0, 7501);
+  pool.accept(original, 0);
+  const auto bump = btc::make_replacement(5, original, btc::Satoshi{5'000}, 7502);
+  ASSERT_EQ(pool.accept(bump, 5), AcceptResult::kAccepted);  // rate 20
+  pool.accept(payment(3.0, 7503), 10);
+  pool.accept(payment(4.0, 7504), 600);
+  pool.accept(payment(5.0, 7505), 600);
+  ASSERT_EQ(pool.size(), 4u);
+
+  // The replaced original must not linger in the eviction index: a 2.5
+  // sat/vB incoming beats nothing if the stale 2.0 floor were real, but
+  // the true floor is 3.0 -> rejected.
+  EXPECT_EQ(pool.accept(payment(2.5, 7506), 700), AcceptResult::kMempoolFull);
+  // Beating the true floor works and evicts the 3.0 entry.
+  ASSERT_EQ(pool.accept(payment(6.0, 7507), 700), AcceptResult::kAccepted);
+  double min_rate = 1e9;
+  pool.for_each([&](const MempoolEntry& e) {
+    min_rate = std::min(min_rate, e.tx.fee_rate().sat_per_vbyte());
+  });
+  EXPECT_NEAR(min_rate, 4.0, 1e-9);
+
+  // Expiry also maintains the index: drop pre-t=600 arrivals, then the
+  // floor seen by admission is the youngest survivors'.
+  const auto dropped = pool.expire_before(600);
+  EXPECT_FALSE(dropped.empty());
+  ASSERT_EQ(pool.accept(payment(4.5, 7508), 800), AcceptResult::kAccepted);
+  EXPECT_TRUE(pool.contains(payment(4.5, 7508).id()));
 }
 
 TEST(MempoolExpiry, DropsOldEntriesWithDescendants) {

@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cn::util {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, SerialPoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(ThreadPool, DefaultResolvesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 10'000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForEdgeSizes) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+  // Fewer items than lanes.
+  pool.parallel_for(2, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ParallelMapMatchesSerialByteForByte) {
+  const auto fn = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + static_cast<double>(i % 7);
+  };
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  const auto a = serial.parallel_map(5'000, fn);
+  const auto b = parallel.parallel_map(5'000, fn);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(ThreadPool, SubmitRunsAllTasksBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, RepeatedParallelForReusesWorkers) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 50LL * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, UnevenTaskCostsStillComplete) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(64, [&](std::size_t i) {
+    volatile long long spin = 0;
+    for (std::size_t k = 0; k < i * 1000; ++k) spin += static_cast<long long>(k);
+    sum.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+}  // namespace
+}  // namespace cn::util

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI driver: builds the release and asan presets, runs the full test
+# suite under both, and re-runs the concurrency-sensitive tests (the
+# ThreadPool and the parallel audit pipeline) under tsan.
+#
+# Usage: tools/ci.sh [--quick]
+#   --quick   skip the sanitizer configurations (release build + ctest only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run() {
+  echo "+ $*" >&2
+  "$@"
+}
+
+echo "=== release: configure + build + ctest ==="
+run cmake --preset release
+run cmake --build --preset release -j "${JOBS}"
+run ctest --preset release -j "${JOBS}"
+
+if [[ "${QUICK}" == "1" ]]; then
+  echo "=== quick mode: skipping sanitizer builds ==="
+  exit 0
+fi
+
+echo "=== asan+ubsan: configure + build + ctest ==="
+run cmake --preset asan
+run cmake --build --preset asan -j "${JOBS}"
+run ctest --preset asan -j "${JOBS}"
+
+echo "=== tsan: configure + build + concurrency tests ==="
+run cmake --preset tsan
+run cmake --build --preset tsan -j "${JOBS}" --target cn_tests_util cn_tests_core
+run ./build-tsan/tests/cn_tests_util --gtest_filter='ThreadPool*'
+run ./build-tsan/tests/cn_tests_core --gtest_filter='AuditPipeline*'
+
+echo "=== all configurations passed ==="

@@ -8,7 +8,7 @@
 //       Import a chain and run the §5 cross-pool differential-
 //       prioritization audit (Table 2 style), printing findings.
 //
-//   cnaudit report     --data DIR [--alpha P]
+//   cnaudit report     --data DIR [--alpha P] [--threads N]
 //       The whole §4-§5 methodology in one shot (run_full_audit):
 //       PPE, cross-pool findings with bootstrap CIs, dark-fee
 //       suspicion, and the neutrality scorecard.
@@ -99,7 +99,7 @@ int usage() {
                "usage: cnaudit <simulate|audit|report|neutrality|ppe|darkfee> [--key value ...]\n"
                "  simulate   --dataset A|B|C [--seed N] [--scale X] --out DIR\n"
                "  audit      --data DIR [--alpha P] [--min-share F]\n"
-               "  report     --data DIR [--alpha P]\n"
+               "  report     --data DIR [--alpha P] [--threads N]\n"
                "  neutrality --data DIR\n"
                "  ppe        --data DIR\n"
                "  darkfee    --data DIR [--pool NAME] [--sppe T]\n");
@@ -207,6 +207,9 @@ int cmd_report(const Args& args) {
   if (!chain) return 1;
   core::AuditOptions options;
   options.alpha = args.get_double("alpha", 0.001);
+  // 0 = all hardware threads, 1 = serial; the report is byte-identical
+  // at any setting (DESIGN.md §7.2).
+  options.threads = static_cast<unsigned>(args.get_u64("threads", 0));
   const auto report = core::run_full_audit(
       *chain, btc::CoinbaseTagRegistry::paper_registry(), options);
   core::print_audit_report(report);
