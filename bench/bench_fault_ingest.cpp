@@ -1,0 +1,124 @@
+// Fault-tolerant ingestion throughput: strict import of a clean export
+// vs lenient import of the same export at 1% injected row corruption.
+//
+// The robustness layer (load_report.hpp) must not make the common case —
+// clean data, strict policy — slower than the historical importer, and
+// lenient recovery must stay within the same order of magnitude while
+// skipping/repairing defective rows. Emits
+// bench_out/BENCH_fault_ingest.json with rows/s for both paths.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common.hpp"
+#include "io/dataset_io.hpp"
+#include "testing/fault_injector.hpp"
+
+namespace {
+
+using namespace cn;
+
+std::uint64_t dataset_rows(const std::string& dir) {
+  std::uint64_t rows = 0;
+  for (const char* name : {"blocks.csv", "txs.csv", "inputs.csv", "outputs.csv"}) {
+    std::FILE* f = std::fopen((dir + "/" + name).c_str(), "rb");
+    if (f == nullptr) continue;
+    int c;
+    std::uint64_t lines = 0;
+    while ((c = std::fgetc(f)) != EOF) {
+      if (c == '\n') ++lines;
+    }
+    std::fclose(f);
+    if (lines > 0) rows += lines - 1;  // minus header
+  }
+  return rows;
+}
+
+struct TimedImport {
+  double seconds = 0.0;
+  std::size_t blocks = 0;
+  std::uint64_t defects = 0;
+};
+
+TimedImport timed_import(const std::string& dir, io::LoadPolicy policy) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = io::import_chain(dir, policy);
+  TimedImport timed;
+  timed.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (result.has_value()) timed.blocks = result->size();
+  timed.defects = static_cast<std::uint64_t>(result.report.errors.size());
+  return timed;
+}
+
+void BM_FaultInjectTiny(benchmark::State& state) {
+  const std::string src = cn::bench::out_dir() + "/fault_inject_bm_src";
+  const std::string dst = cn::bench::out_dir() + "/fault_inject_bm_dst";
+  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, 1, 0.02);
+  if (!io::export_chain(world.chain, src)) {
+    state.SkipWithError("export failed");
+    return;
+  }
+  cn::testing::FaultOptions options;
+  options.row_corruption_rate = 0.05;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cn::testing::FaultInjector injector(seed++);
+    benchmark::DoNotOptimize(injector.inject_dataset(src, dst, options));
+  }
+  std::filesystem::remove_all(src);
+  std::filesystem::remove_all(dst);
+}
+BENCHMARK(BM_FaultInjectTiny)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cn::bench::banner("fault-tolerant ingestion (strict clean vs lenient @1% corruption)",
+                    "the measurement pipeline must survive lossy captures (§3)");
+  cn::bench::JsonReport json("fault_ingest");
+
+  const std::uint64_t seed = cn::bench::seed_from_env();
+  const double scale = cn::bench::scale_from_env(0.25);
+  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, seed, scale);
+
+  const std::string clean = cn::bench::out_dir() + "/fault_ingest_clean";
+  const std::string dirty = cn::bench::out_dir() + "/fault_ingest_dirty";
+  std::filesystem::remove_all(clean);
+  std::filesystem::remove_all(dirty);
+  if (!io::export_chain(world.chain, clean)) {
+    std::fprintf(stderr, "export failed\n");
+    return 1;
+  }
+
+  cn::testing::FaultOptions options;
+  options.row_corruption_rate = 0.01;
+  cn::testing::FaultInjector injector(seed);
+  const auto log = injector.inject_dataset(clean, dirty, options);
+
+  const std::uint64_t rows = dataset_rows(clean);
+  const TimedImport strict = timed_import(clean, io::LoadPolicy::kStrict);
+  const TimedImport lenient = timed_import(dirty, io::LoadPolicy::kLenient);
+
+  const double strict_rps = strict.seconds > 0 ? rows / strict.seconds : 0.0;
+  const double lenient_rps = lenient.seconds > 0 ? rows / lenient.seconds : 0.0;
+  std::printf("  rows: %llu   injected faults: %zu\n",
+              static_cast<unsigned long long>(rows), log.faults.size());
+  std::printf("  strict  (clean): %8.0f rows/s  (%zu blocks, %.3fs)\n",
+              strict_rps, strict.blocks, strict.seconds);
+  std::printf("  lenient (dirty): %8.0f rows/s  (%zu blocks, %.3fs, %llu defects)\n",
+              lenient_rps, lenient.blocks, lenient.seconds,
+              static_cast<unsigned long long>(lenient.defects));
+
+  json.metric("rows", static_cast<double>(rows));
+  json.metric("injected_faults", static_cast<double>(log.faults.size()));
+  json.metric("strict_rows_per_s", strict_rps);
+  json.metric("lenient_rows_per_s", lenient_rps);
+  json.metric("lenient_defects", static_cast<double>(lenient.defects));
+
+  std::filesystem::remove_all(clean);
+  std::filesystem::remove_all(dirty);
+  return cn::bench::run_microbenchmarks(argc, argv);
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "core/darkfee.hpp"
@@ -17,6 +18,13 @@ namespace cn::core {
 AuditReport run_full_audit(const btc::Chain& chain,
                            const btc::CoinbaseTagRegistry& registry,
                            const AuditOptions& options) {
+  return run_full_audit(chain, registry, nullptr, options);
+}
+
+AuditReport run_full_audit(const btc::Chain& chain,
+                           const btc::CoinbaseTagRegistry& registry,
+                           const DataQualityReport* quality,
+                           const AuditOptions& options) {
   AuditReport report;
   report.options = options;
   report.blocks = chain.size();
@@ -25,8 +33,50 @@ AuditReport run_full_audit(const btc::Chain& chain,
   const PoolAttribution attribution(chain, registry);
   report.unidentified_blocks = attribution.unidentified_blocks();
 
-  // Norm II adherence.
-  const std::vector<double> ppe = chain_ppe(chain);
+  // Coverage accounting: which blocks the audit may trust, and how much
+  // observed data each pool's statistics rest on. All of it is derived
+  // deterministically before the fan-out, so threading stays
+  // byte-identical.
+  report.has_quality = quality != nullptr;
+  std::unordered_map<std::string, double> pool_coverage;
+  if (quality != nullptr) {
+    report.mean_coverage = quality->mean_coverage;
+    report.snapshot_gaps = static_cast<std::uint64_t>(quality->gaps.size());
+    std::unordered_map<std::string, std::pair<double, std::uint64_t>> acc;
+    for (const btc::Block& block : chain.blocks()) {
+      const double cov = quality->coverage_at(block.height());
+      if (cov < options.min_coverage) {
+        report.low_coverage_heights.push_back(block.height());
+      }
+      if (const auto owner = attribution.pool_of(block.height())) {
+        auto& [sum, n] = acc[*owner];
+        sum += cov;
+        ++n;
+      }
+    }
+    report.masked_blocks =
+        static_cast<std::uint64_t>(report.low_coverage_heights.size());
+    for (const auto& [pool, sum_n] : acc) {
+      pool_coverage[pool] = sum_n.second > 0
+                                ? sum_n.first / static_cast<double>(sum_n.second)
+                                : 1.0;
+    }
+  }
+  const auto coverage_of_pool = [&](const std::string& pool) {
+    const auto it = pool_coverage.find(pool);
+    return it != pool_coverage.end() ? it->second : 1.0;
+  };
+
+  // Norm II adherence, over trusted blocks only when coverage is graded.
+  std::vector<double> ppe;
+  if (quality == nullptr) {
+    ppe = chain_ppe(chain);
+  } else {
+    for (const btc::Block& block : chain.blocks()) {
+      if (quality->coverage_at(block.height()) < options.min_coverage) continue;
+      if (const auto v = block_ppe(block)) ppe.push_back(*v);
+    }
+  }
   report.ppe = stats::summarize(ppe);
 
   // Large pools only.
@@ -81,7 +131,12 @@ AuditReport run_full_audit(const btc::Chain& chain,
         return finding;
       });
   for (auto& finding : candidate_findings) {
-    if (finding.has_value()) report.findings.push_back(std::move(*finding));
+    if (finding.has_value()) {
+      finding->coverage = coverage_of_pool(finding->miner);
+      finding->insufficient_data =
+          report.has_quality && finding->coverage < options.min_coverage;
+      report.findings.push_back(std::move(*finding));
+    }
   }
   std::sort(report.findings.begin(), report.findings.end(),
             [](const AccelerationFinding& a, const AccelerationFinding& b) {
@@ -144,6 +199,10 @@ AuditReport run_full_audit(const btc::Chain& chain,
   // whole chain; results are identical to the serial overload).
   report.neutrality =
       neutrality_reports(chain, attribution, options.neutrality, workers);
+  for (NeutralityReport& n : report.neutrality) {
+    n.coverage = coverage_of_pool(n.pool);
+    n.insufficient_data = report.has_quality && n.coverage < options.min_coverage;
+  }
   return report;
 }
 
@@ -152,20 +211,32 @@ void print_audit_report(const AuditReport& report, std::FILE* out) {
                     "blocks) ===\n",
                with_commas(report.blocks).c_str(), with_commas(report.txs).c_str(),
                with_commas(report.unidentified_blocks).c_str());
-  std::fprintf(out, "norm-II adherence: mean PPE %.2f%% (std %.2f)\n\n",
+  std::fprintf(out, "norm-II adherence: mean PPE %.2f%% (std %.2f)\n",
                report.ppe.mean, report.ppe.stddev);
+  if (report.has_quality) {
+    std::fprintf(out,
+                 "data quality: mean coverage %.1f%%, %s snapshot gap(s), "
+                 "%s of %s blocks below %.0f%% coverage masked from norm stats\n",
+                 report.mean_coverage * 100.0,
+                 with_commas(report.snapshot_gaps).c_str(),
+                 with_commas(report.masked_blocks).c_str(),
+                 with_commas(report.blocks).c_str(),
+                 report.options.min_coverage * 100.0);
+  }
+  std::fprintf(out, "\n");
 
   std::fprintf(out, "--- differential prioritization findings (%zu) ---\n",
                report.findings.size());
   for (const auto& f : report.findings) {
     std::fprintf(out,
                  "  %s: %s accelerates %s's txs  x=%llu y=%llu p=%s  "
-                 "SPPE %.1f [%.1f, %.1f]\n",
+                 "SPPE %.1f [%.1f, %.1f]%s\n",
                  f.collusion ? "COLLUSION" : "SELFISH", f.miner.c_str(),
                  f.tx_owner.c_str(), static_cast<unsigned long long>(f.test.x),
                  static_cast<unsigned long long>(f.test.y),
                  format_p_value(f.test.p_accelerate).c_str(), f.test.sppe,
-                 f.sppe_ci.lo, f.sppe_ci.hi);
+                 f.sppe_ci.lo, f.sppe_ci.hi,
+                 f.insufficient_data ? "  [INSUFFICIENT DATA]" : "");
   }
   if (report.findings.empty()) std::fprintf(out, "  (none)\n");
 
@@ -193,10 +264,11 @@ void print_audit_report(const AuditReport& report, std::FILE* out) {
 
   std::fprintf(out, "\n--- neutrality scorecard (worst first) ---\n");
   for (const auto& n : report.neutrality) {
-    std::fprintf(out, "  %-16s score %5.1f  (PPE %.2f%%, boosts %s, self-p %s)\n",
+    std::fprintf(out, "  %-16s score %5.1f  (PPE %.2f%%, boosts %s, self-p %s)%s\n",
                  n.pool.c_str(), n.score, n.mean_ppe,
                  percent(n.boosted_tx_rate, 2).c_str(),
-                 format_p_value(n.self_dealing_p).c_str());
+                 format_p_value(n.self_dealing_p).c_str(),
+                 n.insufficient_data ? "  [INSUFFICIENT DATA]" : "");
   }
 }
 

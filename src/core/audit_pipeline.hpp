@@ -15,6 +15,7 @@
 
 #include "btc/chain.hpp"
 #include "btc/coinbase_tags.hpp"
+#include "core/data_quality.hpp"
 #include "core/neutrality.hpp"
 #include "core/prio_test.hpp"
 #include "core/wallet_inference.hpp"
@@ -43,6 +44,12 @@ struct AuditOptions {
   /// tasks use per-task stable_hash64 RNG seeds and results merge in a
   /// fixed index order.
   unsigned threads = 0;
+  /// Blocks whose effective coverage (see data_quality.hpp) falls below
+  /// this are masked from the norm statistics, and findings resting on a
+  /// pool whose mean coverage is below it are downgraded to
+  /// "insufficient data". Only applies when a DataQualityReport is
+  /// passed to run_full_audit.
+  double min_coverage = 0.5;
 };
 
 /// A confirmed differential-prioritization finding (§5.2 / Table 2).
@@ -52,6 +59,12 @@ struct AccelerationFinding {
   bool collusion = false;  ///< owner != miner
   PrioTestResult test;
   stats::BootstrapCi sppe_ci;  ///< CI over per-tx SPPE in the miner's blocks
+  /// Mean effective coverage over the miner's blocks (1.0 when no data
+  /// quality report was supplied).
+  double coverage = 1.0;
+  /// Coverage below AuditOptions::min_coverage: the statistic rests on
+  /// too little observed data to report as a firm conclusion.
+  bool insufficient_data = false;
 };
 
 /// Per-pool screen of a watched address (§5.3 / Table 3).
@@ -76,17 +89,35 @@ struct AuditReport {
   std::uint64_t txs = 0;
   std::uint64_t unidentified_blocks = 0;
 
-  stats::Summary ppe;  ///< norm-II adherence across all blocks
+  stats::Summary ppe;  ///< norm-II adherence across covered blocks
   std::vector<AccelerationFinding> findings;       ///< worst first
   std::vector<WatchedAddressScreen> screens;
   std::vector<DarkFeeSuspicion> darkfee;           ///< most-flagged first
   std::vector<NeutralityReport> neutrality;        ///< worst first
+
+  /// Coverage accounting (meaningful when has_quality).
+  bool has_quality = false;
+  double mean_coverage = 1.0;
+  std::uint64_t snapshot_gaps = 0;
+  std::uint64_t masked_blocks = 0;  ///< blocks below min_coverage
+  std::vector<std::uint64_t> low_coverage_heights;  ///< ascending
 };
 
 /// Runs the whole §4-§5 methodology. The attribution is rebuilt
 /// internally from @p registry.
 AuditReport run_full_audit(const btc::Chain& chain,
                            const btc::CoinbaseTagRegistry& registry,
+                           const AuditOptions& options = {});
+
+/// Coverage-aware variant: norm statistics mask blocks whose effective
+/// coverage is below options.min_coverage, and every finding / scorecard
+/// is annotated with the coverage fraction it rests on (downgraded to
+/// insufficient-data when too low). @p quality may be null (identical to
+/// the overload above). The report stays byte-identical across
+/// AuditOptions::threads values.
+AuditReport run_full_audit(const btc::Chain& chain,
+                           const btc::CoinbaseTagRegistry& registry,
+                           const DataQualityReport* quality,
                            const AuditOptions& options = {});
 
 /// Human-readable rendering of a report.

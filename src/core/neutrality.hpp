@@ -48,6 +48,13 @@ struct NeutralityReport {
 
   bool self_dealing_flagged = false;
   double score = 100.0;  ///< composite neutrality score, [0, 100]
+
+  /// Mean effective coverage over the pool's blocks; annotated by the
+  /// audit pipeline when a DataQualityReport is available (1.0 without).
+  double coverage = 1.0;
+  /// Coverage below the audit's min_coverage threshold: the scorecard
+  /// rests on too little observed data and must not be read as "clean".
+  bool insufficient_data = false;
 };
 
 /// Builds per-pool scorecards for every pool with at least

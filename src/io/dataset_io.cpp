@@ -4,6 +4,8 @@
 #include <charconv>
 #include <filesystem>
 #include <map>
+#include <unordered_set>
+#include <utility>
 
 #include "util/csv.hpp"
 
@@ -25,212 +27,674 @@ std::optional<std::uint64_t> to_u64(const std::string& s) {
   return v;
 }
 
+// ---------------------------------------------------------------------------
+// Export: atomic tmp-file writers.
+// ---------------------------------------------------------------------------
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// A CsvWriter that streams to `<path>.tmp`; the temporary is removed on
+/// destruction unless commit_exports() renamed it into place.
+struct TmpCsv {
+  std::string final_path;
+  std::string tmp_path;
+  CsvWriter writer;
+  bool committed = false;
+
+  explicit TmpCsv(std::string path)
+      : final_path(std::move(path)),
+        tmp_path(final_path + ".tmp"),
+        writer(tmp_path) {}
+
+  ~TmpCsv() {
+    if (!committed) {
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+    }
+  }
+};
+
+/// Flushes every writer, verifies no write failed (disk full surfaces
+/// here at the latest), then renames all temporaries into place. On any
+/// failure the temporaries are cleaned up by ~TmpCsv and the final paths
+/// are left untouched.
+bool commit_exports(std::initializer_list<TmpCsv*> files, std::string* error) {
+  for (TmpCsv* f : files) {
+    if (!f->writer.close()) {
+      return set_error(error, "write to " + f->tmp_path +
+                                  " failed (disk full or I/O error)");
+    }
+  }
+  for (TmpCsv* f : files) {
+    std::error_code ec;
+    std::filesystem::rename(f->tmp_path, f->final_path, ec);
+    if (ec) {
+      return set_error(error, "rename " + f->tmp_path + " -> " + f->final_path +
+                                  ": " + ec.message());
+    }
+    f->committed = true;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Import: policy-aware row consumption.
+// ---------------------------------------------------------------------------
+
+/// Shared defect-recording state for one import.
+struct Loader {
+  explicit Loader(LoadPolicy p) { report.policy = p; }
+
+  LoadReport report;
+  bool fatal = false;
+
+  enum class Fix {
+    kSkipRow,    ///< lenient drops the row
+    kRepairRow,  ///< lenient keeps the row after a fix
+    kNone,       ///< bookkeeping only (whole-file defects)
+  };
+
+  /// Records a defect. Returns true when the caller may continue
+  /// (lenient); false aborts the load (strict).
+  bool defect(LoadErrorKind kind, const std::string& file, std::size_t line,
+              std::string detail, Fix fix = Fix::kSkipRow) {
+    LoadError e{kind, file, line, std::move(detail), false};
+    if (report.policy == LoadPolicy::kStrict) {
+      report.errors.push_back(std::move(e));
+      report.ok = false;
+      fatal = true;
+      return false;
+    }
+    e.repaired = fix != Fix::kNone;
+    report.errors.push_back(std::move(e));
+    if (fix == Fix::kSkipRow) ++report.rows_skipped;
+    if (fix == Fix::kRepairRow) ++report.rows_repaired;
+    return true;
+  }
+
+  /// Whole-file defect that no policy can recover from (missing file).
+  void fatal_defect(LoadErrorKind kind, const std::string& file,
+                    std::string detail) {
+    report.errors.push_back({kind, file, 0, std::move(detail), false});
+    report.ok = false;
+    fatal = true;
+  }
+};
+
 }  // namespace
 
-bool export_chain(const btc::Chain& chain, const std::string& dir) {
+bool export_chain(const btc::Chain& chain, const std::string& dir,
+                  std::string* error) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return set_error(error, "create_directories(" + dir + "): " + ec.message());
+  }
 
-  CsvWriter blocks(dir + "/blocks.csv");
-  CsvWriter txs(dir + "/txs.csv");
-  CsvWriter inputs(dir + "/inputs.csv");
-  CsvWriter outputs(dir + "/outputs.csv");
-  if (!blocks.ok() || !txs.ok() || !inputs.ok() || !outputs.ok()) return false;
+  TmpCsv blocks(dir + "/blocks.csv");
+  TmpCsv txs(dir + "/txs.csv");
+  TmpCsv inputs(dir + "/inputs.csv");
+  TmpCsv outputs(dir + "/outputs.csv");
+  if (!blocks.writer.ok() || !txs.writer.ok() || !inputs.writer.ok() ||
+      !outputs.writer.ok()) {
+    return set_error(error, "could not open CSV files under " + dir);
+  }
 
-  blocks.header({"height", "mined_at", "coinbase_tag", "reward_address",
-                 "reward_sat", "tx_count"});
-  txs.header({"height", "position", "txid", "issued", "vsize", "fee_sat"});
-  inputs.header({"txid", "prev_txid", "prev_vout", "owner"});
-  outputs.header({"txid", "to", "value_sat"});
+  blocks.writer.header({"height", "mined_at", "coinbase_tag", "reward_address",
+                        "reward_sat", "tx_count"});
+  txs.writer.header({"height", "position", "txid", "issued", "vsize", "fee_sat"});
+  inputs.writer.header({"txid", "prev_txid", "prev_vout", "owner"});
+  outputs.writer.header({"txid", "to", "value_sat"});
 
   for (const btc::Block& block : chain.blocks()) {
-    blocks.field(block.height()).field(block.mined_at());
-    blocks.field(block.coinbase().tag);
-    blocks.field(block.coinbase().reward_address.value);
-    blocks.field(block.coinbase().reward.value);
-    blocks.field(static_cast<std::uint64_t>(block.tx_count()));
-    blocks.end_row();
+    blocks.writer.field(block.height()).field(block.mined_at());
+    blocks.writer.field(block.coinbase().tag);
+    blocks.writer.field(block.coinbase().reward_address.value);
+    blocks.writer.field(block.coinbase().reward.value);
+    blocks.writer.field(static_cast<std::uint64_t>(block.tx_count()));
+    blocks.writer.end_row();
 
     for (std::size_t i = 0; i < block.txs().size(); ++i) {
       const btc::Transaction& tx = block.txs()[i];
       const std::string id_hex = tx.id().to_hex();
-      txs.field(block.height()).field(static_cast<std::uint64_t>(i));
-      txs.field(id_hex).field(tx.issued());
-      txs.field(static_cast<std::uint64_t>(tx.vsize())).field(tx.fee().value);
-      txs.end_row();
+      txs.writer.field(block.height()).field(static_cast<std::uint64_t>(i));
+      txs.writer.field(id_hex).field(tx.issued());
+      txs.writer.field(static_cast<std::uint64_t>(tx.vsize())).field(tx.fee().value);
+      txs.writer.end_row();
 
       for (const btc::TxInput& in : tx.inputs()) {
-        inputs.field(id_hex).field(in.prev_txid.to_hex());
-        inputs.field(static_cast<std::uint64_t>(in.prev_vout));
-        inputs.field(in.owner.value);
-        inputs.end_row();
+        inputs.writer.field(id_hex).field(in.prev_txid.to_hex());
+        inputs.writer.field(static_cast<std::uint64_t>(in.prev_vout));
+        inputs.writer.field(in.owner.value);
+        inputs.writer.end_row();
       }
       for (const btc::TxOutput& out : tx.outputs()) {
-        outputs.field(id_hex).field(out.to.value).field(out.value.value);
-        outputs.end_row();
+        outputs.writer.field(id_hex).field(out.to.value).field(out.value.value);
+        outputs.writer.end_row();
       }
     }
   }
-  return true;
+  return commit_exports({&blocks, &txs, &inputs, &outputs}, error);
 }
 
 std::optional<btc::Chain> import_chain(const std::string& dir) {
-  CsvReader blocks_in(dir + "/blocks.csv");
-  CsvReader txs_in(dir + "/txs.csv");
-  CsvReader inputs_in(dir + "/inputs.csv");
-  CsvReader outputs_in(dir + "/outputs.csv");
-  if (!blocks_in.ok() || !txs_in.ok() || !inputs_in.ok() || !outputs_in.ok()) {
-    return std::nullopt;
-  }
+  return std::move(import_chain(dir, LoadPolicy::kStrict).value);
+}
 
+LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
+  LoadResult<btc::Chain> result;
+  Loader ld(policy);
   std::vector<std::string> row;
 
-  // Inputs and outputs grouped by txid hex.
+  // --- blocks.csv --------------------------------------------------------
+  struct RawBlock {
+    SimTime mined_at = 0;
+    btc::Coinbase coinbase;
+    std::uint64_t tx_count = 0;
+    std::size_t line = 0;        ///< source line, 0 for reconstructions
+    bool reconstructed = false;  ///< lenient placeholder for a lost row
+  };
+  std::map<std::uint64_t, RawBlock> blocks;
+  const std::string blocks_path = dir + "/blocks.csv";
+  {
+    CsvReader in(blocks_path);
+    if (!in.ok()) {
+      ld.fatal_defect(LoadErrorKind::kFileOpen, blocks_path, "cannot open");
+    } else if (!in.next_row(row)) {
+      ld.fatal_defect(LoadErrorKind::kMissingHeader, blocks_path, "empty file");
+    }
+    std::optional<std::uint64_t> last_height;
+    while (!ld.fatal && in.next_row(row)) {
+      ++ld.report.rows_read;
+      const std::size_t line = in.line();
+      if (in.truncated()) {
+        if (!ld.defect(LoadErrorKind::kUnterminatedQuote, blocks_path, line,
+                       "record ends inside a quoted field")) break;
+        continue;
+      }
+      if (row.size() != 6) {
+        if (!ld.defect(LoadErrorKind::kBadFieldCount, blocks_path, line,
+                       "expected 6 fields, found " + std::to_string(row.size()))) break;
+        continue;
+      }
+      const auto height = to_u64(row[0]);
+      const auto mined_at = to_i64(row[1]);
+      const auto reward_addr = to_u64(row[3]);
+      const auto reward = to_i64(row[4]);
+      const auto count = to_u64(row[5]);
+      if (!height || !mined_at || !reward_addr || !reward || !count) {
+        if (!ld.defect(LoadErrorKind::kBadNumber, blocks_path, line,
+                       "unparseable numeric field")) break;
+        continue;
+      }
+      if (blocks.count(*height) != 0) {
+        if (!ld.defect(LoadErrorKind::kDuplicateHeight, blocks_path, line,
+                       "height " + row[0] + " already seen")) break;
+        continue;
+      }
+      if (last_height && *height < *last_height) {
+        // The export writes strictly increasing heights; re-sorting (the
+        // height-keyed map) repairs this in lenient mode.
+        if (!ld.defect(LoadErrorKind::kOutOfOrderRow, blocks_path, line,
+                       "height " + row[0] + " after " +
+                           std::to_string(*last_height),
+                       Loader::Fix::kRepairRow)) break;
+      }
+      last_height = *height;
+      btc::Coinbase cb;
+      cb.tag = row[2];
+      cb.reward_address = btc::Address{*reward_addr};
+      cb.reward = btc::Satoshi{*reward};
+      blocks.emplace(*height,
+                     RawBlock{*mined_at, std::move(cb), *count, line, false});
+    }
+  }
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
+  }
+
+  // --- txs.csv -----------------------------------------------------------
+  struct RawTxRow {
+    std::uint64_t position = 0;
+    std::string id_hex;
+    btc::Txid id{};
+    SimTime issued = 0;
+    std::uint32_t vsize = 0;
+    btc::Satoshi fee{};
+    std::size_t line = 0;
+  };
+  std::map<std::uint64_t, std::vector<RawTxRow>> txs_by_height;
+  const std::string txs_path = dir + "/txs.csv";
+  {
+    CsvReader in(txs_path);
+    if (!in.ok()) {
+      ld.fatal_defect(LoadErrorKind::kFileOpen, txs_path, "cannot open");
+    } else if (!in.next_row(row)) {
+      ld.fatal_defect(LoadErrorKind::kMissingHeader, txs_path, "empty file");
+    }
+    std::unordered_set<std::string> seen_txids;
+    std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> seen_positions;
+    std::optional<std::uint64_t> last_height;
+    std::optional<std::uint64_t> last_position;
+    while (!ld.fatal && in.next_row(row)) {
+      ++ld.report.rows_read;
+      const std::size_t line = in.line();
+      if (in.truncated()) {
+        if (!ld.defect(LoadErrorKind::kUnterminatedQuote, txs_path, line,
+                       "record ends inside a quoted field")) break;
+        continue;
+      }
+      if (row.size() != 6) {
+        if (!ld.defect(LoadErrorKind::kBadFieldCount, txs_path, line,
+                       "expected 6 fields, found " + std::to_string(row.size()))) break;
+        continue;
+      }
+      const auto height = to_u64(row[0]);
+      const auto position = to_u64(row[1]);
+      const auto issued = to_i64(row[3]);
+      const auto vsize = to_u64(row[4]);
+      const auto fee = to_i64(row[5]);
+      if (!height || !position || !issued || !vsize || !fee) {
+        if (!ld.defect(LoadErrorKind::kBadNumber, txs_path, line,
+                       "unparseable numeric field")) break;
+        continue;
+      }
+      const auto id = btc::Txid::from_hex(row[2]);
+      if (!id) {
+        if (!ld.defect(LoadErrorKind::kBadTxid, txs_path, line,
+                       "bad txid '" + row[2] + "'")) break;
+        continue;
+      }
+      if (!seen_txids.insert(row[2]).second) {
+        if (!ld.defect(LoadErrorKind::kDuplicateTxid, txs_path, line,
+                       "txid " + row[2].substr(0, 16) + "... already seen")) break;
+        continue;
+      }
+      if (!seen_positions[*height].insert(*position).second) {
+        if (!ld.defect(LoadErrorKind::kDuplicateTxPosition, txs_path, line,
+                       "(height " + row[0] + ", position " + row[1] +
+                           ") already seen")) break;
+        continue;
+      }
+      if (last_height &&
+          (*height < *last_height ||
+           (*height == *last_height && last_position &&
+            *position < *last_position))) {
+        // Repaired by the position sort at block assembly.
+        if (!ld.defect(LoadErrorKind::kOutOfOrderRow, txs_path, line,
+                       "row for (height " + row[0] + ", position " + row[1] +
+                           ") out of export order",
+                       Loader::Fix::kRepairRow)) break;
+      }
+      if (last_height != *height) last_position.reset();
+      last_height = *height;
+      if (!last_position || *position > *last_position) last_position = *position;
+      txs_by_height[*height].push_back(
+          RawTxRow{*position, row[2], *id, *issued,
+                   static_cast<std::uint32_t>(*vsize), btc::Satoshi{*fee}, line});
+    }
+  }
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
+  }
+
+  // --- inputs.csv / outputs.csv ------------------------------------------
   std::unordered_map<std::string, std::vector<btc::TxInput>> inputs_by_tx;
-  if (!inputs_in.next_row(row)) return std::nullopt;  // header
-  while (inputs_in.next_row(row)) {
-    if (row.size() != 4) return std::nullopt;
-    const auto prev = btc::Txid::from_hex(row[1]);
-    const auto vout = to_u64(row[2]);
-    const auto owner = to_u64(row[3]);
-    if (!prev || !vout || !owner) return std::nullopt;
-    inputs_by_tx[row[0]].push_back(
-        btc::TxInput{*prev, static_cast<std::uint32_t>(*vout), btc::Address{*owner}});
+  const std::string inputs_path = dir + "/inputs.csv";
+  {
+    CsvReader in(inputs_path);
+    if (!in.ok()) {
+      ld.fatal_defect(LoadErrorKind::kFileOpen, inputs_path, "cannot open");
+    } else if (!in.next_row(row)) {
+      ld.fatal_defect(LoadErrorKind::kMissingHeader, inputs_path, "empty file");
+    }
+    while (!ld.fatal && in.next_row(row)) {
+      ++ld.report.rows_read;
+      const std::size_t line = in.line();
+      if (in.truncated()) {
+        if (!ld.defect(LoadErrorKind::kUnterminatedQuote, inputs_path, line,
+                       "record ends inside a quoted field")) break;
+        continue;
+      }
+      if (row.size() != 4) {
+        if (!ld.defect(LoadErrorKind::kBadFieldCount, inputs_path, line,
+                       "expected 4 fields, found " + std::to_string(row.size()))) break;
+        continue;
+      }
+      if (!btc::Txid::from_hex(row[0])) {
+        if (!ld.defect(LoadErrorKind::kBadTxid, inputs_path, line,
+                       "bad txid '" + row[0] + "'")) break;
+        continue;
+      }
+      const auto prev = btc::Txid::from_hex(row[1]);
+      const auto vout = to_u64(row[2]);
+      const auto owner = to_u64(row[3]);
+      if (!prev) {
+        if (!ld.defect(LoadErrorKind::kBadTxid, inputs_path, line,
+                       "bad prev_txid '" + row[1] + "'")) break;
+        continue;
+      }
+      if (!vout || !owner) {
+        if (!ld.defect(LoadErrorKind::kBadNumber, inputs_path, line,
+                       "unparseable numeric field")) break;
+        continue;
+      }
+      inputs_by_tx[row[0]].push_back(
+          btc::TxInput{*prev, static_cast<std::uint32_t>(*vout), btc::Address{*owner}});
+    }
+  }
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
   }
 
   std::unordered_map<std::string, std::vector<btc::TxOutput>> outputs_by_tx;
-  if (!outputs_in.next_row(row)) return std::nullopt;
-  while (outputs_in.next_row(row)) {
-    if (row.size() != 3) return std::nullopt;
-    const auto to = to_u64(row[1]);
-    const auto value = to_i64(row[2]);
-    if (!to || !value) return std::nullopt;
-    outputs_by_tx[row[0]].push_back(btc::TxOutput{btc::Address{*to}, btc::Satoshi{*value}});
+  const std::string outputs_path = dir + "/outputs.csv";
+  {
+    CsvReader in(outputs_path);
+    if (!in.ok()) {
+      ld.fatal_defect(LoadErrorKind::kFileOpen, outputs_path, "cannot open");
+    } else if (!in.next_row(row)) {
+      ld.fatal_defect(LoadErrorKind::kMissingHeader, outputs_path, "empty file");
+    }
+    while (!ld.fatal && in.next_row(row)) {
+      ++ld.report.rows_read;
+      const std::size_t line = in.line();
+      if (in.truncated()) {
+        if (!ld.defect(LoadErrorKind::kUnterminatedQuote, outputs_path, line,
+                       "record ends inside a quoted field")) break;
+        continue;
+      }
+      if (row.size() != 3) {
+        if (!ld.defect(LoadErrorKind::kBadFieldCount, outputs_path, line,
+                       "expected 3 fields, found " + std::to_string(row.size()))) break;
+        continue;
+      }
+      if (!btc::Txid::from_hex(row[0])) {
+        if (!ld.defect(LoadErrorKind::kBadTxid, outputs_path, line,
+                       "bad txid '" + row[0] + "'")) break;
+        continue;
+      }
+      const auto to = to_u64(row[1]);
+      const auto value = to_i64(row[2]);
+      if (!to || !value) {
+        if (!ld.defect(LoadErrorKind::kBadNumber, outputs_path, line,
+                       "unparseable numeric field")) break;
+        continue;
+      }
+      outputs_by_tx[row[0]].push_back(
+          btc::TxOutput{btc::Address{*to}, btc::Satoshi{*value}});
+    }
+  }
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
   }
 
-  // Transactions grouped by (height, position), ordered.
-  struct RawTx {
-    std::size_t position;
-    btc::Transaction tx;
-  };
-  std::map<std::uint64_t, std::vector<RawTx>> txs_by_height;
-  if (!txs_in.next_row(row)) return std::nullopt;
-  while (txs_in.next_row(row)) {
-    if (row.size() != 6) return std::nullopt;
-    const auto height = to_u64(row[0]);
-    const auto position = to_u64(row[1]);
-    const auto id = btc::Txid::from_hex(row[2]);
-    const auto issued = to_i64(row[3]);
-    const auto vsize = to_u64(row[4]);
-    const auto fee = to_i64(row[5]);
-    if (!height || !position || !id || !issued || !vsize || !fee) return std::nullopt;
-    auto ins = inputs_by_tx.find(row[2]) != inputs_by_tx.end()
-                   ? std::move(inputs_by_tx[row[2]])
-                   : std::vector<btc::TxInput>{};
-    auto outs = outputs_by_tx.find(row[2]) != outputs_by_tx.end()
-                    ? std::move(outputs_by_tx[row[2]])
-                    : std::vector<btc::TxOutput>{};
-    txs_by_height[*height].push_back(
-        RawTx{*position,
-              btc::Transaction::restore(*id, *issued,
-                                        static_cast<std::uint32_t>(*vsize),
-                                        btc::Satoshi{*fee}, std::move(ins),
-                                        std::move(outs))});
+  // --- assembly ----------------------------------------------------------
+  // The chain requires contiguous heights; detect holes (and heights that
+  // have transactions but no block row) instead of tripping the append
+  // precondition. Lenient mode reconstructs a placeholder block — empty
+  // coinbase, interpolated mined_at — and records the decision.
+  if (!blocks.empty() || !txs_by_height.empty()) {
+    std::uint64_t min_h = ~std::uint64_t{0}, max_h = 0;
+    for (const auto& [h, b] : blocks) {
+      min_h = std::min(min_h, h);
+      max_h = std::max(max_h, h);
+    }
+    for (const auto& [h, t] : txs_by_height) {
+      min_h = std::min(min_h, h);
+      max_h = std::max(max_h, h);
+    }
+    const auto interpolate_mined_at = [&blocks](std::uint64_t h) -> SimTime {
+      const auto above = blocks.lower_bound(h);
+      std::optional<SimTime> lo, hi;
+      if (above != blocks.end()) hi = above->second.mined_at;
+      if (above != blocks.begin()) lo = std::prev(above)->second.mined_at;
+      if (lo && hi) return (*lo + *hi) / 2;
+      if (lo) return *lo + 600;
+      if (hi) return *hi >= 600 ? *hi - 600 : 0;
+      return 0;
+    };
+    for (std::uint64_t h = min_h; !ld.fatal && h <= max_h; ++h) {
+      if (blocks.count(h) != 0) continue;
+      const bool has_txs = txs_by_height.count(h) != 0;
+      if (!ld.defect(LoadErrorKind::kMissingBlockRow, blocks_path, 0,
+                     has_txs ? "height " + std::to_string(h) +
+                                   " has transactions but no block row"
+                             : "height hole at " + std::to_string(h) +
+                                   " inside the block range",
+                     Loader::Fix::kRepairRow)) break;
+      RawBlock placeholder;
+      placeholder.mined_at = interpolate_mined_at(h);
+      placeholder.tx_count =
+          has_txs ? static_cast<std::uint64_t>(txs_by_height[h].size()) : 0;
+      placeholder.reconstructed = true;
+      blocks.emplace(h, std::move(placeholder));
+    }
+  }
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
   }
 
-  // Blocks in height order.
   btc::Chain chain;
-  if (!blocks_in.next_row(row)) return std::nullopt;
-  struct RawBlock {
-    SimTime mined_at;
-    btc::Coinbase coinbase;
-    std::uint64_t tx_count;
-  };
-  std::map<std::uint64_t, RawBlock> blocks;
-  while (blocks_in.next_row(row)) {
-    if (row.size() != 6) return std::nullopt;
-    const auto height = to_u64(row[0]);
-    const auto mined_at = to_i64(row[1]);
-    const auto reward_addr = to_u64(row[3]);
-    const auto reward = to_i64(row[4]);
-    const auto count = to_u64(row[5]);
-    if (!height || !mined_at || !reward_addr || !reward || !count) return std::nullopt;
-    btc::Coinbase cb;
-    cb.tag = row[2];
-    cb.reward_address = btc::Address{*reward_addr};
-    cb.reward = btc::Satoshi{*reward};
-    blocks.emplace(*height, RawBlock{*mined_at, std::move(cb), *count});
-  }
-
   for (auto& [height, raw] : blocks) {
+    if (ld.fatal) break;
     std::vector<btc::Transaction> txs;
     const auto it = txs_by_height.find(height);
     if (it != txs_by_height.end()) {
-      std::sort(it->second.begin(), it->second.end(),
-                [](const RawTx& a, const RawTx& b) { return a.position < b.position; });
-      txs.reserve(it->second.size());
-      for (RawTx& r : it->second) txs.push_back(std::move(r.tx));
+      std::vector<RawTxRow>& rows = it->second;
+      std::sort(rows.begin(), rows.end(),
+                [](const RawTxRow& a, const RawTxRow& b) {
+                  return a.position != b.position ? a.position < b.position
+                                                  : a.line < b.line;
+                });
+      // After the sort, positions must form 0..n-1 (duplicates were
+      // rejected above, so any deviation is a gap).
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].position == i) continue;
+        if (!ld.defect(LoadErrorKind::kBadPositionSequence, txs_path,
+                       rows[i].line,
+                       "height " + std::to_string(height) + ": position " +
+                           std::to_string(rows[i].position) +
+                           " where " + std::to_string(i) + " was expected",
+                       Loader::Fix::kRepairRow)) break;
+        rows[i].position = i;  // lenient: renumber, preserving sorted order
+      }
+      if (ld.fatal) break;
+      txs.reserve(rows.size());
+      for (RawTxRow& r : rows) {
+        auto ins = inputs_by_tx.find(r.id_hex) != inputs_by_tx.end()
+                       ? std::move(inputs_by_tx[r.id_hex])
+                       : std::vector<btc::TxInput>{};
+        auto outs = outputs_by_tx.find(r.id_hex) != outputs_by_tx.end()
+                        ? std::move(outputs_by_tx[r.id_hex])
+                        : std::vector<btc::TxOutput>{};
+        txs.push_back(btc::Transaction::restore(r.id, r.issued, r.vsize, r.fee,
+                                                std::move(ins), std::move(outs)));
+      }
     }
-    if (txs.size() != raw.tx_count) return std::nullopt;  // corrupt export
+    if (txs.size() != raw.tx_count && !raw.reconstructed) {
+      if (!ld.defect(LoadErrorKind::kTxCountMismatch, blocks_path, raw.line,
+                     "height " + std::to_string(height) + ": tx_count says " +
+                         std::to_string(raw.tx_count) + ", found " +
+                         std::to_string(txs.size()),
+                     Loader::Fix::kRepairRow)) break;
+      // lenient: trust the transaction rows actually present
+    }
     chain.append(btc::Block(height, raw.mined_at, std::move(raw.coinbase),
                             std::move(txs)));
   }
-  return chain;
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
+  }
+
+  result.value = std::move(chain);
+  result.report = std::move(ld.report);
+  return result;
 }
 
-bool export_snapshots(const node::SnapshotSeries& series, const std::string& path) {
-  CsvWriter csv(path);
-  if (!csv.ok()) return false;
-  csv.header({"time", "tx_count", "total_vsize"});
+bool export_snapshots(const node::SnapshotSeries& series, const std::string& path,
+                      std::string* error) {
+  TmpCsv csv(path);
+  if (!csv.writer.ok()) return set_error(error, "could not open " + csv.tmp_path);
+  csv.writer.header({"time", "tx_count", "total_vsize"});
   for (const node::MempoolStat& s : series.stats()) {
-    csv.field(s.time).field(s.tx_count).field(s.total_vsize);
-    csv.end_row();
+    csv.writer.field(s.time).field(s.tx_count).field(s.total_vsize);
+    csv.writer.end_row();
   }
-  return true;
+  return commit_exports({&csv}, error);
 }
 
 std::optional<node::SnapshotSeries> import_snapshots(const std::string& path) {
+  return std::move(import_snapshots(path, LoadPolicy::kStrict).value);
+}
+
+LoadResult<node::SnapshotSeries> import_snapshots(const std::string& path,
+                                                  LoadPolicy policy) {
+  LoadResult<node::SnapshotSeries> result;
+  Loader ld(policy);
   CsvReader in(path);
-  if (!in.ok()) return std::nullopt;
   std::vector<std::string> row;
-  if (!in.next_row(row)) return std::nullopt;
-  node::SnapshotSeries series;
-  while (in.next_row(row)) {
-    if (row.size() != 3) return std::nullopt;
+  if (!in.ok()) {
+    ld.fatal_defect(LoadErrorKind::kFileOpen, path, "cannot open");
+  } else if (!in.next_row(row)) {
+    ld.fatal_defect(LoadErrorKind::kMissingHeader, path, "empty file");
+  }
+
+  struct RawStat {
+    node::MempoolStat stat;
+    std::size_t line = 0;
+  };
+  std::vector<RawStat> stats;
+  bool needs_sort = false;
+  while (!ld.fatal && in.next_row(row)) {
+    ++ld.report.rows_read;
+    const std::size_t line = in.line();
+    if (in.truncated()) {
+      if (!ld.defect(LoadErrorKind::kUnterminatedQuote, path, line,
+                     "record ends inside a quoted field")) break;
+      continue;
+    }
+    if (row.size() != 3) {
+      if (!ld.defect(LoadErrorKind::kBadFieldCount, path, line,
+                     "expected 3 fields, found " + std::to_string(row.size()))) break;
+      continue;
+    }
     const auto time = to_i64(row[0]);
     const auto count = to_u64(row[1]);
     const auto vsize = to_u64(row[2]);
-    if (!time || !count || !vsize) return std::nullopt;
-    series.record(node::MempoolStat{*time, *count, *vsize});
+    if (!time || !count || !vsize) {
+      if (!ld.defect(LoadErrorKind::kBadNumber, path, line,
+                     "unparseable numeric field")) break;
+      continue;
+    }
+    if (!stats.empty() && *time <= stats.back().stat.time) {
+      // SnapshotSeries requires strictly increasing times; lenient
+      // re-sorts and drops exact-duplicate timestamps.
+      if (!ld.defect(LoadErrorKind::kOutOfOrderRow, path, line,
+                     "time " + row[0] + " not after " +
+                         std::to_string(stats.back().stat.time),
+                     Loader::Fix::kRepairRow)) break;
+      needs_sort = true;
+    }
+    stats.push_back(RawStat{{*time, *count, *vsize}, line});
   }
-  return series;
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
+  }
+  if (needs_sort) {
+    std::stable_sort(stats.begin(), stats.end(),
+                     [](const RawStat& a, const RawStat& b) {
+                       return a.stat.time < b.stat.time;
+                     });
+    stats.erase(std::unique(stats.begin(), stats.end(),
+                            [](const RawStat& a, const RawStat& b) {
+                              return a.stat.time == b.stat.time;
+                            }),
+                stats.end());
+  }
+  node::SnapshotSeries series;
+  for (const RawStat& s : stats) series.record(s.stat);
+  result.value = std::move(series);
+  result.report = std::move(ld.report);
+  return result;
 }
 
-bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path) {
-  CsvWriter csv(path);
-  if (!csv.ok()) return false;
-  csv.header({"txid", "first_seen"});
+bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path,
+                       std::string* error) {
+  TmpCsv csv(path);
+  if (!csv.writer.ok()) return set_error(error, "could not open " + csv.tmp_path);
+  csv.writer.header({"txid", "first_seen"});
   for (const auto& [id, time] : first_seen) {
-    csv.field(id.to_hex()).field(time);
-    csv.end_row();
+    csv.writer.field(id.to_hex()).field(time);
+    csv.writer.end_row();
   }
-  return true;
+  return commit_exports({&csv}, error);
 }
 
 std::optional<FirstSeenMap> import_first_seen(const std::string& path) {
+  return std::move(import_first_seen(path, LoadPolicy::kStrict).value);
+}
+
+LoadResult<FirstSeenMap> import_first_seen(const std::string& path,
+                                           LoadPolicy policy) {
+  LoadResult<FirstSeenMap> result;
+  Loader ld(policy);
   CsvReader in(path);
-  if (!in.ok()) return std::nullopt;
   std::vector<std::string> row;
-  if (!in.next_row(row)) return std::nullopt;
-  FirstSeenMap out;
-  while (in.next_row(row)) {
-    if (row.size() != 2) return std::nullopt;
-    const auto id = btc::Txid::from_hex(row[0]);
-    const auto time = to_i64(row[1]);
-    if (!id || !time) return std::nullopt;
-    out.emplace(*id, *time);
+  if (!in.ok()) {
+    ld.fatal_defect(LoadErrorKind::kFileOpen, path, "cannot open");
+  } else if (!in.next_row(row)) {
+    ld.fatal_defect(LoadErrorKind::kMissingHeader, path, "empty file");
   }
-  return out;
+  FirstSeenMap out;
+  while (!ld.fatal && in.next_row(row)) {
+    ++ld.report.rows_read;
+    const std::size_t line = in.line();
+    if (in.truncated()) {
+      if (!ld.defect(LoadErrorKind::kUnterminatedQuote, path, line,
+                     "record ends inside a quoted field")) break;
+      continue;
+    }
+    if (row.size() != 2) {
+      if (!ld.defect(LoadErrorKind::kBadFieldCount, path, line,
+                     "expected 2 fields, found " + std::to_string(row.size()))) break;
+      continue;
+    }
+    const auto id = btc::Txid::from_hex(row[0]);
+    if (!id) {
+      if (!ld.defect(LoadErrorKind::kBadTxid, path, line,
+                     "bad txid '" + row[0] + "'")) break;
+      continue;
+    }
+    const auto time = to_i64(row[1]);
+    if (!time) {
+      if (!ld.defect(LoadErrorKind::kBadNumber, path, line,
+                     "unparseable numeric field")) break;
+      continue;
+    }
+    if (!out.emplace(*id, *time).second) {
+      if (!ld.defect(LoadErrorKind::kDuplicateTxid, path, line,
+                     "txid " + row[0].substr(0, 16) + "... already seen")) break;
+      continue;  // lenient: first occurrence wins
+    }
+  }
+  if (ld.fatal) {
+    result.report = std::move(ld.report);
+    return result;
+  }
+  result.value = std::move(out);
+  result.report = std::move(ld.report);
+  return result;
 }
 
 }  // namespace cn::io

@@ -14,6 +14,16 @@
 //   outputs.csv     txid, to, value_sat
 //   snapshots.csv   time, tx_count, total_vsize        (optional)
 //   first_seen.csv  txid, first_seen                    (optional)
+//
+// Exports are atomic: each file is written to `<name>.tmp` and renamed
+// into place only after every write succeeded, so a crashed or
+// disk-full export never leaves a half-written data set behind.
+//
+// Imports come in two flavours. The std::optional overloads are the
+// historical strict interface (nullopt on the first defect, no
+// diagnostics). The LoadPolicy overloads return a LoadResult carrying a
+// structured LoadReport — see load_report.hpp for the strict/lenient
+// semantics and the defect taxonomy.
 #pragma once
 
 #include <optional>
@@ -21,23 +31,39 @@
 #include <unordered_map>
 
 #include "btc/chain.hpp"
+#include "io/load_report.hpp"
 #include "node/snapshot.hpp"
 
 namespace cn::io {
 
 /// Writes the chain into @p dir (created if missing). Returns false on
-/// any I/O failure.
-bool export_chain(const btc::Chain& chain, const std::string& dir);
+/// any I/O failure — including directory creation and write errors that
+/// only surface at flush — and, when @p error is non-null, stores a
+/// human-readable reason there.
+bool export_chain(const btc::Chain& chain, const std::string& dir,
+                  std::string* error = nullptr);
 
 /// Reads a chain previously written by export_chain. Returns nullopt on
-/// missing files or malformed content.
+/// missing files or malformed content (strict, no diagnostics).
 std::optional<btc::Chain> import_chain(const std::string& dir);
 
-bool export_snapshots(const node::SnapshotSeries& series, const std::string& path);
+/// Policy-aware import with full diagnostics. Strict mode fails at the
+/// first defect (report.first_error() pinpoints file and line); lenient
+/// mode skips or repairs defective rows and still yields a chain unless
+/// the data was unusable (e.g. blocks.csv missing).
+LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy);
+
+bool export_snapshots(const node::SnapshotSeries& series, const std::string& path,
+                      std::string* error = nullptr);
 std::optional<node::SnapshotSeries> import_snapshots(const std::string& path);
+LoadResult<node::SnapshotSeries> import_snapshots(const std::string& path,
+                                                  LoadPolicy policy);
 
 using FirstSeenMap = std::unordered_map<btc::Txid, SimTime>;
-bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path);
+bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path,
+                       std::string* error = nullptr);
 std::optional<FirstSeenMap> import_first_seen(const std::string& path);
+LoadResult<FirstSeenMap> import_first_seen(const std::string& path,
+                                           LoadPolicy policy);
 
 }  // namespace cn::io

@@ -1,0 +1,39 @@
+#include "io/load_report.hpp"
+
+namespace cn::io {
+
+const char* to_string(LoadErrorKind kind) {
+  switch (kind) {
+    case LoadErrorKind::kFileOpen: return "file-open";
+    case LoadErrorKind::kMissingHeader: return "missing-header";
+    case LoadErrorKind::kBadFieldCount: return "bad-field-count";
+    case LoadErrorKind::kBadNumber: return "bad-number";
+    case LoadErrorKind::kBadTxid: return "bad-txid";
+    case LoadErrorKind::kDuplicateHeight: return "duplicate-height";
+    case LoadErrorKind::kDuplicateTxPosition: return "duplicate-tx-position";
+    case LoadErrorKind::kDuplicateTxid: return "duplicate-txid";
+    case LoadErrorKind::kOutOfOrderRow: return "out-of-order-row";
+    case LoadErrorKind::kTxCountMismatch: return "tx-count-mismatch";
+    case LoadErrorKind::kBadPositionSequence: return "bad-position-sequence";
+    case LoadErrorKind::kMissingBlockRow: return "missing-block-row";
+    case LoadErrorKind::kUnterminatedQuote: return "unterminated-quote";
+  }
+  return "unknown";
+}
+
+std::string LoadReport::summary() const {
+  std::string out = std::to_string(errors.size()) + " defect" +
+                    (errors.size() == 1 ? "" : "s") + " (" +
+                    std::to_string(rows_skipped) + " skipped, " +
+                    std::to_string(rows_repaired) + " repaired)";
+  if (const LoadError* first = first_error()) {
+    out += "; first: " + first->file;
+    if (first->line > 0) out += ":" + std::to_string(first->line);
+    out += " ";
+    out += to_string(first->kind);
+    if (!first->detail.empty()) out += " (" + first->detail + ")";
+  }
+  return out;
+}
+
+}  // namespace cn::io

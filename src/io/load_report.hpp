@@ -1,0 +1,91 @@
+// Structured diagnostics for data-set ingestion.
+//
+// The paper's own substrate was lossy (15 s Mempool snapshots, node
+// restarts, outage windows), so audits must reason about imperfect data
+// instead of rejecting it. Importers return a LoadResult: the loaded
+// value (when one could be produced) plus a LoadReport listing every
+// malformed row, duplicate key, and repair decision with its file and
+// 1-based physical line.
+//
+// Two policies:
+//   kStrict  — the first defect aborts the load; the report pinpoints it.
+//   kLenient — defective rows are skipped or repaired (out-of-order rows
+//              re-sorted, duplicate keys first-wins, missing block rows
+//              reconstructed); every decision is recorded in the report
+//              and the load still yields a usable value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cn::io {
+
+enum class LoadPolicy {
+  kStrict,   ///< fail at the first defect, with its exact location
+  kLenient,  ///< skip/repair defects, record every decision
+};
+
+enum class LoadErrorKind {
+  kFileOpen,           ///< file missing or unreadable
+  kMissingHeader,      ///< file empty (no header row)
+  kBadFieldCount,      ///< row has the wrong number of fields
+  kBadNumber,          ///< numeric field failed to parse
+  kBadTxid,            ///< txid field is not 64 hex chars
+  kDuplicateHeight,    ///< second blocks.csv row for the same height
+  kDuplicateTxPosition,///< second txs.csv row for the same (height, position)
+  kDuplicateTxid,      ///< txid appears twice in txs.csv / first_seen.csv
+  kOutOfOrderRow,      ///< key order violates the export invariant
+  kTxCountMismatch,    ///< block's tx_count disagrees with its txs.csv rows
+  kBadPositionSequence,///< a block's positions are not 0..n-1 after sorting
+  kMissingBlockRow,    ///< txs exist for a height with no blocks.csv row,
+                       ///< or a height hole inside the block range
+  kUnterminatedQuote,  ///< record ended at EOF inside a quoted field
+};
+
+/// Stable lower-case label for a LoadErrorKind (e.g. "duplicate-height").
+const char* to_string(LoadErrorKind kind);
+
+struct LoadError {
+  LoadErrorKind kind{};
+  std::string file;       ///< path as opened
+  std::size_t line = 0;   ///< 1-based physical line; 0 = whole file
+  std::string detail;     ///< human-readable specifics
+  bool repaired = false;  ///< lenient mode recovered instead of failing
+};
+
+struct LoadReport {
+  LoadPolicy policy = LoadPolicy::kStrict;
+  std::vector<LoadError> errors;   ///< in discovery order
+  std::uint64_t rows_read = 0;     ///< data rows consumed (headers excluded)
+  std::uint64_t rows_skipped = 0;  ///< lenient: rows dropped
+  std::uint64_t rows_repaired = 0; ///< lenient: rows kept after a fix
+  bool ok = true;                  ///< false when a strict load aborted
+
+  bool clean() const noexcept { return errors.empty(); }
+  const LoadError* first_error() const noexcept {
+    return errors.empty() ? nullptr : &errors.front();
+  }
+  /// One-line digest: "3 defects (2 skipped, 1 repaired); first: txs.csv:17
+  /// bad-number".
+  std::string summary() const;
+};
+
+/// Outcome of an import: the value (absent when the load failed — always
+/// in strict mode after a defect, and in lenient mode only when the data
+/// was unusable, e.g. a missing file) plus the full diagnostic report.
+template <typename T>
+struct LoadResult {
+  std::optional<T> value;
+  LoadReport report;
+
+  bool has_value() const noexcept { return value.has_value(); }
+  explicit operator bool() const noexcept { return value.has_value(); }
+  T& operator*() noexcept { return *value; }
+  const T& operator*() const noexcept { return *value; }
+  T* operator->() noexcept { return &*value; }
+  const T* operator->() const noexcept { return &*value; }
+};
+
+}  // namespace cn::io

@@ -34,6 +34,20 @@ std::uint64_t SnapshotSeries::max_vsize() const noexcept {
   return m;
 }
 
+std::vector<SnapshotGap> SnapshotSeries::gaps(SimTime expected_cadence,
+                                              double gap_factor) const {
+  CN_ASSERT(expected_cadence > 0);
+  std::vector<SnapshotGap> out;
+  const double limit = gap_factor * static_cast<double>(expected_cadence);
+  for (std::size_t i = 1; i < stats_.size(); ++i) {
+    const SimTime dt = stats_[i].time - stats_[i - 1].time;
+    if (static_cast<double>(dt) > limit) {
+      out.push_back(SnapshotGap{stats_[i - 1].time, stats_[i].time});
+    }
+  }
+  return out;
+}
+
 CongestionLevel SnapshotSeries::level_at(SimTime t, std::uint64_t unit_vsize) const noexcept {
   // Binary search for the last snapshot with time <= t.
   const auto it = std::upper_bound(

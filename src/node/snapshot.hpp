@@ -32,6 +32,14 @@ enum class CongestionLevel : int {
 CongestionLevel congestion_level(std::uint64_t total_vsize,
                                  std::uint64_t unit_vsize = 1'000'000) noexcept;
 
+/// A window of wall-clock time with no Mempool observations — a node
+/// restart or outage in the paper's live measurement. Derived from the
+/// snapshot series against its expected cadence.
+struct SnapshotGap {
+  SimTime from = 0;  ///< last observation before the gap
+  SimTime to = 0;    ///< first observation after the gap
+};
+
 class SnapshotSeries {
  public:
   void record(MempoolStat stat);
@@ -50,6 +58,12 @@ class SnapshotSeries {
   /// The congestion level at time @p t: level of the most recent snapshot
   /// at or before t (kNone before the first snapshot).
   CongestionLevel level_at(SimTime t, std::uint64_t unit_vsize = 1'000'000) const noexcept;
+
+  /// Windows where consecutive observations are more than
+  /// @p gap_factor * @p expected_cadence apart — the observer was down.
+  /// Requires expected_cadence > 0.
+  std::vector<SnapshotGap> gaps(SimTime expected_cadence = 15,
+                                double gap_factor = 2.0) const;
 
  private:
   std::vector<MempoolStat> stats_;  // strictly increasing time

@@ -60,11 +60,23 @@ void CsvWriter::header(const std::vector<std::string>& names) {
   end_row();
 }
 
+bool CsvWriter::close() {
+  if (closed_) return closed_ok_;
+  closed_ = true;
+  out_.flush();
+  closed_ok_ = out_.good();
+  out_.close();
+  closed_ok_ = closed_ok_ && !out_.fail();
+  return closed_ok_;
+}
+
 CsvReader::CsvReader(const std::string& path) : in_(path) {}
 
 bool CsvReader::next_row(std::vector<std::string>& fields) {
   fields.clear();
+  truncated_ = false;
   if (!in_ || in_.peek() == std::char_traits<char>::eof()) return false;
+  record_line_ = cur_line_;
 
   std::string field;
   bool in_quotes = false;
@@ -73,6 +85,7 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
   while ((c = in_.get()) != std::char_traits<char>::eof()) {
     saw_anything = true;
     const char ch = static_cast<char>(c);
+    if (ch == '\n') ++cur_line_;
     if (in_quotes) {
       if (ch == '"') {
         if (in_.peek() == '"') {
@@ -101,6 +114,9 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
     }
   }
   if (saw_anything) {
+    // Last record without a trailing newline — or a truncated file that
+    // ends mid-quote, which callers can distinguish via truncated().
+    truncated_ = in_quotes;
     fields.push_back(std::move(field));
     return true;
   }

@@ -18,7 +18,11 @@ class CsvWriter {
   /// throwing so benches can degrade to stdout-only output.
   explicit CsvWriter(const std::string& path);
 
-  bool ok() const noexcept { return static_cast<bool>(out_); }
+  /// True while the stream is healthy. Reflects accumulated state: once a
+  /// write fails (disk full, closed descriptor) this stays false. Note that
+  /// ofstream buffering can defer the failure until flush — close() is the
+  /// authoritative end-of-export check.
+  bool ok() const noexcept { return out_.good(); }
 
   CsvWriter& field(std::string_view v);
   CsvWriter& field(double v, int decimals = 6);
@@ -31,9 +35,15 @@ class CsvWriter {
   /// Convenience: writes a full header row.
   void header(const std::vector<std::string>& names);
 
+  /// Flushes and closes the file; returns false if any write (including
+  /// the final flush) failed. Safe to call more than once.
+  bool close();
+
  private:
   std::ofstream out_;
   bool row_started_ = false;
+  bool closed_ok_ = false;
+  bool closed_ = false;
 
   void separator();
 };
@@ -53,8 +63,19 @@ class CsvReader {
   /// at end of input.
   bool next_row(std::vector<std::string>& fields);
 
+  /// 1-based physical line on which the record last returned by
+  /// next_row() began (quoted fields may span further lines).
+  std::size_t line() const noexcept { return record_line_; }
+
+  /// True if the record last returned by next_row() ended at EOF inside
+  /// an unterminated quoted field (a truncated file).
+  bool truncated() const noexcept { return truncated_; }
+
  private:
   std::ifstream in_;
+  std::size_t cur_line_ = 1;
+  std::size_t record_line_ = 0;
+  bool truncated_ = false;
 };
 
 }  // namespace cn

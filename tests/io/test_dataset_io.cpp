@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "../helpers.hpp"
 #include "core/ppe.hpp"
@@ -12,11 +15,38 @@
 namespace cn::io {
 namespace {
 
+std::vector<std::string> file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_file_lines(const std::string& path,
+                      const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const auto& line : lines) out << line << '\n';
+}
+
+void append_line(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  out << line << '\n';
+}
+
 class DatasetIoTest : public ::testing::Test {
  protected:
   std::string dir_ = ::testing::TempDir() + "/cn_io_test";
   void SetUp() override { std::filesystem::remove_all(dir_); }
   void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  btc::Chain three_block_chain() const {
+    btc::Chain chain(100);
+    chain.append(cn::test::block_with_rates(100, {9.0, 5.0, 2.0}, "/F2Pool/", 600));
+    chain.append(cn::test::block_with_rates(101, {}, "", 1200));
+    chain.append(cn::test::block_with_rates(102, {7.0}, "/ViaBTC/", 1900));
+    return chain;
+  }
 };
 
 TEST_F(DatasetIoTest, ChainRoundTripsExactly) {
@@ -147,6 +177,197 @@ TEST(CsvReader, ParsesQuotedFields) {
   EXPECT_EQ(row[1], "42");
   EXPECT_FALSE(reader.next_row(row));
   std::filesystem::remove(path);
+}
+
+TEST_F(DatasetIoTest, DuplicateBlockHeightIsSurfacedNotSwallowed) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  const std::string blocks = dir_ + "/blocks.csv";
+  const auto lines = file_lines(blocks);
+  append_line(blocks, lines[1]);  // height 100 again, on line 5
+
+  const auto strict = import_chain(dir_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kDuplicateHeight);
+  EXPECT_EQ(strict.report.first_error()->file, blocks);
+  EXPECT_EQ(strict.report.first_error()->line, 5u);
+
+  const auto lenient = import_chain(dir_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_EQ(lenient->size(), 3u);  // first occurrence wins
+  EXPECT_EQ(lenient.report.rows_skipped, 1u);
+  EXPECT_FALSE(lenient.report.clean());
+}
+
+TEST_F(DatasetIoTest, DuplicateTxPositionIsSurfacedNotSwallowed) {
+  const auto original = three_block_chain();
+  ASSERT_TRUE(export_chain(original, dir_));
+  const std::string txs = dir_ + "/txs.csv";
+  // A fresh txid claiming an already-taken (height, position) slot.
+  append_line(txs, "102,0," + btc::Txid::hash_of("impostor").to_hex() +
+                       ",0,250,1000");
+
+  const auto strict = import_chain(dir_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind,
+            LoadErrorKind::kDuplicateTxPosition);
+  EXPECT_EQ(strict.report.first_error()->file, txs);
+
+  const auto lenient = import_chain(dir_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  ASSERT_EQ(lenient->size(), 3u);
+  EXPECT_EQ(lenient->blocks()[2].txs()[0].id(), original.blocks()[2].txs()[0].id());
+}
+
+TEST_F(DatasetIoTest, DuplicateTxidIsSurfacedNotSwallowed) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  const std::string txs = dir_ + "/txs.csv";
+  const auto lines = file_lines(txs);
+  append_line(txs, lines[1]);  // full duplicate of the first tx row
+
+  const auto strict = import_chain(dir_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kDuplicateTxid);
+
+  const auto lenient = import_chain(dir_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_EQ(lenient->total_tx_count(), three_block_chain().total_tx_count());
+}
+
+TEST_F(DatasetIoTest, LenientRepairsOutOfOrderBlockRows) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  const std::string blocks = dir_ + "/blocks.csv";
+  auto lines = file_lines(blocks);
+  std::swap(lines[1], lines[2]);  // heights now 101, 100, 102
+  write_file_lines(blocks, lines);
+
+  const auto strict = import_chain(dir_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kOutOfOrderRow);
+  EXPECT_EQ(strict.report.first_error()->line, 3u);
+
+  const auto lenient = import_chain(dir_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  ASSERT_EQ(lenient->size(), 3u);
+  EXPECT_EQ(lenient->blocks()[0].height(), 100u);
+  EXPECT_EQ(lenient->blocks()[2].height(), 102u);
+  EXPECT_EQ(lenient.report.rows_repaired, 1u);
+}
+
+TEST_F(DatasetIoTest, TxCountMismatchPinpointsTheBlockRow) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  const std::string txs = dir_ + "/txs.csv";
+  auto lines = file_lines(txs);
+  // Drop height 100's last tx (position 2): the surviving positions are
+  // still 0..1, so only the block row's tx_count betrays the loss.
+  lines.erase(lines.begin() + 3);
+  write_file_lines(txs, lines);
+
+  const auto strict = import_chain(dir_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kTxCountMismatch);
+  EXPECT_EQ(strict.report.first_error()->file, dir_ + "/blocks.csv");
+  EXPECT_EQ(strict.report.first_error()->line, 2u);  // height 100's row
+
+  const auto lenient = import_chain(dir_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_EQ(lenient->blocks()[0].tx_count(), 2u);  // trusts the rows present
+}
+
+TEST_F(DatasetIoTest, LenientReconstructsMissingBlockRow) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  const std::string blocks = dir_ + "/blocks.csv";
+  auto lines = file_lines(blocks);
+  lines.erase(lines.begin() + 2);  // delete height 101's block row
+  write_file_lines(blocks, lines);
+
+  EXPECT_FALSE(import_chain(dir_, LoadPolicy::kStrict).has_value());
+
+  const auto lenient = import_chain(dir_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  ASSERT_EQ(lenient->size(), 3u);  // placeholder keeps the chain contiguous
+  EXPECT_EQ(lenient->blocks()[1].height(), 101u);
+  // Interpolated between neighbours 600 and 1900.
+  EXPECT_GT(lenient->blocks()[1].mined_at(), 600);
+  EXPECT_LT(lenient->blocks()[1].mined_at(), 1900);
+}
+
+TEST_F(DatasetIoTest, LenientSortsOutOfOrderSnapshots) {
+  std::filesystem::create_directories(dir_);
+  write_file_lines(dir_ + "/snapshots.csv",
+                   {"time,tx_count,total_vsize", "15,1,100", "45,3,300",
+                    "30,2,200", "45,9,900"});
+
+  const auto strict = import_snapshots(dir_ + "/snapshots.csv", LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kOutOfOrderRow);
+  EXPECT_EQ(strict.report.first_error()->line, 4u);
+
+  const auto lenient =
+      import_snapshots(dir_ + "/snapshots.csv", LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  ASSERT_EQ(lenient->size(), 3u);  // sorted, duplicate time 45 dropped
+  EXPECT_EQ(lenient->stats()[0].time, 15);
+  EXPECT_EQ(lenient->stats()[1].time, 30);
+  EXPECT_EQ(lenient->stats()[2].time, 45);
+  EXPECT_EQ(lenient->stats()[2].tx_count, 3u);  // first occurrence wins
+}
+
+TEST_F(DatasetIoTest, FirstSeenDuplicateFirstWins) {
+  std::filesystem::create_directories(dir_);
+  const std::string id = btc::Txid::hash_of("dup").to_hex();
+  write_file_lines(dir_ + "/fs.csv",
+                   {"txid,first_seen", id + ",100", id + ",999"});
+
+  EXPECT_FALSE(import_first_seen(dir_ + "/fs.csv", LoadPolicy::kStrict).has_value());
+
+  const auto lenient = import_first_seen(dir_ + "/fs.csv", LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value());
+  ASSERT_EQ(lenient->size(), 1u);
+  EXPECT_EQ(lenient->at(*btc::Txid::from_hex(id)), 100);
+}
+
+TEST_F(DatasetIoTest, ExportIsAtomicNoTmpFilesRemain) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp")
+        << "temporary left behind: " << entry.path();
+  }
+}
+
+TEST_F(DatasetIoTest, FailedExportLeavesNoFinalFiles) {
+  // Occupy blocks.csv.tmp with a directory so the writer cannot open it.
+  std::filesystem::create_directories(dir_ + "/blocks.csv.tmp");
+  std::string error;
+  EXPECT_FALSE(export_chain(three_block_chain(), dir_, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/blocks.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/txs.csv"));
+}
+
+TEST_F(DatasetIoTest, CreateDirectoriesFailureIsDiagnosed) {
+  // A regular file where the directory should go.
+  std::filesystem::create_directories(dir_);
+  { std::ofstream(dir_ + "/occupied") << "x"; }
+  std::string error;
+  EXPECT_FALSE(export_chain(three_block_chain(), dir_ + "/occupied/sub", &error));
+  EXPECT_NE(error.find("create_directories"), std::string::npos) << error;
+}
+
+TEST_F(DatasetIoTest, LoadReportSummaryNamesTheFirstDefect) {
+  ASSERT_TRUE(export_chain(three_block_chain(), dir_));
+  const auto lines = file_lines(dir_ + "/blocks.csv");
+  append_line(dir_ + "/blocks.csv", lines[1]);
+  const auto strict = import_chain(dir_, LoadPolicy::kStrict);
+  const std::string summary = strict.report.summary();
+  EXPECT_NE(summary.find("first:"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("blocks.csv:5"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("duplicate-height"), std::string::npos) << summary;
 }
 
 TEST(TxidHex, RoundTripAndRejection) {

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI driver: builds the release and asan presets, runs the full test
-# suite under both, and re-runs the concurrency-sensitive tests (the
-# ThreadPool and the parallel audit pipeline) under tsan.
+# suite under both, re-runs the concurrency-sensitive tests (the
+# ThreadPool and the parallel audit pipeline) under tsan, and runs the
+# fault-injection property suite under asan plus the ingestion
+# throughput bench (bench_out/BENCH_fault_ingest.json).
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the sanitizer configurations (release build + ctest only)
@@ -31,6 +33,14 @@ echo "=== asan+ubsan: configure + build + ctest ==="
 run cmake --preset asan
 run cmake --build --preset asan -j "${JOBS}"
 run ctest --preset asan -j "${JOBS}"
+
+echo "=== fault injection: property tests under asan + ingest bench ==="
+# Lenient import must survive any seeded corruption asan-clean; strict
+# import must pinpoint injected faults (see tests/io/test_fault_injection.cpp).
+run ./build-asan/tests/cn_tests_io --gtest_filter='FaultInjection*'
+# Strict-vs-lenient ingestion throughput at 1% corruption; emits
+# bench_out/BENCH_fault_ingest.json for the perf trajectory.
+run ./build-release/bench/bench_fault_ingest
 
 echo "=== tsan: configure + build + concurrency tests ==="
 run cmake --preset tsan

@@ -9,9 +9,19 @@
 //       prioritization audit (Table 2 style), printing findings.
 //
 //   cnaudit report     --data DIR [--alpha P] [--threads N]
+//                      [--min-coverage F]
 //       The whole §4-§5 methodology in one shot (run_full_audit):
 //       PPE, cross-pool findings with bootstrap CIs, dark-fee
-//       suspicion, and the neutrality scorecard.
+//       suspicion, and the neutrality scorecard. When snapshots.csv /
+//       first_seen.csv sit next to the chain they are graded into a
+//       data-quality report: blocks under --min-coverage are masked
+//       from the norm statistics and findings resting on them are
+//       downgraded to "insufficient data".
+//
+// Every data-loading subcommand takes --policy strict|lenient
+// (default strict). Strict aborts at the first defective row and
+// pinpoints its file and line; lenient skips or repairs defects,
+// prints a diagnostic summary, and still loads the data set.
 //
 //   cnaudit neutrality --data DIR
 //       Print the per-pool chain-neutrality scorecard (§6.1).
@@ -30,6 +40,7 @@
 // re-simulating.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -99,11 +110,21 @@ int usage() {
                "usage: cnaudit <simulate|audit|report|neutrality|ppe|darkfee> [--key value ...]\n"
                "  simulate   --dataset A|B|C [--seed N] [--scale X] --out DIR\n"
                "  audit      --data DIR [--alpha P] [--min-share F]\n"
-               "  report     --data DIR [--alpha P] [--threads N]\n"
+               "  report     --data DIR [--alpha P] [--threads N] [--min-coverage F]\n"
                "  neutrality --data DIR\n"
                "  ppe        --data DIR\n"
-               "  darkfee    --data DIR [--pool NAME] [--sppe T]\n");
+               "  darkfee    --data DIR [--pool NAME] [--sppe T]\n"
+               "data-loading commands also take --policy strict|lenient (default strict)\n");
   return 2;
+}
+
+std::optional<io::LoadPolicy> parse_policy(const Args& args) {
+  const std::string s = args.get_or("policy", "strict");
+  if (s == "strict") return io::LoadPolicy::kStrict;
+  if (s == "lenient") return io::LoadPolicy::kLenient;
+  std::fprintf(stderr, "cnaudit: unknown --policy '%s' (want strict|lenient)\n",
+               s.c_str());
+  return std::nullopt;
 }
 
 std::optional<btc::Chain> load_chain(const Args& args) {
@@ -112,15 +133,21 @@ std::optional<btc::Chain> load_chain(const Args& args) {
     std::fprintf(stderr, "cnaudit: --data DIR is required\n");
     return std::nullopt;
   }
-  auto chain = io::import_chain(*dir);
-  if (!chain) {
+  const auto policy = parse_policy(args);
+  if (!policy) return std::nullopt;
+  auto result = io::import_chain(*dir, *policy);
+  if (!result.report.clean()) {
+    std::fprintf(stderr, "cnaudit: %s: %s\n", dir->c_str(),
+                 result.report.summary().c_str());
+  }
+  if (!result) {
     std::fprintf(stderr, "cnaudit: failed to load a chain from %s\n", dir->c_str());
     return std::nullopt;
   }
-  std::printf("loaded %zu blocks, %llu transactions from %s\n\n", chain->size(),
-              static_cast<unsigned long long>(chain->total_tx_count()),
+  std::printf("loaded %zu blocks, %llu transactions from %s\n\n", result->size(),
+              static_cast<unsigned long long>(result->total_tx_count()),
               dir->c_str());
-  return chain;
+  return std::move(result.value);
 }
 
 int cmd_simulate(const Args& args) {
@@ -210,6 +237,44 @@ int cmd_report(const Args& args) {
   // 0 = all hardware threads, 1 = serial; the report is byte-identical
   // at any setting (DESIGN.md §7.2).
   options.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  options.min_coverage = args.get_double("min-coverage", options.min_coverage);
+
+  // Grade coverage from whichever observer series were exported next to
+  // the chain; with neither present the audit keeps the historical
+  // perfect-coverage behaviour.
+  const std::string dir = *args.get("data");
+  const io::LoadPolicy policy = *parse_policy(args);
+  std::error_code ec;
+  std::optional<node::SnapshotSeries> snapshots;
+  std::optional<io::FirstSeenMap> first_seen;
+  if (const std::string path = dir + "/snapshots.csv";
+      std::filesystem::exists(path, ec)) {
+    auto r = io::import_snapshots(path, policy);
+    if (!r.report.clean()) {
+      std::fprintf(stderr, "cnaudit: %s: %s\n", path.c_str(),
+                   r.report.summary().c_str());
+    }
+    if (r) snapshots = std::move(*r);
+  }
+  if (const std::string path = dir + "/first_seen.csv";
+      std::filesystem::exists(path, ec)) {
+    auto r = io::import_first_seen(path, policy);
+    if (!r.report.clean()) {
+      std::fprintf(stderr, "cnaudit: %s: %s\n", path.c_str(),
+                   r.report.summary().c_str());
+    }
+    if (r) first_seen = std::move(*r);
+  }
+
+  if (snapshots.has_value() || first_seen.has_value()) {
+    const core::DataQualityReport quality = core::assess_data_quality(
+        *chain, snapshots.has_value() ? &*snapshots : nullptr,
+        first_seen.has_value() ? &*first_seen : nullptr);
+    const auto report = core::run_full_audit(
+        *chain, btc::CoinbaseTagRegistry::paper_registry(), &quality, options);
+    core::print_audit_report(report);
+    return 0;
+  }
   const auto report = core::run_full_audit(
       *chain, btc::CoinbaseTagRegistry::paper_registry(), options);
   core::print_audit_report(report);

@@ -34,4 +34,45 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "unknown command unexpectedly succeeded")
 endif()
 
+# Fault-injection round trip: corrupt the export, then lenient import
+# must still produce a report while strict import must refuse it.
+if(DEFINED CNINJECT)
+  set(dirty "${workdir}_dirty")
+  file(REMOVE_RECURSE "${dirty}")
+  execute_process(
+    COMMAND "${CNINJECT}" --in "${workdir}" --out "${dirty}"
+            --seed 7 --rate 0.02 --kinds corrupt --gaps 1
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cninject failed (${rc}): ${out}${err}")
+  endif()
+  string(FIND "${out}" "corrupt-field" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "cninject injected no corrupt-field faults: ${out}")
+  endif()
+
+  execute_process(
+    COMMAND "${CNAUDIT}" report --data "${dirty}" --policy lenient
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lenient report on dirty data failed (${rc}): ${out}${err}")
+  endif()
+  string(FIND "${out}" "data quality" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "lenient report printed no data-quality line: ${out}")
+  endif()
+
+  execute_process(
+    COMMAND "${CNAUDIT}" report --data "${dirty}" --policy strict
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "strict report on dirty data unexpectedly succeeded")
+  endif()
+  string(FIND "${err}" "first:" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "strict failure did not pinpoint a defect: ${err}")
+  endif()
+  file(REMOVE_RECURSE "${dirty}")
+endif()
+
 file(REMOVE_RECURSE "${workdir}")
