@@ -1,0 +1,114 @@
+// Columnar-vs-legacy run_full_audit: wall time of the staged pipeline
+// over the AuditDataset against the pre-refactor object-graph monolith
+// (AuditEngine::kLegacy), with a byte-equality check of the rendered
+// reports — the speedup only counts if the output is provably unchanged.
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/audit_pipeline.hpp"
+
+namespace {
+
+using namespace cn;
+
+const sim::SimResult* g_world = nullptr;
+
+std::string rendered(const core::AuditReport& report) {
+  std::FILE* tmp = std::tmpfile();
+  core::print_audit_report(report, tmp);
+  const long size = std::ftell(tmp);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::rewind(tmp);
+  const std::size_t read = std::fread(out.data(), 1, out.size(), tmp);
+  std::fclose(tmp);
+  out.resize(read);
+  return out;
+}
+
+core::AuditOptions options_for(core::AuditEngine engine) {
+  core::AuditOptions options;
+  options.engine = engine;
+  options.watch_addresses.push_back(g_world->scam_address);
+  return options;
+}
+
+void BM_AuditLegacy(benchmark::State& state) {
+  const auto options = options_for(core::AuditEngine::kLegacy);
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  for (auto _ : state) {
+    auto report = core::run_full_audit(g_world->chain, registry, options);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AuditLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_AuditColumnar(benchmark::State& state) {
+  const auto options = options_for(core::AuditEngine::kColumnar);
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  for (auto _ : state) {
+    auto report = core::run_full_audit(g_world->chain, registry, options);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AuditColumnar)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cn::bench::JsonReport json("audit");
+  cn::bench::banner("run_full_audit: staged columnar pipeline vs legacy monolith",
+                    "(engineering bench; the paper's §4-§5 methodology end to end)");
+
+  const std::uint64_t seed = cn::bench::seed_from_env();
+  const double scale = cn::bench::scale_from_env(0.5);
+  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  g_world = &world;
+  std::printf("world: %zu blocks, %llu transactions\n\n", world.chain.size(),
+              static_cast<unsigned long long>(world.chain.total_tx_count()));
+  json.metric("blocks", static_cast<double>(world.chain.size()));
+  json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
+
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const auto timed = [&](core::AuditEngine engine, core::AuditReport* out) {
+    constexpr int kReps = 3;
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto report = core::run_full_audit(g_world->chain, registry,
+                                         options_for(engine));
+      best = std::min(
+          best, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count());
+      if (out != nullptr) *out = std::move(report);
+    }
+    return best;
+  };
+
+  core::AuditReport legacy_report, columnar_report;
+  const double legacy_s = timed(core::AuditEngine::kLegacy, &legacy_report);
+  const double columnar_s = timed(core::AuditEngine::kColumnar, &columnar_report);
+  const bool bytes_equal = rendered(legacy_report) == rendered(columnar_report);
+
+  std::printf("  legacy monolith:   %8.3f s\n", legacy_s);
+  std::printf("  columnar pipeline: %8.3f s   (%.2fx, reports %s)\n",
+              columnar_s, legacy_s / columnar_s,
+              bytes_equal ? "byte-identical" : "DIVERGED");
+  std::printf("\n--- columnar stage timings ---\n");
+  for (const core::AuditStage& s : columnar_report.stages) {
+    std::printf("  %-14s %8.3f s\n", s.name.c_str(), s.seconds);
+    json.metric("stage_" + s.name + "_seconds", s.seconds);
+  }
+
+  json.metric("legacy_seconds", legacy_s);
+  json.metric("columnar_seconds", columnar_s);
+  json.metric("speedup", legacy_s / columnar_s);
+  json.metric("reports_byte_identical", bytes_equal ? 1.0 : 0.0);
+  if (!bytes_equal) {
+    std::fprintf(stderr, "FATAL: columnar report diverged from the legacy oracle\n");
+    return 1;
+  }
+  return cn::bench::run_microbenchmarks(argc, argv);
+}

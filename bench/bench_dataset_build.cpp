@@ -1,0 +1,83 @@
+// AuditDataset build cost: the columnar audit's one-time overhead —
+// wall time to intern pools/addresses and lay out the per-block spans,
+// and the resulting bytes per transaction — reported separately from
+// BENCH_audit.json so the pipeline speedup is never silently bought
+// with an unaccounted build phase.
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "btc/intern.hpp"
+#include "core/audit_dataset.hpp"
+#include "core/wallet_inference.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace cn;
+
+const sim::SimResult* g_world = nullptr;
+const core::PoolAttribution* g_attribution = nullptr;
+
+void BM_DatasetBuild(benchmark::State& state) {
+  util::ThreadPool workers(0);
+  for (auto _ : state) {
+    auto ds = core::AuditDataset::build(g_world->chain, *g_attribution, workers);
+    benchmark::DoNotOptimize(ds);
+  }
+}
+BENCHMARK(BM_DatasetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_AttributionBuild(benchmark::State& state) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  for (auto _ : state) {
+    core::PoolAttribution attribution(g_world->chain, registry);
+    benchmark::DoNotOptimize(attribution);
+  }
+}
+BENCHMARK(BM_AttributionBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cn::bench::JsonReport json("dataset_build");
+  cn::bench::banner("AuditDataset build: columnar view construction overhead",
+                    "(engineering bench; no paper counterpart)");
+
+  const std::uint64_t seed = cn::bench::seed_from_env();
+  const double scale = cn::bench::scale_from_env(0.5);
+  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const core::PoolAttribution attribution(
+      world.chain, btc::CoinbaseTagRegistry::paper_registry());
+  g_world = &world;
+  g_attribution = &attribution;
+
+  const double txs = static_cast<double>(world.chain.total_tx_count());
+  std::printf("world: %zu blocks, %.0f transactions\n\n", world.chain.size(), txs);
+  json.metric("blocks", static_cast<double>(world.chain.size()));
+  json.metric("txs", txs);
+
+  util::ThreadPool workers(0);
+  constexpr int kReps = 5;
+  double best = 1e300;
+  std::size_t bytes = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto ds = core::AuditDataset::build(world.chain, attribution, workers);
+    best = std::min(
+        best,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    bytes = ds.memory_bytes();
+  }
+
+  const double bytes_per_tx = txs > 0 ? static_cast<double>(bytes) / txs : 0.0;
+  std::printf("  build (best of %d): %8.3f s\n", kReps, best);
+  std::printf("  footprint:          %8.1f MiB (%.1f bytes/tx)\n",
+              static_cast<double>(bytes) / (1024.0 * 1024.0), bytes_per_tx);
+  json.metric("build_seconds", best);
+  json.metric("memory_bytes", static_cast<double>(bytes));
+  json.metric("bytes_per_tx", bytes_per_tx);
+
+  return cn::bench::run_microbenchmarks(argc, argv);
+}

@@ -1,0 +1,37 @@
+#include "btc/intern.hpp"
+
+#include "util/assert.hpp"
+
+namespace cn::btc {
+
+AddressId AddressTable::intern(Address address) {
+  const auto [it, inserted] =
+      ids_.try_emplace(address, static_cast<AddressId>(by_id_.size()));
+  if (inserted) by_id_.push_back(address);
+  return it->second;
+}
+
+AddressId AddressTable::lookup(Address address) const noexcept {
+  const auto it = ids_.find(address);
+  return it == ids_.end() ? kNoAddressId : it->second;
+}
+
+const Address& AddressTable::at(AddressId id) const {
+  CN_ASSERT(id < by_id_.size());
+  return by_id_[id];
+}
+
+void AddressTable::reserve(std::size_t n) {
+  by_id_.reserve(n);
+  ids_.reserve(n);
+}
+
+std::size_t AddressTable::memory_bytes() const noexcept {
+  // Vector payload plus a conservative per-node estimate for the hash
+  // index (bucket pointer + node with key, value, and chain link).
+  return by_id_.capacity() * sizeof(Address) +
+         ids_.size() * (sizeof(Address) + sizeof(AddressId) + 2 * sizeof(void*)) +
+         ids_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace cn::btc

@@ -1,0 +1,46 @@
+// Address interning: compact dense ids for the columnar audit layer.
+//
+// The audit's hot paths (self-interest extraction, watched-address
+// screens) compare wallet identities millions of times; an AddressTable
+// assigns each distinct Address a dense 32-bit AddressId once so the
+// comparisons become integer equality over flat arrays. Importers can
+// build the table while they parse (io::import_chain), so downstream
+// consumers never re-hash the address universe.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "btc/txid.hpp"
+
+namespace cn::btc {
+
+/// Dense interned wallet id, assigned in first-seen order.
+using AddressId = std::uint32_t;
+inline constexpr AddressId kNoAddressId = ~AddressId{0};
+
+class AddressTable {
+ public:
+  /// Returns the id of @p address, assigning the next dense id on first
+  /// sight.
+  AddressId intern(Address address);
+
+  /// Id of @p address, or kNoAddressId if it was never interned.
+  AddressId lookup(Address address) const noexcept;
+
+  const Address& at(AddressId id) const;
+
+  std::size_t size() const noexcept { return by_id_.size(); }
+  bool empty() const noexcept { return by_id_.empty(); }
+  void reserve(std::size_t n);
+
+  /// Approximate heap footprint (table + hash index), for telemetry.
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<Address> by_id_;
+  std::unordered_map<Address, AddressId> ids_;
+};
+
+}  // namespace cn::btc

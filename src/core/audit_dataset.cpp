@@ -1,0 +1,212 @@
+#include "core/audit_dataset.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/ppe.hpp"
+#include "core/sppe.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cn::core {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) noexcept {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+AuditDataset AuditDataset::build(const btc::Chain& chain,
+                                 const PoolAttribution& attribution,
+                                 util::ThreadPool& workers,
+                                 const btc::AddressTable* interned_addresses) {
+  AuditDataset ds;
+  const std::size_t nblocks = chain.size();
+  const std::size_t npools = attribution.pool_count();
+
+  ds.pool_names_.reserve(npools);
+  for (PoolId id = 0; id < npools; ++id) ds.pool_names_.push_back(attribution.name_of(id));
+  ds.pools_by_blocks_ = attribution.pool_ids_by_blocks();
+  if (interned_addresses != nullptr) ds.addresses_ = *interned_addresses;
+
+  // Pass 1 (serial): block columns and the tx offset table.
+  ds.block_height_.reserve(nblocks);
+  ds.block_mined_at_.reserve(nblocks);
+  ds.block_pool_.reserve(nblocks);
+  ds.block_fees_.reserve(nblocks);
+  ds.tx_begin_.reserve(nblocks + 1);
+  std::size_t ntxs = 0;
+  for (const btc::Block& block : chain.blocks()) {
+    ds.block_height_.push_back(block.height());
+    ds.block_mined_at_.push_back(block.mined_at());
+    ds.block_pool_.push_back(attribution.pool_id_at(block.height()));
+    ds.block_fees_.push_back(block.total_fees().value);
+    ds.tx_begin_.push_back(static_cast<TxIdx>(ntxs));
+    ntxs += block.tx_count();
+  }
+  CN_ASSERT(ntxs < static_cast<std::size_t>(~TxIdx{0}));
+  ds.tx_begin_.push_back(static_cast<TxIdx>(ntxs));
+  ds.block_ppe_.assign(nblocks, kNaN);
+
+  // Per-pool block lists and tx counts fall straight out of pass 1.
+  ds.pool_blocks_.resize(npools);
+  ds.pool_tx_counts_.assign(npools, 0);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const PoolId p = ds.block_pool_[b];
+    if (p == kNoPoolId) continue;
+    ds.pool_blocks_[p].push_back(static_cast<std::uint32_t>(b));
+    ds.pool_tx_counts_[p] += ds.tx_begin_[b + 1] - ds.tx_begin_[b];
+  }
+
+  // Wallet -> owning pools, for the single self-interest scan below.
+  std::unordered_map<btc::Address, std::vector<PoolId>> wallet_pools;
+  for (PoolId p = 0; p < npools; ++p) {
+    for (const btc::Address& a : attribution.wallets_of(p)) wallet_pools[a].push_back(p);
+  }
+
+  // Pass 2 (serial): transaction columns, interned outputs, and the
+  // per-pool self-interest lists — one chain scan instead of one per
+  // pool. TxIdx ascends with (block, position), so every per-pool list
+  // comes out ascending for free.
+  ds.fee_rate_.resize(ntxs);
+  ds.vsize_.resize(ntxs);
+  ds.issued_.resize(ntxs);
+  ds.txid_.resize(ntxs);
+  ds.tx_flags_.assign(ntxs, 0);
+  ds.sppe_.assign(ntxs, kNaN);
+  ds.tx_block_.resize(ntxs);
+  ds.out_begin_.reserve(ntxs + 1);
+  ds.self_interest_.resize(npools);
+
+  const btc::FeeRate floor = btc::FeeRate::from_sat_per_vb(1);
+  std::vector<PoolId> involved;
+  TxIdx t = 0;
+  std::uint32_t out_off = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const btc::Block& block = chain.blocks()[b];
+    for (const btc::Transaction& tx : block.txs()) {
+      ds.fee_rate_[t] = tx.fee_rate().sat_per_vbyte();
+      ds.vsize_[t] = tx.vsize();
+      ds.issued_[t] = tx.issued();
+      ds.txid_[t] = tx.id();
+      ds.tx_block_[t] = static_cast<std::uint32_t>(b);
+      if (tx.fee_rate() < floor) ds.tx_flags_[t] |= kTxBelowFloor;
+
+      ds.out_begin_.push_back(out_off);
+      for (const btc::TxOutput& o : tx.outputs()) {
+        ds.out_addr_.push_back(ds.addresses_.intern(o.to));
+        ++out_off;
+      }
+
+      involved.clear();
+      const auto note = [&](const btc::Address& a) {
+        const auto it = wallet_pools.find(a);
+        if (it == wallet_pools.end()) return;
+        for (const PoolId p : it->second) {
+          bool seen = false;
+          for (const PoolId q : involved) seen = seen || q == p;
+          if (!seen) involved.push_back(p);
+        }
+      };
+      for (const btc::TxInput& in : tx.inputs()) note(in.owner);
+      for (const btc::TxOutput& o : tx.outputs()) note(o.to);
+      for (const PoolId p : involved) ds.self_interest_[p].push_back(t);
+      ++t;
+    }
+  }
+  ds.out_begin_.push_back(out_off);
+
+  // Pass 3 (parallel per block): cached norm statistics and CPFP flags.
+  // Each task calls the object-graph primitives (core/ppe.hpp,
+  // core/sppe.hpp) exactly once per block and writes only its own slots,
+  // so the cached doubles are bitwise identical to what the legacy
+  // pipeline recomputes on demand, at every thread count.
+  workers.parallel_for(nblocks, [&](std::size_t b) {
+    const btc::Block& block = chain.blocks()[b];
+    const TxIdx begin = ds.tx_begin_[b];
+
+    if (const auto ppe = core::block_ppe(block)) ds.block_ppe_[b] = *ppe;
+    const std::vector<double> sppe = core::block_sppe(block);
+    for (std::size_t i = 0; i < sppe.size(); ++i) ds.sppe_[begin + i] = sppe[i];
+
+    const std::vector<std::size_t> cpfp = block.cpfp_positions();
+    if (cpfp.empty()) return;
+    std::unordered_set<btc::Txid> parents;
+    for (const std::size_t pos : cpfp) {
+      ds.tx_flags_[begin + pos] |= kTxCpfpChild;
+      for (const btc::TxInput& in : block.txs()[pos].inputs()) {
+        if (!in.prev_txid.is_null()) parents.insert(in.prev_txid);
+      }
+    }
+    for (std::size_t i = 0; i < block.txs().size(); ++i) {
+      if (parents.contains(block.txs()[i].id())) ds.tx_flags_[begin + i] |= kTxCpfpParent;
+    }
+  });
+
+  return ds;
+}
+
+const std::string& AuditDataset::pool_name(PoolId id) const {
+  CN_ASSERT(id < pool_names_.size());
+  return pool_names_[id];
+}
+
+double AuditDataset::hash_share(PoolId id) const noexcept {
+  if (block_height_.empty()) return 0.0;
+  return static_cast<double>(blocks_of(id)) /
+         static_cast<double>(block_height_.size());
+}
+
+std::span<const std::uint32_t> AuditDataset::blocks_of_pool(PoolId id) const {
+  static const std::vector<std::uint32_t> kEmpty;
+  return id < pool_blocks_.size() ? std::span<const std::uint32_t>(pool_blocks_[id])
+                                  : std::span<const std::uint32_t>(kEmpty);
+}
+
+std::uint64_t AuditDataset::pool_tx_count(PoolId id) const noexcept {
+  return id < pool_tx_counts_.size() ? pool_tx_counts_[id] : 0;
+}
+
+std::span<const TxIdx> AuditDataset::self_interest_txs(PoolId id) const {
+  static const std::vector<TxIdx> kEmpty;
+  return id < self_interest_.size() ? std::span<const TxIdx>(self_interest_[id])
+                                    : std::span<const TxIdx>(kEmpty);
+}
+
+std::vector<TxIdx> AuditDataset::txs_paying_to(btc::Address address) const {
+  std::vector<TxIdx> out;
+  const btc::AddressId id = addresses_.lookup(address);
+  if (id == btc::kNoAddressId) return out;
+  for (TxIdx t = 0; t < static_cast<TxIdx>(tx_count()); ++t) {
+    for (std::uint32_t k = out_begin_[t]; k < out_begin_[t + 1]; ++k) {
+      if (out_addr_[k] == id) {
+        out.push_back(t);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t AuditDataset::memory_bytes() const noexcept {
+  std::size_t total = vec_bytes(block_height_) + vec_bytes(block_mined_at_) +
+                      vec_bytes(block_pool_) + vec_bytes(block_fees_) +
+                      vec_bytes(block_ppe_) + vec_bytes(tx_begin_) +
+                      vec_bytes(fee_rate_) + vec_bytes(vsize_) + vec_bytes(issued_) +
+                      vec_bytes(txid_) + vec_bytes(tx_flags_) + vec_bytes(sppe_) +
+                      vec_bytes(tx_block_) + vec_bytes(out_begin_) +
+                      vec_bytes(out_addr_) + vec_bytes(pool_tx_counts_) +
+                      vec_bytes(pools_by_blocks_) + addresses_.memory_bytes();
+  for (const auto& name : pool_names_) total += name.size();
+  for (const auto& v : pool_blocks_) total += vec_bytes(v);
+  for (const auto& v : self_interest_) total += vec_bytes(v);
+  return total;
+}
+
+}  // namespace cn::core

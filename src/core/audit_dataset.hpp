@@ -1,0 +1,182 @@
+// Columnar (structure-of-arrays) view of a chain for the audit layer.
+//
+// The audit's analyses (§4-§6) are embarrassingly columnar: every one of
+// them scans {fee_rate, vsize, first_seen, position} over contiguous
+// block ranges and filters by pool identity. Walking btc::Chain object
+// graphs and keying hot-path state on std::string pool names re-hashes
+// the same strings millions of times; AuditDataset is built ONCE per
+// chain and replaces all of that with flat arrays addressed by dense
+// interned ids:
+//
+//   * PoolId    — interned pool name (core/wallet_inference.hpp);
+//   * TxIdx     — chain-global transaction ordinal, assigned in
+//                 (block, position) commit order;
+//   * AddressId — interned wallet (btc/intern.hpp).
+//
+// Span invariants (every analysis relies on these):
+//   * blocks appear in height order; heights are contiguous, so block
+//     ordinal b corresponds to height block_heights()[0] + b;
+//   * the transactions of block b occupy the contiguous TxIdx range
+//     [tx_begin(b), tx_end(b)), in observed block position order — the
+//     position of TxIdx t is t - tx_begin(block_of(t));
+//   * per-pool lists (blocks_of_pool, self_interest_txs) are ascending,
+//     which downstream code exploits for run-length c-block counting;
+//   * block_ppe()[b] and sppe()[t] cache the values of core/ppe.hpp and
+//     core/sppe.hpp verbatim, with quiet NaN standing in for "undefined"
+//     (fewer than 2 retained/total transactions) — consumers skip NaN
+//     exactly where the object-graph path skipped the missing value, so
+//     reports stay byte-identical to the legacy pipeline.
+//
+// The build fans out per block over a util::ThreadPool: each block's
+// task writes only its own slots, so the dataset is bit-identical for
+// every thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "btc/chain.hpp"
+#include "btc/intern.hpp"
+#include "core/wallet_inference.hpp"
+#include "util/time.hpp"
+
+namespace cn::util {
+class ThreadPool;
+}
+
+namespace cn::core {
+
+/// Chain-global transaction ordinal in (block, position) commit order.
+using TxIdx = std::uint32_t;
+
+/// Per-transaction flags in AuditDataset::tx_flags().
+enum TxFlag : std::uint8_t {
+  kTxCpfpChild = 1u << 0,   ///< spends an earlier in-block output (§E)
+  kTxCpfpParent = 1u << 1,  ///< parent rescued by an in-block CPFP child
+  kTxBelowFloor = 1u << 2,  ///< exact fee-rate < 1 sat/vB (norm III)
+};
+
+class AuditDataset {
+ public:
+  AuditDataset() = default;
+
+  /// Builds the columnar view. @p interned_addresses may carry a table an
+  /// importer produced during load (io::import_chain); it is copied and
+  /// extended as needed, so the ids stay stable for the caller.
+  static AuditDataset build(const btc::Chain& chain,
+                            const PoolAttribution& attribution,
+                            util::ThreadPool& workers,
+                            const btc::AddressTable* interned_addresses = nullptr);
+
+  // --- sizes ---------------------------------------------------------
+  std::size_t block_count() const noexcept { return block_height_.size(); }
+  std::size_t tx_count() const noexcept { return fee_rate_.size(); }
+  std::size_t pool_count() const noexcept { return pool_names_.size(); }
+  bool empty() const noexcept { return block_height_.empty(); }
+
+  // --- pool tables (mirrors PoolAttribution) -------------------------
+  const std::string& pool_name(PoolId id) const;
+  std::uint64_t blocks_of(PoolId id) const noexcept {
+    return id < pool_blocks_.size() ? pool_blocks_[id].size() : 0;
+  }
+  /// blocks_of(id) / block_count() — same estimate the attribution uses.
+  double hash_share(PoolId id) const noexcept;
+  /// Ids ordered by descending block count (ties by name).
+  std::span<const PoolId> pools_by_blocks() const noexcept { return pools_by_blocks_; }
+
+  // --- block columns (index = block ordinal) -------------------------
+  std::span<const std::uint64_t> block_heights() const noexcept { return block_height_; }
+  std::span<const SimTime> block_mined_at() const noexcept { return block_mined_at_; }
+  std::span<const PoolId> block_pool() const noexcept { return block_pool_; }
+  std::span<const std::int64_t> block_fees() const noexcept { return block_fees_; }
+  /// Cached core/ppe.hpp block_ppe per block; NaN when undefined.
+  std::span<const double> block_ppe() const noexcept { return block_ppe_; }
+
+  TxIdx tx_begin(std::size_t block) const noexcept { return tx_begin_[block]; }
+  TxIdx tx_end(std::size_t block) const noexcept { return tx_begin_[block + 1]; }
+
+  // --- transaction columns (index = TxIdx) ---------------------------
+  std::span<const double> fee_rate() const noexcept { return fee_rate_; }
+  std::span<const std::uint32_t> vsize() const noexcept { return vsize_; }
+  std::span<const SimTime> issued() const noexcept { return issued_; }
+  std::span<const btc::Txid> txids() const noexcept { return txid_; }
+  std::span<const std::uint8_t> tx_flags() const noexcept { return tx_flags_; }
+  /// Cached core/sppe.hpp block_sppe per transaction; NaN when the block
+  /// has fewer than 2 transactions.
+  std::span<const double> sppe() const noexcept { return sppe_; }
+  /// Block ordinal a transaction was committed in.
+  std::uint32_t block_of(TxIdx t) const noexcept { return tx_block_[t]; }
+  /// Observed position inside its block.
+  std::size_t position_of(TxIdx t) const noexcept {
+    return t - tx_begin_[tx_block_[t]];
+  }
+  std::uint64_t height_of(TxIdx t) const noexcept {
+    return block_height_[tx_block_[t]];
+  }
+
+  // --- outputs (interned) --------------------------------------------
+  const btc::AddressTable& addresses() const noexcept { return addresses_; }
+  std::span<const btc::AddressId> out_addrs_of(TxIdx t) const noexcept {
+    return std::span<const btc::AddressId>(out_addr_)
+        .subspan(out_begin_[t], out_begin_[t + 1] - out_begin_[t]);
+  }
+
+  // --- per-pool precomputes ------------------------------------------
+  /// Ascending block ordinals attributed to the pool.
+  std::span<const std::uint32_t> blocks_of_pool(PoolId id) const;
+  /// Committed transactions of the pool's blocks (sum over its blocks).
+  std::uint64_t pool_tx_count(PoolId id) const noexcept;
+  /// Ascending TxIdx of transactions spending from or paying to one of
+  /// the pool's inferred wallets (same set and order as
+  /// core/wallet_inference.hpp self_interest_txs).
+  std::span<const TxIdx> self_interest_txs(PoolId id) const;
+
+  /// Ascending TxIdx of transactions paying to @p address (scam-wallet
+  /// filter); empty when the address was never seen.
+  std::vector<TxIdx> txs_paying_to(btc::Address address) const;
+
+  /// TxRef view of a TxIdx (bridging to object-graph call sites).
+  TxRef ref_of(TxIdx t) const noexcept {
+    return TxRef{height_of(t), position_of(t)};
+  }
+
+  /// Approximate heap footprint of every column, for telemetry
+  /// (BENCH_dataset_build.json reports this as bytes/tx).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  // pool tables
+  std::vector<std::string> pool_names_;
+  std::vector<PoolId> pools_by_blocks_;
+
+  // block columns
+  std::vector<std::uint64_t> block_height_;
+  std::vector<SimTime> block_mined_at_;
+  std::vector<PoolId> block_pool_;
+  std::vector<std::int64_t> block_fees_;
+  std::vector<double> block_ppe_;
+  std::vector<TxIdx> tx_begin_;  // size block_count()+1
+
+  // transaction columns
+  std::vector<double> fee_rate_;
+  std::vector<std::uint32_t> vsize_;
+  std::vector<SimTime> issued_;
+  std::vector<btc::Txid> txid_;
+  std::vector<std::uint8_t> tx_flags_;
+  std::vector<double> sppe_;
+  std::vector<std::uint32_t> tx_block_;
+
+  // outputs
+  btc::AddressTable addresses_;
+  std::vector<std::uint32_t> out_begin_;  // size tx_count()+1
+  std::vector<btc::AddressId> out_addr_;
+
+  // per-pool precomputes
+  std::vector<std::vector<std::uint32_t>> pool_blocks_;
+  std::vector<std::uint64_t> pool_tx_counts_;
+  std::vector<std::vector<TxIdx>> self_interest_;
+};
+
+}  // namespace cn::core

@@ -7,14 +7,35 @@
 // The pipeline sees only public data (the chain and coinbase markers) —
 // never simulator ground truth — so it runs unchanged on imported
 // (io::import_chain) data sets, including, in principle, real ones.
+//
+// Internally the audit is a sequence of named stages over one immutable
+// AuditContext (DESIGN.md §9):
+//
+//   build        — attribution + columnar AuditDataset (always runs)
+//   quality-mask — coverage accounting from the DataQualityReport (always)
+//   norm-stats   — norm-II adherence (PPE summary)
+//   pool-tests   — §5.2 cross-pool differential prioritization
+//   screens      — §5.3 watched-address screens
+//   darkfee      — Table 4 SPPE >= threshold detector
+//   neutrality   — §6.1 per-pool scorecards
+//
+// Stages are individually timed (AuditReport::stages) and selectable via
+// AuditOptions::stages (cnaudit --stages); a deselected stage is
+// reported as [SKIPPED] rather than silently absent. The pre-refactor
+// object-graph monolith is kept, bit-for-bit, behind
+// AuditEngine::kLegacy as a differential-testing oracle: both engines
+// render byte-identical reports at every thread count.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "btc/chain.hpp"
 #include "btc/coinbase_tags.hpp"
+#include "btc/intern.hpp"
+#include "core/audit_dataset.hpp"
 #include "core/data_quality.hpp"
 #include "core/neutrality.hpp"
 #include "core/prio_test.hpp"
@@ -23,6 +44,14 @@
 #include "stats/descriptive.hpp"
 
 namespace cn::core {
+
+/// Which implementation computes the report. Both produce byte-identical
+/// output; kLegacy is the pre-columnar monolith kept as the differential
+/// oracle (tests/core/test_audit_differential.cpp).
+enum class AuditEngine {
+  kColumnar,  ///< staged pipeline over the AuditDataset (default)
+  kLegacy,    ///< object-graph monolith (oracle)
+};
 
 struct AuditOptions {
   /// Significance level for all hypothesis tests (paper: 0.001 implied by
@@ -50,6 +79,46 @@ struct AuditOptions {
   /// "insufficient data". Only applies when a DataQualityReport is
   /// passed to run_full_audit.
   double min_coverage = 0.5;
+  /// Implementation selector (see AuditEngine).
+  AuditEngine engine = AuditEngine::kColumnar;
+  /// Analysis stages to run (names from audit_stage_names()); empty =
+  /// all. "build" and "quality-mask" always run — they are the report's
+  /// spine. Columnar engine only; the legacy oracle ignores it.
+  std::vector<std::string> stages;
+  /// Optional address table an importer produced during load
+  /// (io::import_chain); reused by the build stage so the address
+  /// universe is hashed once per process instead of once per audit.
+  /// Must outlive the run_full_audit call.
+  const btc::AddressTable* interned_addresses = nullptr;
+};
+
+/// One named pipeline stage with its wall-clock cost (columnar engine
+/// only; the legacy oracle reports no stages).
+struct AuditStage {
+  std::string name;
+  double seconds = 0.0;
+  bool ran = false;
+};
+
+/// Stage names in execution order, for --stages validation and help.
+const std::vector<std::string>& audit_stage_names();
+
+/// The immutable state every analysis stage reads: the raw inputs plus
+/// the derived attribution, columnar dataset, tested-pool list, and
+/// per-pool coverage. Built by the "build" and "quality-mask" stages,
+/// then shared read-only across the fan-out — which is what makes the
+/// staged pipeline trivially thread-safe and, with index-ordered merges,
+/// byte-identical at every thread count.
+struct AuditContext {
+  const btc::Chain& chain;
+  const btc::CoinbaseTagRegistry& registry;
+  const DataQualityReport* quality = nullptr;
+  PoolAttribution attribution;
+  AuditDataset dataset;
+  /// Pools with hash share >= AuditOptions::min_share, by blocks desc.
+  std::vector<PoolId> pools;
+  /// PoolId-indexed mean effective coverage (1.0 without quality data).
+  std::vector<double> pool_coverage;
 };
 
 /// A confirmed differential-prioritization finding (§5.2 / Table 2).
@@ -101,6 +170,13 @@ struct AuditReport {
   std::uint64_t snapshot_gaps = 0;
   std::uint64_t masked_blocks = 0;  ///< blocks below min_coverage
   std::vector<std::uint64_t> low_coverage_heights;  ///< ascending
+
+  /// Per-stage telemetry in execution order (columnar engine; empty for
+  /// the legacy oracle).
+  std::vector<AuditStage> stages;
+
+  /// True when the named stage was deselected via AuditOptions::stages.
+  bool stage_skipped(std::string_view name) const noexcept;
 };
 
 /// Runs the whole §4-§5 methodology. The attribution is rebuilt
@@ -120,7 +196,20 @@ AuditReport run_full_audit(const btc::Chain& chain,
                            const DataQualityReport* quality,
                            const AuditOptions& options = {});
 
-/// Human-readable rendering of a report.
-void print_audit_report(const AuditReport& report, std::FILE* out = stdout);
+/// Human-readable rendering of a report. Skipped stages render as
+/// [SKIPPED] markers. @p with_timings appends the per-stage wall-time
+/// footer (cnaudit passes true); it defaults off so rendered reports
+/// stay deterministic for the byte-identity tests.
+void print_audit_report(const AuditReport& report, std::FILE* out = stdout,
+                        bool with_timings = false);
+
+namespace detail {
+/// The pre-columnar monolith, verbatim (audit_pipeline_legacy.cpp).
+/// Reached via AuditOptions::engine = AuditEngine::kLegacy.
+AuditReport run_full_audit_legacy(const btc::Chain& chain,
+                                  const btc::CoinbaseTagRegistry& registry,
+                                  const DataQualityReport* quality,
+                                  const AuditOptions& options);
+}  // namespace detail
 
 }  // namespace cn::core

@@ -1,0 +1,206 @@
+// The pre-columnar audit monolith, kept verbatim as the differential
+// oracle behind AuditEngine::kLegacy. It walks btc::Chain object graphs
+// and keys accumulators on pool-name strings — exactly what the staged
+// columnar pipeline (audit_pipeline.cpp) replaced — so the byte-identity
+// suite (tests/core/test_audit_differential.cpp) can prove the refactor
+// changed the data layout and nothing else.
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/audit_pipeline.hpp"
+#include "core/darkfee.hpp"
+#include "core/ppe.hpp"
+#include "core/sppe.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cn::core::detail {
+
+AuditReport run_full_audit_legacy(const btc::Chain& chain,
+                                  const btc::CoinbaseTagRegistry& registry,
+                                  const DataQualityReport* quality,
+                                  const AuditOptions& options) {
+  AuditReport report;
+  report.options = options;
+  report.blocks = chain.size();
+  report.txs = chain.total_tx_count();
+
+  const PoolAttribution attribution(chain, registry);
+  report.unidentified_blocks = attribution.unidentified_blocks();
+
+  // Coverage accounting: which blocks the audit may trust, and how much
+  // observed data each pool's statistics rest on. All of it is derived
+  // deterministically before the fan-out, so threading stays
+  // byte-identical.
+  report.has_quality = quality != nullptr;
+  std::unordered_map<std::string, double> pool_coverage;
+  if (quality != nullptr) {
+    report.mean_coverage = quality->mean_coverage;
+    report.snapshot_gaps = static_cast<std::uint64_t>(quality->gaps.size());
+    std::unordered_map<std::string, std::pair<double, std::uint64_t>> acc;
+    for (const btc::Block& block : chain.blocks()) {
+      const double cov = quality->coverage_at(block.height());
+      if (cov < options.min_coverage) {
+        report.low_coverage_heights.push_back(block.height());
+      }
+      if (const auto owner = attribution.pool_of(block.height())) {
+        auto& [sum, n] = acc[*owner];
+        sum += cov;
+        ++n;
+      }
+    }
+    report.masked_blocks =
+        static_cast<std::uint64_t>(report.low_coverage_heights.size());
+    for (const auto& [pool, sum_n] : acc) {
+      pool_coverage[pool] = sum_n.second > 0
+                                ? sum_n.first / static_cast<double>(sum_n.second)
+                                : 1.0;
+    }
+  }
+  const auto coverage_of_pool = [&](const std::string& pool) {
+    const auto it = pool_coverage.find(pool);
+    return it != pool_coverage.end() ? it->second : 1.0;
+  };
+
+  // Norm II adherence, over trusted blocks only when coverage is graded.
+  std::vector<double> ppe;
+  if (quality == nullptr) {
+    ppe = chain_ppe(chain);
+  } else {
+    for (const btc::Block& block : chain.blocks()) {
+      if (quality->coverage_at(block.height()) < options.min_coverage) continue;
+      if (const auto v = block_ppe(block)) ppe.push_back(*v);
+    }
+  }
+  report.ppe = stats::summarize(ppe);
+
+  // Large pools only.
+  std::vector<std::string> pools;
+  for (const auto& pool : attribution.pools_by_blocks()) {
+    if (attribution.hash_share(pool) >= options.min_share) pools.push_back(pool);
+  }
+
+  // Fan-out pool for every independent audit stage below. Each task's
+  // inputs and RNG seed depend only on its index, and every merge walks
+  // the results in index order, so the report is byte-identical whatever
+  // the lane count (threads == 1 runs everything inline).
+  util::ThreadPool workers(options.threads);
+
+  // §5.2: cross-pool differential prioritization of self-interest txs.
+  const auto owner_txs = workers.parallel_map(pools.size(), [&](std::size_t i) {
+    return self_interest_txs(chain, attribution, pools[i]);
+  });
+  // Candidate (owner, miner) pairs in the serial nested-loop order.
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  candidates.reserve(pools.size() * pools.size());
+  for (std::size_t o = 0; o < pools.size(); ++o) {
+    if (owner_txs[o].size() < 10) continue;
+    for (std::size_t m = 0; m < pools.size(); ++m) candidates.emplace_back(o, m);
+  }
+  auto candidate_findings = workers.parallel_map(
+      candidates.size(),
+      [&](std::size_t k) -> std::optional<AccelerationFinding> {
+        const auto [o, m] = candidates[k];
+        const std::string& owner = pools[o];
+        const std::string& miner = pools[m];
+        const auto& txs = owner_txs[o];
+        const auto test =
+            test_differential_prioritization(chain, attribution, miner, txs);
+        if (test.p_accelerate >= options.alpha || test.sppe <= 25.0) {
+          return std::nullopt;
+        }
+
+        AccelerationFinding finding;
+        finding.tx_owner = owner;
+        finding.miner = miner;
+        finding.collusion = owner != miner;
+        finding.test = test;
+        if (options.bootstrap_resamples > 0) {
+          const auto values = sppe_values(chain, txs, attribution, miner);
+          if (!values.empty()) {
+            finding.sppe_ci = stats::bootstrap_mean_ci(
+                values, 0.95, options.bootstrap_resamples,
+                stable_hash64(owner + "/" + miner));
+          }
+        }
+        return finding;
+      });
+  for (auto& finding : candidate_findings) {
+    if (finding.has_value()) {
+      finding->coverage = coverage_of_pool(finding->miner);
+      finding->insufficient_data =
+          report.has_quality && finding->coverage < options.min_coverage;
+      report.findings.push_back(std::move(*finding));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const AccelerationFinding& a, const AccelerationFinding& b) {
+              if (a.test.p_accelerate != b.test.p_accelerate)
+                return a.test.p_accelerate < b.test.p_accelerate;
+              return a.test.sppe > b.test.sppe;
+            });
+
+  // §5.3: watched-address screens (one task per address x pool).
+  const auto watched_refs = workers.parallel_map(
+      options.watch_addresses.size(), [&](std::size_t a) {
+        return txs_paying_to(chain, options.watch_addresses[a]);
+      });
+  std::vector<PrioTestResult> screen_tests;
+  if (!pools.empty()) {
+    screen_tests = workers.parallel_map(
+        options.watch_addresses.size() * pools.size(), [&](std::size_t k) {
+          const std::size_t a = k / pools.size();
+          const std::size_t p = k % pools.size();
+          return test_differential_prioritization(chain, attribution, pools[p],
+                                                  watched_refs[a]);
+        });
+  }
+  for (std::size_t a = 0; a < options.watch_addresses.size(); ++a) {
+    WatchedAddressScreen screen;
+    screen.address = options.watch_addresses[a];
+    screen.tx_count = watched_refs[a].size();
+    for (std::size_t p = 0; p < pools.size(); ++p) {
+      auto test = std::move(screen_tests[a * pools.size() + p]);
+      screen.any_significant = screen.any_significant ||
+                               test.p_accelerate < options.alpha ||
+                               test.p_decelerate < options.alpha;
+      screen.per_pool.push_back(std::move(test));
+    }
+    report.screens.push_back(std::move(screen));
+  }
+
+  // Table 4 detector (counts only; validation needs the service API).
+  report.darkfee = workers.parallel_map(pools.size(), [&](std::size_t p) {
+    DarkFeeSuspicion suspicion;
+    suspicion.pool = pools[p];
+    for (const btc::Block& block : chain.blocks()) {
+      const auto owner = attribution.pool_of(block.height());
+      if (owner.has_value() && *owner == pools[p]) suspicion.txs += block.tx_count();
+    }
+    suspicion.flagged = detect_accelerated(chain, attribution, pools[p],
+                                           options.darkfee_sppe_threshold)
+                            .size();
+    return suspicion;
+  });
+  std::sort(report.darkfee.begin(), report.darkfee.end(),
+            [](const DarkFeeSuspicion& a, const DarkFeeSuspicion& b) {
+              const double ra = a.txs ? static_cast<double>(a.flagged) / a.txs : 0;
+              const double rb = b.txs ? static_cast<double>(b.flagged) / b.txs : 0;
+              if (ra != rb) return ra > rb;
+              return a.pool < b.pool;
+            });
+
+  // §6.1 scorecard, fanned out per pool (each pool's report scans the
+  // whole chain; results are identical to the serial overload).
+  report.neutrality =
+      neutrality_reports(chain, attribution, options.neutrality, workers);
+  for (NeutralityReport& n : report.neutrality) {
+    n.coverage = coverage_of_pool(n.pool);
+    n.insufficient_data = report.has_quality && n.coverage < options.min_coverage;
+  }
+  return report;
+}
+
+}  // namespace cn::core::detail

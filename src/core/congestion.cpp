@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/audit_dataset.hpp"
 #include "util/assert.hpp"
 
 namespace cn::core {
@@ -42,6 +43,28 @@ std::vector<SeenTx> collect_seen_txs(const btc::Chain& chain,
       t.cpfp_parent = parent_positions.contains(i);
       out.push_back(t);
     }
+  }
+  return out;
+}
+
+std::vector<SeenTx> collect_seen_txs(const AuditDataset& dataset,
+                                     const FirstSeenFn& first_seen) {
+  std::vector<SeenTx> out;
+  out.reserve(dataset.tx_count());
+  const std::span<const btc::Txid> ids = dataset.txids();
+  const std::span<const double> rates = dataset.fee_rate();
+  const std::span<const std::uint8_t> flags = dataset.tx_flags();
+  const std::span<const std::uint64_t> heights = dataset.block_heights();
+  for (TxIdx t = 0; t < static_cast<TxIdx>(dataset.tx_count()); ++t) {
+    const auto seen = first_seen(ids[t]);
+    if (!seen.has_value()) continue;
+    SeenTx s;
+    s.first_seen = *seen;
+    s.fee_rate = rates[t];
+    s.block_height = heights[dataset.block_of(t)];
+    s.cpfp = (flags[t] & kTxCpfpChild) != 0;
+    s.cpfp_parent = (flags[t] & kTxCpfpParent) != 0;
+    out.push_back(s);
   }
   return out;
 }
@@ -100,11 +123,14 @@ std::vector<double> fee_rates_at_level(std::span<const SeenTx> txs,
                                        const node::SnapshotSeries& series,
                                        std::uint64_t unit_vsize,
                                        node::CongestionLevel level) {
+  std::vector<SimTime> seen;
+  seen.reserve(txs.size());
+  for (const SeenTx& tx : txs) seen.push_back(tx.first_seen);
+  const std::vector<node::CongestionLevel> levels =
+      series.levels_for(seen, unit_vsize);
   std::vector<double> out;
-  for (const SeenTx& tx : txs) {
-    if (series.level_at(tx.first_seen, unit_vsize) == level) {
-      out.push_back(tx.fee_rate);
-    }
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (levels[i] == level) out.push_back(txs[i].fee_rate);
   }
   return out;
 }

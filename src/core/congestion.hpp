@@ -14,6 +14,8 @@
 
 namespace cn::core {
 
+class AuditDataset;
+
 /// Looks up an observer's first-seen time for a txid.
 using FirstSeenFn = std::function<std::optional<SimTime>(const btc::Txid&)>;
 
@@ -21,6 +23,12 @@ using FirstSeenFn = std::function<std::optional<SimTime>(const btc::Txid&)>;
 /// CPFP flags) used by the violation and delay analyses. Transactions the
 /// observer never saw pending are omitted.
 std::vector<SeenTx> collect_seen_txs(const btc::Chain& chain,
+                                     const FirstSeenFn& first_seen);
+
+/// Columnar variant: reads the dataset's cached fee-rate / height / CPFP
+/// flag columns instead of re-deriving them per block. Same entries in
+/// the same order as the chain overload.
+std::vector<SeenTx> collect_seen_txs(const AuditDataset& dataset,
                                      const FirstSeenFn& first_seen);
 
 /// The subset of @p txs pending at time @p t: seen at or before t but

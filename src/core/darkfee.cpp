@@ -86,4 +86,28 @@ std::vector<TxRef> detect_accelerated(const btc::Chain& chain,
   return out;
 }
 
+std::vector<TxIdx> detect_accelerated(const AuditDataset& dataset, PoolId pool,
+                                      double threshold) {
+  std::vector<TxIdx> out;
+  const std::span<const double> sppe = dataset.sppe();
+  for (const std::uint32_t b : dataset.blocks_of_pool(pool)) {
+    for (TxIdx t = dataset.tx_begin(b); t < dataset.tx_end(b); ++t) {
+      if (sppe[t] >= threshold) out.push_back(t);  // NaN never qualifies
+    }
+  }
+  return out;
+}
+
+std::uint64_t count_accelerated(const AuditDataset& dataset, PoolId pool,
+                                double threshold) {
+  std::uint64_t n = 0;
+  const std::span<const double> sppe = dataset.sppe();
+  for (const std::uint32_t b : dataset.blocks_of_pool(pool)) {
+    for (TxIdx t = dataset.tx_begin(b); t < dataset.tx_end(b); ++t) {
+      if (sppe[t] >= threshold) ++n;
+    }
+  }
+  return n;
+}
+
 }  // namespace cn::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "btc/chain.hpp"
+#include "core/audit_dataset.hpp"
 #include "core/wallet_inference.hpp"
 
 namespace cn::core {
@@ -57,5 +58,16 @@ std::uint64_t accelerated_in_random_sample(const btc::Chain& chain,
 std::vector<TxRef> detect_accelerated(const btc::Chain& chain,
                                       const PoolAttribution& attribution,
                                       const std::string& pool, double threshold);
+
+/// Columnar classifier: flags every transaction in @p pool's blocks whose
+/// cached SPPE meets @p threshold. Same transactions, same order as
+/// detect_accelerated (NaN entries — 1-tx blocks — never qualify).
+std::vector<TxIdx> detect_accelerated(const AuditDataset& dataset, PoolId pool,
+                                      double threshold);
+
+/// Count-only form of the above (the audit's Table 4 detector needs just
+/// the tally).
+std::uint64_t count_accelerated(const AuditDataset& dataset, PoolId pool,
+                                double threshold);
 
 }  // namespace cn::core

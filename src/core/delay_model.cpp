@@ -42,11 +42,14 @@ DelayModel DelayModel::fit(std::span<const SeenTx> txs,
   model.options_ = options;
   model.delays_.assign(kLevels, std::vector<std::vector<double>>(options.rate_bins));
 
+  std::vector<SimTime> seen;
+  seen.reserve(txs.size());
+  for (const SeenTx& tx : txs) seen.push_back(tx.first_seen);
+  const std::vector<node::CongestionLevel> levels =
+      snapshots.levels_for(seen, unit_vsize);
   for (std::size_t i = 0; i < txs.size(); ++i) {
-    const auto level =
-        static_cast<int>(snapshots.level_at(txs[i].first_seen, unit_vsize));
-    model.delays_[static_cast<std::size_t>(level)][model.rate_bin(txs[i].fee_rate)]
-        .push_back(delays[i]);
+    const auto level = static_cast<std::size_t>(levels[i]);
+    model.delays_[level][model.rate_bin(txs[i].fee_rate)].push_back(delays[i]);
     ++model.samples_;
   }
   for (auto& per_level : model.delays_) {

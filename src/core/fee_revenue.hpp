@@ -14,14 +14,25 @@
 
 namespace cn::core {
 
+class AuditDataset;
+
 /// Per-block fee share of total revenue, in percent:
 /// fees / (fees + subsidy(height) * subsidy_scale) * 100.
 std::vector<double> per_block_fee_share_percent(const btc::Chain& chain,
                                                 double subsidy_scale = 1.0);
 
+/// Columnar variant over the dataset's cached per-block fee totals;
+/// identical values to the chain overload.
+std::vector<double> per_block_fee_share_percent(const AuditDataset& dataset,
+                                                double subsidy_scale = 1.0);
+
 /// Summary of the above (the mean/std/min/percentiles/max columns of
 /// Table 5).
 stats::Summary fee_share_summary(const btc::Chain& chain,
+                                 double subsidy_scale = 1.0);
+
+/// Columnar variant of the summary.
+stats::Summary fee_share_summary(const AuditDataset& dataset,
                                  double subsidy_scale = 1.0);
 
 /// Fee share restricted to a height range (inclusive) — the paper's

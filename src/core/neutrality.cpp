@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "core/audit_dataset.hpp"
 #include "core/ppe.hpp"
 #include "core/prio_test.hpp"
 #include "core/sppe.hpp"
@@ -98,6 +99,66 @@ NeutralityReport report_for_pool(const btc::Chain& chain,
   return report;
 }
 
+/// Columnar twin of report_for_pool: identical arithmetic over the
+/// dataset's cached columns. The per-block PPE/SPPE values are the ones
+/// block_ppe/block_sppe produced at build time, so every accumulated
+/// double is bitwise equal to the object-graph scan's.
+NeutralityReport report_for_pool(const AuditDataset& dataset, PoolId pool,
+                                 const NeutralityOptions& options) {
+  NeutralityReport report;
+  report.pool = dataset.pool_name(pool);
+
+  double ppe_sum = 0.0;
+  std::uint64_t ppe_blocks = 0;
+  std::uint64_t boosted = 0;
+  std::uint64_t floor_blocks = 0;
+
+  const std::span<const double> block_ppe = dataset.block_ppe();
+  const std::span<const double> sppe = dataset.sppe();
+  const std::span<const std::uint8_t> flags = dataset.tx_flags();
+  for (const std::uint32_t b : dataset.blocks_of_pool(pool)) {
+    const TxIdx begin = dataset.tx_begin(b);
+    const TxIdx end = dataset.tx_end(b);
+    ++report.blocks;
+    report.txs += end - begin;
+
+    if (!std::isnan(block_ppe[b])) {
+      ppe_sum += block_ppe[b];
+      ++ppe_blocks;
+    }
+    for (TxIdx t = begin; t < end; ++t) {
+      if (sppe[t] >= options.sppe_boost_threshold) ++boosted;  // NaN: no
+    }
+    // Floor discipline (norm III): sub-floor txs that are NOT parents
+    // rescued by an in-block CPFP child.
+    for (TxIdx t = begin; t < end; ++t) {
+      if ((flags[t] & kTxBelowFloor) != 0 && (flags[t] & kTxCpfpParent) == 0) {
+        ++floor_blocks;
+        break;
+      }
+    }
+  }
+  if (ppe_blocks > 0) report.mean_ppe = ppe_sum / static_cast<double>(ppe_blocks);
+  if (report.txs > 0) {
+    report.boosted_tx_rate =
+        static_cast<double>(boosted) / static_cast<double>(report.txs);
+  }
+  report.below_floor_block_rate =
+      static_cast<double>(floor_blocks) / static_cast<double>(report.blocks);
+
+  const std::span<const TxIdx> own_txs = dataset.self_interest_txs(pool);
+  if (!own_txs.empty()) {
+    const auto test = test_differential_prioritization(dataset, pool, own_txs);
+    report.self_dealing_p = test.p_accelerate;
+    report.self_dealing_sppe = test.sppe;
+    report.self_dealing_flagged =
+        test.p_accelerate < options.alpha && test.y >= options.min_blocks;
+  }
+
+  report.score = neutrality_score(report, options);
+  return report;
+}
+
 /// Pools clearing the min_blocks bar, in attribution (hash-share) order.
 std::vector<std::string> eligible_pools(const PoolAttribution& attribution,
                                         const NeutralityOptions& options) {
@@ -137,6 +198,21 @@ std::vector<NeutralityReport> neutrality_reports(
   std::vector<NeutralityReport> out =
       workers.parallel_map(pools.size(), [&](std::size_t i) {
         return report_for_pool(chain, attribution, pools[i], options);
+      });
+  sort_reports(out);
+  return out;
+}
+
+std::vector<NeutralityReport> neutrality_reports(const AuditDataset& dataset,
+                                                 const NeutralityOptions& options,
+                                                 util::ThreadPool& workers) {
+  std::vector<PoolId> pools;
+  for (const PoolId id : dataset.pools_by_blocks()) {
+    if (dataset.blocks_of(id) >= options.min_blocks) pools.push_back(id);
+  }
+  std::vector<NeutralityReport> out =
+      workers.parallel_map(pools.size(), [&](std::size_t i) {
+        return report_for_pool(dataset, pools[i], options);
       });
   sort_reports(out);
   return out;

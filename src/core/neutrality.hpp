@@ -29,6 +29,8 @@ class ThreadPool;
 
 namespace cn::core {
 
+class AuditDataset;
+
 struct NeutralityOptions {
   double sppe_boost_threshold = 90.0;  ///< "hoisted" transaction cutoff
   std::uint64_t min_blocks = 10;       ///< pools below this are skipped
@@ -70,6 +72,13 @@ std::vector<NeutralityReport> neutrality_reports(
 std::vector<NeutralityReport> neutrality_reports(
     const btc::Chain& chain, const PoolAttribution& attribution,
     const NeutralityOptions& options, util::ThreadPool& workers);
+
+/// Columnar variant: each pool's scorecard reads the dataset's cached
+/// PPE/SPPE columns, precomputed block lists, and flag bits instead of
+/// rescanning the chain. Byte-identical reports to the overloads above.
+std::vector<NeutralityReport> neutrality_reports(const AuditDataset& dataset,
+                                                 const NeutralityOptions& options,
+                                                 util::ThreadPool& workers);
 
 /// The composite score for one report (exposed for testing; also set on
 /// the reports returned above).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "core/audit_dataset.hpp"
 #include "stats/rank.hpp"
 #include "util/assert.hpp"
 
@@ -71,6 +72,15 @@ std::vector<double> chain_ppe(const btc::Chain& chain, bool exclude_cpfp) {
   for (const btc::Block& block : chain.blocks()) {
     const auto ppe = block_ppe(block, exclude_cpfp);
     if (ppe.has_value()) out.push_back(*ppe);
+  }
+  return out;
+}
+
+std::vector<double> chain_ppe(const AuditDataset& dataset) {
+  std::vector<double> out;
+  out.reserve(dataset.block_count());
+  for (const double v : dataset.block_ppe()) {
+    if (!std::isnan(v)) out.push_back(v);
   }
   return out;
 }

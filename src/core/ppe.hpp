@@ -17,6 +17,8 @@
 
 namespace cn::core {
 
+class AuditDataset;
+
 /// Predicted positions for the block's transactions under the fee-rate
 /// norm. If @p exclude_cpfp, in-block dependent transactions — CPFP
 /// children AND the parents they rescue — are removed before ranking:
@@ -39,5 +41,10 @@ std::optional<double> block_ppe(const btc::Block& block, bool exclude_cpfp = tru
 /// PPE per block over a whole chain (blocks without a defined PPE are
 /// skipped).
 std::vector<double> chain_ppe(const btc::Chain& chain, bool exclude_cpfp = true);
+
+/// Columnar variant: gathers the dataset's cached per-block PPE column
+/// (NaN entries skipped). Identical values to chain_ppe on the same
+/// chain — the cache is filled by block_ppe itself.
+std::vector<double> chain_ppe(const AuditDataset& dataset);
 
 }  // namespace cn::core

@@ -70,6 +70,36 @@ PrioTestResult test_differential_prioritization(
   return r;
 }
 
+PrioTestResult test_differential_prioritization(const AuditDataset& dataset,
+                                                PoolId pool,
+                                                std::span<const TxIdx> c_txs,
+                                                double theta0_override) {
+  PrioTestResult r;
+  r.pool = dataset.pool_name(pool);
+  r.theta0 = theta0_override > 0.0 ? theta0_override : dataset.hash_share(pool);
+  CN_ASSERT(r.theta0 >= 0.0 && r.theta0 <= 1.0);
+
+  // c_txs ascends, so distinct blocks appear as runs: count them (y) and
+  // the pool-mined ones (x) in a single pass, no hash set needed.
+  const std::span<const PoolId> block_pool = dataset.block_pool();
+  bool have_block = false;
+  std::uint32_t last_block = 0;
+  for (const TxIdx t : c_txs) {
+    const std::uint32_t b = dataset.block_of(t);
+    if (have_block && b == last_block) continue;
+    have_block = true;
+    last_block = b;
+    ++r.y;
+    if (block_pool[b] == pool) ++r.x;
+  }
+  if (r.y == 0) return r;  // no evidence either way: p-values stay 1
+
+  r.p_accelerate = stats::acceleration_p_value(r.x, r.y, r.theta0);
+  r.p_decelerate = stats::deceleration_p_value(r.x, r.y, r.theta0);
+  r.sppe = mean_sppe(dataset, c_txs, pool, &r.sppe_count);
+  return r;
+}
+
 double windowed_acceleration_p_value(const btc::Chain& chain,
                                      const PoolAttribution& attribution,
                                      const std::string& pool,

@@ -9,10 +9,12 @@
 // m's blocks corroborates direction (tables 2 and 3).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "btc/chain.hpp"
+#include "core/audit_dataset.hpp"
 #include "core/wallet_inference.hpp"
 
 namespace cn::core {
@@ -35,6 +37,14 @@ PrioTestResult test_differential_prioritization(
     const btc::Chain& chain, const PoolAttribution& attribution,
     const std::string& pool, const std::vector<TxRef>& c_txs,
     double theta0_override = -1.0);
+
+/// Columnar variant over a TxIdx selection (must be ascending, as every
+/// AuditDataset list is). Produces field-identical results to the
+/// object-graph overload on the same selection.
+PrioTestResult test_differential_prioritization(const AuditDataset& dataset,
+                                                PoolId pool,
+                                                std::span<const TxIdx> c_txs,
+                                                double theta0_override = -1.0);
 
 /// Number of distinct blocks containing at least one of @p txs.
 std::uint64_t count_c_blocks(const std::vector<TxRef>& txs);

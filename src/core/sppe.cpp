@@ -1,5 +1,7 @@
 #include "core/sppe.hpp"
 
+#include <cmath>
+
 #include "stats/rank.hpp"
 #include "util/assert.hpp"
 
@@ -61,6 +63,30 @@ double mean_sppe(const btc::Chain& chain, const std::vector<TxRef>& txs,
                  const PoolAttribution& attribution, const std::string& pool,
                  std::size_t* count) {
   const std::vector<double> values = sppe_values(chain, txs, attribution, pool);
+  if (count != nullptr) *count = values.size();
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::vector<double> sppe_values(const AuditDataset& dataset,
+                                std::span<const TxIdx> txs, PoolId pool) {
+  std::vector<double> out;
+  const std::span<const double> sppe = dataset.sppe();
+  const std::span<const PoolId> block_pool = dataset.block_pool();
+  for (const TxIdx t : txs) {
+    if (pool != kNoPoolId && block_pool[dataset.block_of(t)] != pool) continue;
+    const double v = sppe[t];
+    if (std::isnan(v)) continue;  // 1-tx block: no SPPE
+    out.push_back(v);
+  }
+  return out;
+}
+
+double mean_sppe(const AuditDataset& dataset, std::span<const TxIdx> txs,
+                 PoolId pool, std::size_t* count) {
+  const std::vector<double> values = sppe_values(dataset, txs, pool);
   if (count != nullptr) *count = values.size();
   if (values.empty()) return 0.0;
   double sum = 0.0;

@@ -8,10 +8,12 @@
 // collusion, or a dark acceleration fee).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "btc/block.hpp"
 #include "btc/chain.hpp"
+#include "core/audit_dataset.hpp"
 #include "core/wallet_inference.hpp"
 
 namespace cn::core {
@@ -39,5 +41,16 @@ std::vector<double> sppe_values(const btc::Chain& chain,
                                 const std::vector<TxRef>& txs,
                                 const PoolAttribution& attribution,
                                 const std::string& pool);
+
+/// Columnar variants: gather the dataset's cached per-tx SPPE column for
+/// a TxIdx selection, optionally restricted to blocks of @p pool
+/// (kNoPoolId = no restriction). Values and order are identical to the
+/// object-graph overloads on the same selection — NaN entries (1-tx
+/// blocks) are skipped exactly where the legacy path skipped them.
+std::vector<double> sppe_values(const AuditDataset& dataset,
+                                std::span<const TxIdx> txs, PoolId pool);
+
+double mean_sppe(const AuditDataset& dataset, std::span<const TxIdx> txs,
+                 PoolId pool, std::size_t* count = nullptr);
 
 }  // namespace cn::core

@@ -5,6 +5,11 @@
 // marker, (2) collects the reward wallets each pool names in its Coinbase
 // transactions, and (3) flags as "self-interest" every committed
 // transaction spending from or paying to one of those wallets.
+//
+// Pool names are interned on first sight: every pool gets a dense PoolId
+// so downstream accumulators can be plain vectors indexed by id instead
+// of string-keyed hash maps. The string API below is a thin facade over
+// the interned representation.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +30,10 @@ struct TxRef {
   std::size_t position = 0;
 };
 
+/// Dense interned pool id, assigned in block-attribution order.
+using PoolId = std::uint32_t;
+inline constexpr PoolId kNoPoolId = ~PoolId{0};
+
 class PoolAttribution {
  public:
   PoolAttribution() = default;
@@ -32,13 +41,32 @@ class PoolAttribution {
   /// Scans the chain once, attributing blocks and collecting wallets.
   PoolAttribution(const btc::Chain& chain, const btc::CoinbaseTagRegistry& registry);
 
+  // --- interned API -------------------------------------------------
+
+  std::size_t pool_count() const noexcept { return names_.size(); }
+
+  /// Name of an interned pool; @p id must be < pool_count().
+  const std::string& name_of(PoolId id) const;
+
+  /// Id for a pool name, if any block was attributed to it.
+  std::optional<PoolId> id_of(const std::string& pool) const;
+
+  /// Pool that mined the block at @p height (kNoPoolId when
+  /// unidentified or outside the attributed chain).
+  PoolId pool_id_at(std::uint64_t height) const noexcept;
+
+  std::uint64_t blocks_of(PoolId id) const noexcept;
+  double hash_share(PoolId id) const noexcept;
+  const std::unordered_set<btc::Address>& wallets_of(PoolId id) const;
+
+  /// Interned ids ordered by descending block count (ties by name).
+  std::vector<PoolId> pool_ids_by_blocks() const;
+
+  // --- string facade -------------------------------------------------
+
   /// Pool that mined the block at @p height (nullopt when unidentified).
   std::optional<std::string> pool_of(std::uint64_t height) const;
 
-  /// Blocks mined per pool.
-  const std::unordered_map<std::string, std::uint64_t>& block_counts() const noexcept {
-    return counts_;
-  }
   std::uint64_t blocks_of(const std::string& pool) const noexcept;
   std::uint64_t unidentified_blocks() const noexcept { return unidentified_; }
   std::uint64_t total_blocks() const noexcept { return total_blocks_; }
@@ -53,9 +81,14 @@ class PoolAttribution {
   std::vector<std::string> pools_by_blocks() const;
 
  private:
-  std::unordered_map<std::uint64_t, std::string> by_height_;
-  std::unordered_map<std::string, std::uint64_t> counts_;
-  std::unordered_map<std::string, std::unordered_set<btc::Address>> wallets_;
+  PoolId intern(const std::string& name);
+
+  std::vector<std::string> names_;                            // PoolId -> name
+  std::unordered_map<std::string, PoolId> ids_;               // name -> PoolId
+  std::uint64_t first_height_ = 0;
+  std::vector<PoolId> by_height_;                             // dense by height
+  std::vector<std::uint64_t> counts_;                         // PoolId-indexed
+  std::vector<std::unordered_set<btc::Address>> wallets_;     // PoolId-indexed
   std::uint64_t unidentified_ = 0;
   std::uint64_t total_blocks_ = 0;
 };

@@ -185,6 +185,11 @@ std::optional<btc::Chain> import_chain(const std::string& dir) {
 }
 
 LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
+  return import_chain(dir, policy, nullptr);
+}
+
+LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy,
+                                    btc::AddressTable* addresses) {
   LoadResult<btc::Chain> result;
   Loader ld(policy);
   std::vector<std::string> row;
@@ -247,6 +252,7 @@ LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
       btc::Coinbase cb;
       cb.tag = row[2];
       cb.reward_address = btc::Address{*reward_addr};
+      if (addresses != nullptr) addresses->intern(cb.reward_address);
       cb.reward = btc::Satoshi{*reward};
       blocks.emplace(*height,
                      RawBlock{*mined_at, std::move(cb), *count, line, false});
@@ -384,8 +390,10 @@ LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
                        "unparseable numeric field")) break;
         continue;
       }
+      const btc::Address owner_addr{*owner};
+      if (addresses != nullptr) addresses->intern(owner_addr);
       inputs_by_tx[row[0]].push_back(
-          btc::TxInput{*prev, static_cast<std::uint32_t>(*vout), btc::Address{*owner}});
+          btc::TxInput{*prev, static_cast<std::uint32_t>(*vout), owner_addr});
     }
   }
   if (ld.fatal) {
@@ -427,8 +435,10 @@ LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
                        "unparseable numeric field")) break;
         continue;
       }
+      const btc::Address to_addr{*to};
+      if (addresses != nullptr) addresses->intern(to_addr);
       outputs_by_tx[row[0]].push_back(
-          btc::TxOutput{btc::Address{*to}, btc::Satoshi{*value}});
+          btc::TxOutput{to_addr, btc::Satoshi{*value}});
     }
   }
   if (ld.fatal) {

@@ -31,6 +31,7 @@
 #include <unordered_map>
 
 #include "btc/chain.hpp"
+#include "btc/intern.hpp"
 #include "io/load_report.hpp"
 #include "node/snapshot.hpp"
 
@@ -52,6 +53,16 @@ std::optional<btc::Chain> import_chain(const std::string& dir);
 /// mode skips or repairs defective rows and still yields a chain unless
 /// the data was unusable (e.g. blocks.csv missing).
 LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy);
+
+/// Same import, additionally interning every wallet address the parse
+/// touches (coinbase rewards, input owners, output recipients) into
+/// @p addresses as rows stream in — the columnar audit layer
+/// (core::AuditDataset) reuses the table via
+/// AuditOptions::interned_addresses so the address universe is hashed
+/// once at load instead of once per audit. @p addresses may be null
+/// (identical to the overload above).
+LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy,
+                                    btc::AddressTable* addresses);
 
 bool export_snapshots(const node::SnapshotSeries& series, const std::string& path,
                       std::string* error = nullptr);

@@ -57,4 +57,31 @@ CongestionLevel SnapshotSeries::level_at(SimTime t, std::uint64_t unit_vsize) co
   return congestion_level(std::prev(it)->total_vsize, unit_vsize);
 }
 
+std::vector<CongestionLevel> SnapshotSeries::levels_for(
+    std::span<const SimTime> times, std::uint64_t unit_vsize) const {
+  std::vector<CongestionLevel> out;
+  out.reserve(times.size());
+  // i = one past the last snapshot with time <= the previous query.
+  std::size_t i = 0;
+  SimTime prev = 0;
+  bool have_prev = false;
+  for (const SimTime t : times) {
+    if (have_prev && t >= prev) {
+      while (i < stats_.size() && stats_[i].time <= t) ++i;
+    } else {
+      i = static_cast<std::size_t>(
+          std::upper_bound(stats_.begin(), stats_.end(), t,
+                           [](SimTime value, const MempoolStat& s) {
+                             return value < s.time;
+                           }) -
+          stats_.begin());
+    }
+    prev = t;
+    have_prev = true;
+    out.push_back(i == 0 ? CongestionLevel::kNone
+                         : congestion_level(stats_[i - 1].total_vsize, unit_vsize));
+  }
+  return out;
+}
+
 }  // namespace cn::node

@@ -59,6 +59,14 @@ class SnapshotSeries {
   /// at or before t (kNone before the first snapshot).
   CongestionLevel level_at(SimTime t, std::uint64_t unit_vsize = 1'000'000) const noexcept;
 
+  /// Batched level_at: one level per entry of @p times, in input order.
+  /// Ascending runs (the common case: first-seen series come out of a
+  /// chain scan) advance a cursor instead of paying a binary search per
+  /// query; an out-of-order entry falls back to the search, so the
+  /// result always equals calling level_at per element.
+  std::vector<CongestionLevel> levels_for(std::span<const SimTime> times,
+                                          std::uint64_t unit_vsize = 1'000'000) const;
+
   /// Windows where consecutive observations are more than
   /// @p gap_factor * @p expected_cadence apart — the observer was down.
   /// Requires expected_cadence > 0.

@@ -26,6 +26,14 @@ bool AccelerationService::is_accelerated(const btc::Txid& id) const noexcept {
   return records_.contains(id);
 }
 
+std::vector<bool> AccelerationService::accelerated_mask(
+    std::span<const btc::Txid> ids) const {
+  std::vector<bool> out;
+  out.reserve(ids.size());
+  for (const btc::Txid& id : ids) out.push_back(records_.contains(id));
+  return out;
+}
+
 std::optional<AccelerationRecord> AccelerationService::record_of(
     const btc::Txid& id) const {
   const auto it = records_.find(id);

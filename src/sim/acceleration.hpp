@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -57,6 +58,12 @@ class AccelerationService {
   /// Public query (the Table 4 validation path).
   bool is_accelerated(const btc::Txid& id) const noexcept;
   std::optional<AccelerationRecord> record_of(const btc::Txid& id) const;
+
+  /// Bulk form of is_accelerated(): one flag per txid, in input order.
+  /// The audit's Table 4 validation checks whole blocks of candidate
+  /// txids at a time; answering them in one call keeps the per-query
+  /// overhead out of the detector's hot loop.
+  std::vector<bool> accelerated_mask(std::span<const btc::Txid> ids) const;
 
   /// All txids accelerated through @p pool's service (for the pool's own
   /// prioritization pass).

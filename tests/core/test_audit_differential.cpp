@@ -1,0 +1,232 @@
+// Differential suite for the columnar audit refactor: the staged
+// pipeline over the AuditDataset (AuditEngine::kColumnar) must render a
+// report byte-identical to the pre-refactor object-graph monolith
+// (AuditEngine::kLegacy), at every thread count, on clean simulated data
+// AND on a fault-injected lenient load. Plus the --stages contract:
+// a deselected stage is reported as [SKIPPED], never silently absent.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "btc/intern.hpp"
+#include "core/audit_pipeline.hpp"
+#include "core/data_quality.hpp"
+#include "io/dataset_io.hpp"
+#include "sim/dataset.hpp"
+#include "testing/fault_injector.hpp"
+
+namespace cn::core {
+namespace {
+
+class AuditDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new sim::SimResult(sim::make_dataset(sim::DatasetKind::kC, 321, 0.25));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static sim::SimResult* world_;
+};
+
+sim::SimResult* AuditDifferentialTest::world_ = nullptr;
+
+std::string rendered(const AuditReport& report, bool with_timings = false) {
+  std::FILE* tmp = std::tmpfile();
+  print_audit_report(report, tmp, with_timings);
+  const long size = std::ftell(tmp);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::rewind(tmp);
+  const std::size_t read = std::fread(out.data(), 1, out.size(), tmp);
+  std::fclose(tmp);
+  out.resize(read);
+  return out;
+}
+
+std::string run_rendered(const btc::Chain& chain, const DataQualityReport* quality,
+                         AuditEngine engine, unsigned threads,
+                         const btc::Address* watch = nullptr) {
+  AuditOptions options;
+  options.engine = engine;
+  options.threads = threads;
+  if (watch != nullptr) options.watch_addresses.push_back(*watch);
+  const auto report = run_full_audit(
+      chain, btc::CoinbaseTagRegistry::paper_registry(), quality, options);
+  return rendered(report);
+}
+
+TEST_F(AuditDifferentialTest, EnginesRenderIdenticalBytesAtEveryThreadCount) {
+  const std::string oracle = run_rendered(world_->chain, nullptr,
+                                          AuditEngine::kLegacy, 1,
+                                          &world_->scam_address);
+  ASSERT_GT(oracle.size(), 200u);
+  // threads: 1 = serial, 4 = fixed lanes, 0 = hardware concurrency.
+  for (const unsigned threads : {1u, 4u, 0u}) {
+    EXPECT_EQ(oracle, run_rendered(world_->chain, nullptr,
+                                   AuditEngine::kColumnar, threads,
+                                   &world_->scam_address))
+        << "columnar(threads=" << threads << ") diverged from the oracle";
+    EXPECT_EQ(oracle, run_rendered(world_->chain, nullptr,
+                                   AuditEngine::kLegacy, threads,
+                                   &world_->scam_address))
+        << "legacy(threads=" << threads << ") is not thread-deterministic";
+  }
+}
+
+TEST_F(AuditDifferentialTest, EnginesAgreeOnCorruptedLenientLoad) {
+  const std::string clean = ::testing::TempDir() + "/cn_diff_clean";
+  const std::string dirty = ::testing::TempDir() + "/cn_diff_dirty";
+  std::filesystem::remove_all(clean);
+  std::filesystem::remove_all(dirty);
+  ASSERT_TRUE(io::export_chain(world_->chain, clean));
+  ASSERT_TRUE(io::export_snapshots(world_->observer.snapshots(),
+                                   clean + "/snapshots.csv"));
+  ASSERT_TRUE(io::export_first_seen(world_->observer.first_seen_map(),
+                                    clean + "/first_seen.csv"));
+
+  cn::testing::FaultOptions faults;
+  faults.row_corruption_rate = 0.02;
+  faults.snapshot_gaps = 1;
+  cn::testing::FaultInjector(77).inject_dataset(clean, dirty, faults);
+
+  const auto chain = io::import_chain(dirty, io::LoadPolicy::kLenient);
+  ASSERT_TRUE(chain.has_value()) << chain.report.summary();
+  const auto snapshots =
+      io::import_snapshots(dirty + "/snapshots.csv", io::LoadPolicy::kLenient);
+  ASSERT_TRUE(snapshots.has_value());
+  const auto first_seen =
+      io::import_first_seen(dirty + "/first_seen.csv", io::LoadPolicy::kLenient);
+  ASSERT_TRUE(first_seen.has_value());
+  const auto quality = assess_data_quality(*chain, &*snapshots, &*first_seen);
+
+  const std::string oracle =
+      run_rendered(*chain, &quality, AuditEngine::kLegacy, 1);
+  ASSERT_NE(oracle.find("data quality:"), std::string::npos);
+  for (const unsigned threads : {1u, 4u, 0u}) {
+    EXPECT_EQ(oracle,
+              run_rendered(*chain, &quality, AuditEngine::kColumnar, threads))
+        << "columnar(threads=" << threads
+        << ") diverged from the oracle on the corrupted load";
+  }
+  std::filesystem::remove_all(clean);
+  std::filesystem::remove_all(dirty);
+}
+
+TEST_F(AuditDifferentialTest, ImporterInternedTableChangesNothing) {
+  const std::string dir = ::testing::TempDir() + "/cn_diff_intern";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(io::export_chain(world_->chain, dir));
+
+  btc::AddressTable addresses;
+  const auto reloaded =
+      io::import_chain(dir, io::LoadPolicy::kStrict, &addresses);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_GT(addresses.size(), 0u);
+  // Every address the chain references came out interned.
+  for (const btc::Block& block : reloaded->blocks()) {
+    for (const btc::Transaction& tx : block.txs()) {
+      for (const btc::TxInput& in : tx.inputs()) {
+        EXPECT_NE(addresses.lookup(in.owner), btc::kNoAddressId);
+      }
+      for (const btc::TxOutput& out : tx.outputs()) {
+        EXPECT_NE(addresses.lookup(out.to), btc::kNoAddressId);
+      }
+    }
+  }
+
+  AuditOptions with_table;
+  with_table.threads = 1;
+  with_table.interned_addresses = &addresses;
+  AuditOptions without_table = with_table;
+  without_table.interned_addresses = nullptr;
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  EXPECT_EQ(rendered(run_full_audit(*reloaded, registry, with_table)),
+            rendered(run_full_audit(*reloaded, registry, without_table)));
+  std::filesystem::remove_all(dir);
+}
+
+// --- stage selection -------------------------------------------------------
+
+class AuditStagesTest : public AuditDifferentialTest {};
+
+TEST_F(AuditStagesTest, SkippedStageIsMarkedNotSilentlyAbsent) {
+  AuditOptions options;
+  options.threads = 1;
+  options.stages = {"norm-stats"};  // everything else deselected
+  options.watch_addresses.push_back(world_->scam_address);
+  const auto report = run_full_audit(
+      world_->chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+
+  EXPECT_FALSE(report.stage_skipped("build"));
+  EXPECT_FALSE(report.stage_skipped("quality-mask"));
+  EXPECT_FALSE(report.stage_skipped("norm-stats"));
+  EXPECT_TRUE(report.stage_skipped("pool-tests"));
+  EXPECT_TRUE(report.stage_skipped("screens"));
+  EXPECT_TRUE(report.stage_skipped("darkfee"));
+  EXPECT_TRUE(report.stage_skipped("neutrality"));
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.screens.empty());
+  EXPECT_TRUE(report.darkfee.empty());
+  EXPECT_TRUE(report.neutrality.empty());
+
+  const std::string text = rendered(report);
+  EXPECT_NE(text.find("[SKIPPED]"), std::string::npos)
+      << "skipped stages must be visible in the rendered report";
+  // Norm statistics (the one selected analysis) still printed for real.
+  EXPECT_EQ(text.find("norm-II adherence: [SKIPPED]"), std::string::npos);
+}
+
+TEST_F(AuditStagesTest, SkippingNormStatsMarksThatSectionToo) {
+  AuditOptions options;
+  options.threads = 1;
+  options.stages = {"darkfee"};
+  const auto report = run_full_audit(
+      world_->chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+  EXPECT_TRUE(report.stage_skipped("norm-stats"));
+  EXPECT_FALSE(report.stage_skipped("darkfee"));
+  EXPECT_FALSE(report.darkfee.empty());
+  const std::string text = rendered(report);
+  EXPECT_NE(text.find("norm-II adherence: [SKIPPED]"), std::string::npos);
+}
+
+TEST_F(AuditStagesTest, AllStagesSelectedMatchesDefault) {
+  AuditOptions all;
+  all.threads = 1;
+  all.stages = audit_stage_names();
+  AuditOptions none;
+  none.threads = 1;
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  EXPECT_EQ(rendered(run_full_audit(world_->chain, registry, all)),
+            rendered(run_full_audit(world_->chain, registry, none)));
+}
+
+TEST_F(AuditStagesTest, StagesAreTimedInExecutionOrder) {
+  AuditOptions options;
+  options.threads = 1;
+  const auto report = run_full_audit(
+      world_->chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+  ASSERT_EQ(report.stages.size(), audit_stage_names().size());
+  for (std::size_t i = 0; i < report.stages.size(); ++i) {
+    EXPECT_EQ(report.stages[i].name, audit_stage_names()[i]);
+    EXPECT_TRUE(report.stages[i].ran);
+    EXPECT_GE(report.stages[i].seconds, 0.0);
+  }
+  // The legacy oracle reports no stages (and never claims one skipped).
+  AuditOptions legacy = options;
+  legacy.engine = AuditEngine::kLegacy;
+  const auto oracle = run_full_audit(
+      world_->chain, btc::CoinbaseTagRegistry::paper_registry(), legacy);
+  EXPECT_TRUE(oracle.stages.empty());
+  EXPECT_FALSE(oracle.stage_skipped("darkfee"));
+
+  // The timings footer renders on demand and never in the default form.
+  EXPECT_EQ(rendered(report).find("stage timings"), std::string::npos);
+  EXPECT_NE(rendered(report, /*with_timings=*/true).find("stage timings"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cn::core

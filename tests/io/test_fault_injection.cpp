@@ -32,8 +32,13 @@ const sim::SimResult& shared_world() {
 
 class FaultInjectionTest : public ::testing::Test {
  protected:
-  std::string clean_ = ::testing::TempDir() + "/cn_fi_clean";
-  std::string dirty_ = ::testing::TempDir() + "/cn_fi_dirty";
+  // Suffix with the test name: ctest shards gtest cases into separate
+  // processes, so a shared directory would race under `ctest -j`.
+  std::string stem_ =
+      ::testing::TempDir() + "/cn_fi_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string clean_ = stem_ + "_clean";
+  std::string dirty_ = stem_ + "_dirty";
 
   void SetUp() override {
     std::filesystem::remove_all(clean_);

@@ -71,6 +71,35 @@ TEST(SnapshotSeries, LevelAtScaledUnit) {
   EXPECT_EQ(s.level_at(20, 1'000'000), CongestionLevel::kNone);
 }
 
+TEST(SnapshotSeries, LevelsForMatchesLevelAtInAnyOrder) {
+  SnapshotSeries s;
+  s.record({15, 1, 500'000});
+  s.record({30, 1, 3'000'000});
+  s.record({45, 1, 1'500'000});
+  s.record({90, 1, 5'000'000});
+  // Ascending run, a duplicate, then an out-of-order rewind.
+  const std::vector<SimTime> times = {5, 15, 16, 44, 45, 45, 100, 29, 91};
+  const auto levels = s.levels_for(times);
+  ASSERT_EQ(levels.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(levels[i], s.level_at(times[i])) << "t=" << times[i];
+  }
+  EXPECT_TRUE(s.levels_for({}).empty());
+  // The scaled unit reaches the batch too.
+  const auto scaled = s.levels_for(times, 100'000);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(scaled[i], s.level_at(times[i], 100'000)) << "t=" << times[i];
+  }
+}
+
+TEST(SnapshotSeries, LevelsForOnEmptySeriesIsAllNone) {
+  SnapshotSeries s;
+  const std::vector<SimTime> times = {1, 2, 3};
+  for (const CongestionLevel level : s.levels_for(times)) {
+    EXPECT_EQ(level, CongestionLevel::kNone);
+  }
+}
+
 TEST(SnapshotSeriesDeathTest, RejectsNonIncreasingTime) {
   SnapshotSeries s;
   s.record({30, 1, 1});

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI driver: builds the release and asan presets, runs the full test
 # suite under both, re-runs the concurrency-sensitive tests (the
-# ThreadPool and the parallel audit pipeline) under tsan, and runs the
-# fault-injection property suite under asan plus the ingestion
-# throughput bench (bench_out/BENCH_fault_ingest.json).
+# ThreadPool, the parallel audit pipeline, the columnar-vs-legacy
+# differential suite, and the fault-injection property suite) under
+# tsan, and runs the fault-injection suite under asan plus the
+# ingestion throughput bench (bench_out/BENCH_fault_ingest.json).
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the sanitizer configurations (release build + ctest only)
@@ -44,8 +45,12 @@ run ./build-release/bench/bench_fault_ingest
 
 echo "=== tsan: configure + build + concurrency tests ==="
 run cmake --preset tsan
-run cmake --build --preset tsan -j "${JOBS}" --target cn_tests_util cn_tests_core
+run cmake --build --preset tsan -j "${JOBS}" --target cn_tests_util cn_tests_core cn_tests_io
 run ./build-tsan/tests/cn_tests_util --gtest_filter='ThreadPool*'
-run ./build-tsan/tests/cn_tests_core --gtest_filter='AuditPipeline*'
+# The parallel audit fan-outs, the columnar-vs-legacy differential suite
+# (parallel AuditDataset build + staged pipeline), and the fault-injection
+# property tests all drive the thread pool; run them race-checked.
+run ./build-tsan/tests/cn_tests_core --gtest_filter='AuditPipeline*:AuditDifferential*:AuditStages*'
+run ./build-tsan/tests/cn_tests_io --gtest_filter='FaultInjection*'
 
 echo "=== all configurations passed ==="

@@ -9,14 +9,20 @@
 //       prioritization audit (Table 2 style), printing findings.
 //
 //   cnaudit report     --data DIR [--alpha P] [--threads N]
-//                      [--min-coverage F]
+//                      [--min-coverage F] [--stages CSV]
+//                      [--engine columnar|legacy] [--timings on|off]
 //       The whole §4-§5 methodology in one shot (run_full_audit):
 //       PPE, cross-pool findings with bootstrap CIs, dark-fee
 //       suspicion, and the neutrality scorecard. When snapshots.csv /
 //       first_seen.csv sit next to the chain they are graded into a
 //       data-quality report: blocks under --min-coverage are masked
 //       from the norm statistics and findings resting on them are
-//       downgraded to "insufficient data".
+//       downgraded to "insufficient data". --stages selects which
+//       analysis stages run (comma-separated names from
+//       audit_stage_names(); skipped stages print as [SKIPPED]);
+//       --engine legacy runs the pre-columnar oracle instead;
+//       --timings on appends the per-stage wall-time footer (off by
+//       default so the output stays byte-reproducible run to run).
 //
 // Every data-loading subcommand takes --policy strict|lenient
 // (default strict). Strict aborts at the first defective row and
@@ -38,12 +44,14 @@
 // Every subcommand works on exported data, so audits can be re-run (or
 // written by others, e.g. in Python against the same CSVs) without
 // re-simulating.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/audit_pipeline.hpp"
@@ -111,6 +119,7 @@ int usage() {
                "  simulate   --dataset A|B|C [--seed N] [--scale X] --out DIR\n"
                "  audit      --data DIR [--alpha P] [--min-share F]\n"
                "  report     --data DIR [--alpha P] [--threads N] [--min-coverage F]\n"
+               "             [--stages CSV] [--engine columnar|legacy] [--timings on|off]\n"
                "  neutrality --data DIR\n"
                "  ppe        --data DIR\n"
                "  darkfee    --data DIR [--pool NAME] [--sppe T]\n"
@@ -127,7 +136,8 @@ std::optional<io::LoadPolicy> parse_policy(const Args& args) {
   return std::nullopt;
 }
 
-std::optional<btc::Chain> load_chain(const Args& args) {
+std::optional<btc::Chain> load_chain(const Args& args,
+                                     btc::AddressTable* addresses = nullptr) {
   const auto dir = args.get("data");
   if (!dir) {
     std::fprintf(stderr, "cnaudit: --data DIR is required\n");
@@ -135,7 +145,7 @@ std::optional<btc::Chain> load_chain(const Args& args) {
   }
   const auto policy = parse_policy(args);
   if (!policy) return std::nullopt;
-  auto result = io::import_chain(*dir, *policy);
+  auto result = io::import_chain(*dir, *policy, addresses);
   if (!result.report.clean()) {
     std::fprintf(stderr, "cnaudit: %s: %s\n", dir->c_str(),
                  result.report.summary().c_str());
@@ -230,14 +240,53 @@ int cmd_audit(const Args& args) {
 }
 
 int cmd_report(const Args& args) {
-  const auto chain = load_chain(args);
+  const std::string timings = args.get_or("timings", "off");
+  if (timings != "on" && timings != "off") {
+    std::fprintf(stderr, "cnaudit: unknown --timings '%s' (want on|off)\n",
+                 timings.c_str());
+    return 2;
+  }
+  const bool with_timings = timings == "on";
+
+  // The importer interns every address it parses; the build stage then
+  // reuses the table instead of re-hashing the address universe.
+  btc::AddressTable addresses;
+  const auto chain = load_chain(args, &addresses);
   if (!chain) return 1;
   core::AuditOptions options;
   options.alpha = args.get_double("alpha", 0.001);
   // 0 = all hardware threads, 1 = serial; the report is byte-identical
-  // at any setting (DESIGN.md §7.2).
+  // at any setting (DESIGN.md §7.2, §9).
   options.threads = static_cast<unsigned>(args.get_u64("threads", 0));
   options.min_coverage = args.get_double("min-coverage", options.min_coverage);
+  options.interned_addresses = &addresses;
+
+  const std::string engine = args.get_or("engine", "columnar");
+  if (engine == "legacy") {
+    options.engine = core::AuditEngine::kLegacy;
+  } else if (engine != "columnar") {
+    std::fprintf(stderr, "cnaudit: unknown --engine '%s' (want columnar|legacy)\n",
+                 engine.c_str());
+    return 2;
+  }
+  if (const auto stages = args.get("stages")) {
+    const auto& known = core::audit_stage_names();
+    for (const std::string_view name : split(*stages, ',')) {
+      const std::string_view stage = trim(name);
+      if (stage.empty()) continue;
+      if (std::find(known.begin(), known.end(), stage) == known.end()) {
+        std::string all;
+        for (const std::string& k : known) {
+          if (!all.empty()) all += ",";
+          all += k;
+        }
+        std::fprintf(stderr, "cnaudit: unknown stage '%.*s' (known: %s)\n",
+                     static_cast<int>(stage.size()), stage.data(), all.c_str());
+        return 2;
+      }
+      options.stages.emplace_back(stage);
+    }
+  }
 
   // Grade coverage from whichever observer series were exported next to
   // the chain; with neither present the audit keeps the historical
@@ -272,12 +321,12 @@ int cmd_report(const Args& args) {
         first_seen.has_value() ? &*first_seen : nullptr);
     const auto report = core::run_full_audit(
         *chain, btc::CoinbaseTagRegistry::paper_registry(), &quality, options);
-    core::print_audit_report(report);
+    core::print_audit_report(report, stdout, with_timings);
     return 0;
   }
   const auto report = core::run_full_audit(
       *chain, btc::CoinbaseTagRegistry::paper_registry(), options);
-  core::print_audit_report(report);
+  core::print_audit_report(report, stdout, with_timings);
   return 0;
 }
 

@@ -27,6 +27,51 @@ foreach(subcommand audit report ppe neutrality darkfee)
   endif()
 endforeach()
 
+# Stage selection: a deselected stage must be visibly [SKIPPED], and an
+# unknown stage name must be rejected.
+execute_process(
+  COMMAND "${CNAUDIT}" report --data "${workdir}" --stages norm-stats,darkfee
+          --timings on
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report --stages failed (${rc}): ${out}${err}")
+endif()
+string(FIND "${out}" "[SKIPPED]" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "report --stages printed no [SKIPPED] marker: ${out}")
+endif()
+string(FIND "${out}" "stage timings" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "report --timings on printed no stage-timings footer: ${out}")
+endif()
+execute_process(
+  COMMAND "${CNAUDIT}" report --data "${workdir}" --stages frobnicate
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown --stages name unexpectedly succeeded")
+endif()
+string(FIND "${err}" "unknown stage" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "unknown stage error missing: ${err}")
+endif()
+
+# The legacy oracle engine must render the exact same report bytes.
+execute_process(
+  COMMAND "${CNAUDIT}" report --data "${workdir}" --engine legacy
+  RESULT_VARIABLE rc OUTPUT_VARIABLE legacy_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report --engine legacy failed (${rc}): ${legacy_out}${err}")
+endif()
+execute_process(
+  COMMAND "${CNAUDIT}" report --data "${workdir}" --engine columnar
+  RESULT_VARIABLE rc OUTPUT_VARIABLE columnar_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report --engine columnar failed (${rc}): ${columnar_out}${err}")
+endif()
+if(NOT columnar_out STREQUAL legacy_out)
+  message(FATAL_ERROR "legacy and columnar reports diverged:\n--- legacy ---\n${legacy_out}\n--- columnar ---\n${columnar_out}")
+endif()
+
 # Unknown command must fail with usage.
 execute_process(COMMAND "${CNAUDIT}" frobnicate RESULT_VARIABLE rc
                 OUTPUT_QUIET ERROR_QUIET)
