@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "core/audit_pipeline.hpp"
+#include "obs/registry.hpp"
 
 namespace {
 
@@ -108,6 +109,51 @@ int main(int argc, char** argv) {
   json.metric("reports_byte_identical", bytes_equal ? 1.0 : 0.0);
   if (!bytes_equal) {
     std::fprintf(stderr, "FATAL: columnar report diverged from the legacy oracle\n");
+    return 1;
+  }
+
+  // Observability overhead gate (DESIGN.md §10): the instrumented audit
+  // must stay within 2% of the same audit with the runtime obs switch
+  // off, and the report must not change by a byte either way. On/off
+  // reps are interleaved and each side takes its minimum, so clock
+  // drift, frequency scaling and cache warmth cancel instead of being
+  // billed to the instrumentation.
+  const auto timed_once = [&](core::AuditReport* out) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto report = core::run_full_audit(g_world->chain, registry,
+                                       options_for(core::AuditEngine::kColumnar));
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (out != nullptr) *out = std::move(report);
+    return s;
+  };
+  core::AuditReport lit_report, dark_report;
+  double lit_s = 1e300;
+  double dark_s = 1e300;
+  constexpr int kObsPairs = 5;
+  for (int rep = 0; rep < kObsPairs; ++rep) {
+    cn::obs::set_enabled(true);
+    lit_s = std::min(lit_s, timed_once(&lit_report));
+    cn::obs::set_enabled(false);
+    dark_s = std::min(dark_s, timed_once(&dark_report));
+  }
+  cn::obs::set_enabled(true);
+  const bool obs_bytes_equal = rendered(dark_report) == rendered(lit_report);
+  const double overhead = dark_s > 0.0 ? lit_s / dark_s - 1.0 : 0.0;
+  const bool overhead_ok = overhead <= 0.02;
+  std::printf("\n--- observability overhead ---\n");
+  std::printf("  obs on:  %8.3f s\n  obs off: %8.3f s   (%+.2f%%, budget 2%%, "
+              "reports %s)\n",
+              lit_s, dark_s, overhead * 100.0,
+              obs_bytes_equal ? "byte-identical" : "DIVERGED");
+  json.metric("obs_enabled_seconds", lit_s);
+  json.metric("obs_disabled_seconds", dark_s);
+  json.metric("obs_overhead_fraction", overhead);
+  json.metric("obs_overhead_ok", overhead_ok ? 1.0 : 0.0);
+  json.metric("obs_reports_byte_identical", obs_bytes_equal ? 1.0 : 0.0);
+  if (!obs_bytes_equal) {
+    std::fprintf(stderr, "FATAL: report changed when observability was disabled\n");
     return 1;
   }
   return cn::bench::run_microbenchmarks(argc, argv);

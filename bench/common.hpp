@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "obs/export.hpp"
 #include "sim/dataset.hpp"
 
 namespace cn::bench {
@@ -65,6 +66,11 @@ inline std::string out_dir() {
 /// When a "txs" metric was recorded, flush() derives "txs_per_s" from it
 /// and the wall time. Wall-clock use is confined to this harness — the
 /// simulation itself stays deterministic.
+///
+/// flush() also exports the cn::obs observability documents next to the
+/// report — BENCH_<name>.metrics.json and BENCH_<name>.trace.json
+/// (DESIGN.md §10) — so every bench run ships the registry counters and
+/// the stage timeline it produced.
 class JsonReport {
  public:
   explicit JsonReport(std::string name)
@@ -128,6 +134,9 @@ class JsonReport {
     std::fprintf(f, "%s}\n}\n", metrics_.empty() ? "" : "\n  ");
     std::fclose(f);
     std::printf("JSON: %s\n", path.c_str());
+
+    obs::write_metrics_json(out_dir() + "/BENCH_" + name_ + ".metrics.json");
+    obs::write_trace_json(out_dir() + "/BENCH_" + name_ + ".trace.json");
   }
 
  private:

@@ -6,6 +6,8 @@
 
 #include "core/ppe.hpp"
 #include "core/sppe.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,12 +22,31 @@ std::size_t vec_bytes(const std::vector<T>& v) noexcept {
   return v.capacity() * sizeof(T);
 }
 
+/// Build telemetry (DESIGN.md §10). Intern hits/misses are tallied into
+/// plain locals inside the scan and recorded once at the end, so the
+/// per-output path costs nothing beyond the comparison it already does.
+struct BuildMetrics {
+  obs::Counter builds{"core.audit_dataset.builds"};
+  obs::Counter blocks{"core.audit_dataset.blocks"};
+  obs::Counter txs{"core.audit_dataset.txs"};
+  obs::Counter intern_hits{"core.audit_dataset.intern_hits"};
+  obs::Counter intern_misses{"core.audit_dataset.intern_misses"};
+  obs::Gauge memory_bytes{"core.audit_dataset.memory_bytes"};
+  obs::Gauge bytes_per_tx{"core.audit_dataset.bytes_per_tx"};
+};
+
+BuildMetrics& build_metrics() {
+  static BuildMetrics* m = new BuildMetrics();  // interned once per process
+  return *m;
+}
+
 }  // namespace
 
 AuditDataset AuditDataset::build(const btc::Chain& chain,
                                  const PoolAttribution& attribution,
                                  util::ThreadPool& workers,
                                  const btc::AddressTable* interned_addresses) {
+  const obs::Span span("core.audit_dataset.build");
   AuditDataset ds;
   const std::size_t nblocks = chain.size();
   const std::size_t npools = attribution.pool_count();
@@ -86,6 +107,8 @@ AuditDataset AuditDataset::build(const btc::Chain& chain,
 
   const btc::FeeRate floor = btc::FeeRate::from_sat_per_vb(1);
   std::vector<PoolId> involved;
+  std::uint64_t intern_hits = 0;
+  std::uint64_t intern_misses = 0;
   TxIdx t = 0;
   std::uint32_t out_off = 0;
   for (std::size_t b = 0; b < nblocks; ++b) {
@@ -100,7 +123,13 @@ AuditDataset AuditDataset::build(const btc::Chain& chain,
 
       ds.out_begin_.push_back(out_off);
       for (const btc::TxOutput& o : tx.outputs()) {
+        const std::size_t before = ds.addresses_.size();
         ds.out_addr_.push_back(ds.addresses_.intern(o.to));
+        if (ds.addresses_.size() == before) {
+          ++intern_hits;
+        } else {
+          ++intern_misses;
+        }
         ++out_off;
       }
 
@@ -149,6 +178,17 @@ AuditDataset AuditDataset::build(const btc::Chain& chain,
     }
   });
 
+  BuildMetrics& m = build_metrics();
+  m.builds.add();
+  m.blocks.add(nblocks);
+  m.txs.add(ntxs);
+  m.intern_hits.add(intern_hits);
+  m.intern_misses.add(intern_misses);
+  const std::size_t bytes = ds.memory_bytes();
+  m.memory_bytes.set(static_cast<double>(bytes));
+  m.bytes_per_tx.set(ntxs == 0 ? 0.0
+                               : static_cast<double>(bytes) /
+                                     static_cast<double>(ntxs));
   return ds;
 }
 

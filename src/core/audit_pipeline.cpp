@@ -15,6 +15,8 @@
 #include "core/ppe.hpp"
 #include "core/report.hpp"
 #include "core/sppe.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -45,10 +47,40 @@ bool stage_selected(const AuditOptions& options, std::string_view name) {
   return false;
 }
 
+/// Per-stage telemetry handles, interned once per process. Every stage
+/// gets a runs counter, a last-wall-time gauge, and a latency histogram
+/// ("audit.stage.<name>.*"); the whole pipeline gets a runs counter and
+/// a span named "audit.run_full_audit".
+struct StageMetrics {
+  obs::Counter runs;
+  obs::Gauge last_seconds;
+  obs::Histogram seconds;
+
+  explicit StageMetrics(const std::string& stage)
+      : runs("audit.stage." + stage + ".runs"),
+        last_seconds("audit.stage." + stage + ".last_seconds"),
+        seconds("audit.stage." + stage + ".seconds",
+                obs::latency_seconds_buckets()) {}
+};
+
+StageMetrics& stage_metrics(std::size_t stage_index) {
+  static std::vector<StageMetrics>* all = [] {
+    auto* v = new std::vector<StageMetrics>();
+    v->reserve(audit_stage_names().size());
+    for (const std::string& name : audit_stage_names()) v->emplace_back(name);
+    return v;
+  }();
+  return (*all)[stage_index];
+}
+
 AuditReport run_full_audit_columnar(const btc::Chain& chain,
                                     const btc::CoinbaseTagRegistry& registry,
                                     const DataQualityReport* quality,
                                     const AuditOptions& options) {
+  static obs::Counter audit_runs("audit.runs");
+  const obs::Span run_span("audit.run_full_audit");
+  audit_runs.add();
+
   AuditReport report;
   report.options = options;
   report.blocks = chain.size();
@@ -59,17 +91,24 @@ AuditReport run_full_audit_columnar(const btc::Chain& chain,
 
   // Runs one named stage (when selected) and records its wall time.
   // "build" and "quality-mask" pass always=true: every later stage reads
-  // their output, and the report header depends on them.
+  // their output, and the report header depends on them. Stages are
+  // invoked in audit_stage_names() order, so report.stages.size() is the
+  // index into the interned per-stage metric handles.
   const auto stage = [&](const char* name, bool always, auto&& body) {
     AuditStage s;
     s.name = name;
     s.ran = always || stage_selected(options, name);
     if (s.ran) {
+      StageMetrics& m = stage_metrics(report.stages.size());
+      const obs::Span span(std::string("audit.stage.") + name);
       const auto t0 = std::chrono::steady_clock::now();
       body();
       s.seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
+      m.runs.add();
+      m.last_seconds.set(s.seconds);
+      m.seconds.observe(s.seconds);
     }
     report.stages.push_back(std::move(s));
   };

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 
 namespace cn::io {
@@ -124,6 +126,48 @@ struct Loader {
   }
 };
 
+/// Ingest telemetry (DESIGN.md §10), recorded ONCE per import from the
+/// finished LoadReport — the per-row parse loops stay untouched. All
+/// rejected.* counters are interned eagerly so the exported key set is
+/// identical whether or not a given defect kind occurred.
+struct IngestMetrics {
+  obs::Counter imports{"io.ingest.imports"};
+  obs::Counter imports_failed{"io.ingest.imports_failed"};
+  obs::Counter rows_read{"io.ingest.rows_read"};
+  obs::Counter rows_skipped{"io.ingest.rows_skipped"};
+  obs::Counter rows_repaired{"io.ingest.rows_repaired"};
+  std::vector<obs::Counter> rejected;  ///< indexed by LoadErrorKind
+
+  IngestMetrics() {
+    constexpr LoadErrorKind kKinds[] = {
+        LoadErrorKind::kFileOpen,          LoadErrorKind::kMissingHeader,
+        LoadErrorKind::kBadFieldCount,     LoadErrorKind::kBadNumber,
+        LoadErrorKind::kBadTxid,           LoadErrorKind::kDuplicateHeight,
+        LoadErrorKind::kDuplicateTxPosition, LoadErrorKind::kDuplicateTxid,
+        LoadErrorKind::kOutOfOrderRow,     LoadErrorKind::kTxCountMismatch,
+        LoadErrorKind::kBadPositionSequence, LoadErrorKind::kMissingBlockRow,
+        LoadErrorKind::kUnterminatedQuote};
+    rejected.reserve(std::size(kKinds));
+    for (const LoadErrorKind kind : kKinds) {
+      rejected.emplace_back(std::string("io.ingest.rejected.") +
+                            to_string(kind));
+    }
+  }
+};
+
+void record_ingest_metrics(const LoadReport& report) {
+  static IngestMetrics* m = new IngestMetrics();  // interned once per process
+  m->imports.add();
+  if (!report.ok) m->imports_failed.add();
+  m->rows_read.add(report.rows_read);
+  m->rows_skipped.add(report.rows_skipped);
+  m->rows_repaired.add(report.rows_repaired);
+  for (const LoadError& e : report.errors) {
+    const auto k = static_cast<std::size_t>(e.kind);
+    if (k < m->rejected.size()) m->rejected[k].add();
+  }
+}
+
 }  // namespace
 
 bool export_chain(const btc::Chain& chain, const std::string& dir,
@@ -188,8 +232,11 @@ LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
   return import_chain(dir, policy, nullptr);
 }
 
-LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy,
-                                    btc::AddressTable* addresses) {
+namespace {
+
+LoadResult<btc::Chain> import_chain_impl(const std::string& dir,
+                                         LoadPolicy policy,
+                                         btc::AddressTable* addresses) {
   LoadResult<btc::Chain> result;
   Loader ld(policy);
   std::vector<std::string> row;
@@ -551,6 +598,16 @@ LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy,
   return result;
 }
 
+}  // namespace
+
+LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy,
+                                    btc::AddressTable* addresses) {
+  const obs::Span span("io.import_chain");
+  LoadResult<btc::Chain> result = import_chain_impl(dir, policy, addresses);
+  record_ingest_metrics(result.report);
+  return result;
+}
+
 bool export_snapshots(const node::SnapshotSeries& series, const std::string& path,
                       std::string* error) {
   TmpCsv csv(path);
@@ -567,8 +624,10 @@ std::optional<node::SnapshotSeries> import_snapshots(const std::string& path) {
   return std::move(import_snapshots(path, LoadPolicy::kStrict).value);
 }
 
-LoadResult<node::SnapshotSeries> import_snapshots(const std::string& path,
-                                                  LoadPolicy policy) {
+namespace {
+
+LoadResult<node::SnapshotSeries> import_snapshots_impl(const std::string& path,
+                                                       LoadPolicy policy) {
   LoadResult<node::SnapshotSeries> result;
   Loader ld(policy);
   CsvReader in(path);
@@ -639,6 +698,16 @@ LoadResult<node::SnapshotSeries> import_snapshots(const std::string& path,
   return result;
 }
 
+}  // namespace
+
+LoadResult<node::SnapshotSeries> import_snapshots(const std::string& path,
+                                                  LoadPolicy policy) {
+  const obs::Span span("io.import_snapshots");
+  LoadResult<node::SnapshotSeries> result = import_snapshots_impl(path, policy);
+  record_ingest_metrics(result.report);
+  return result;
+}
+
 bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path,
                        std::string* error) {
   TmpCsv csv(path);
@@ -655,8 +724,10 @@ std::optional<FirstSeenMap> import_first_seen(const std::string& path) {
   return std::move(import_first_seen(path, LoadPolicy::kStrict).value);
 }
 
-LoadResult<FirstSeenMap> import_first_seen(const std::string& path,
-                                           LoadPolicy policy) {
+namespace {
+
+LoadResult<FirstSeenMap> import_first_seen_impl(const std::string& path,
+                                                LoadPolicy policy) {
   LoadResult<FirstSeenMap> result;
   Loader ld(policy);
   CsvReader in(path);
@@ -704,6 +775,16 @@ LoadResult<FirstSeenMap> import_first_seen(const std::string& path,
   }
   result.value = std::move(out);
   result.report = std::move(ld.report);
+  return result;
+}
+
+}  // namespace
+
+LoadResult<FirstSeenMap> import_first_seen(const std::string& path,
+                                           LoadPolicy policy) {
+  const obs::Span span("io.import_first_seen");
+  LoadResult<FirstSeenMap> result = import_first_seen_impl(path, policy);
+  record_ingest_metrics(result.report);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace cn::node {
@@ -9,6 +10,25 @@ namespace cn::node {
 namespace {
 
 bool is_real_outpoint(const btc::TxInput& in) { return !in.prev_txid.is_null(); }
+
+/// Admission/eviction telemetry (DESIGN.md §10), aggregated across every
+/// Mempool instance in the process (the per-instance evicted_/replaced_/
+/// expired_ members remain the authoritative per-pool numbers).
+struct MempoolMetrics {
+  obs::Counter accepted{"node.mempool.accepted"};
+  obs::Counter rejected_duplicate{"node.mempool.rejected_duplicate"};
+  obs::Counter rejected_min_fee{"node.mempool.rejected_min_fee"};
+  obs::Counter rejected_conflict{"node.mempool.rejected_conflict"};
+  obs::Counter rejected_full{"node.mempool.rejected_full"};
+  obs::Counter evicted{"node.mempool.evicted"};
+  obs::Counter replaced{"node.mempool.replaced"};
+  obs::Counter expired{"node.mempool.expired"};
+};
+
+MempoolMetrics& metrics() {
+  static MempoolMetrics* m = new MempoolMetrics();  // interned once per process
+  return *m;
+}
 
 }  // namespace
 
@@ -57,27 +77,40 @@ bool Mempool::make_room(const btc::Transaction& incoming) {
     // Copy before remove_subtree: unlink erases the index node.
     const btc::Txid worst_id = floor_it->second;
     ++evicted_;
+    metrics().evicted.add();
     remove_subtree(worst_id);
   }
   return true;
 }
 
 AcceptResult Mempool::accept(btc::Transaction tx, SimTime now) {
-  if (entries_.contains(tx.id())) return AcceptResult::kDuplicate;
+  MempoolMetrics& m = metrics();
+  if (entries_.contains(tx.id())) {
+    m.rejected_duplicate.add();
+    return AcceptResult::kDuplicate;
+  }
   if (min_rate_.valid() && min_rate_.fee().value > 0 && tx.fee_rate() < min_rate_) {
+    m.rejected_min_fee.add();
     return AcceptResult::kBelowMinFeeRate;
   }
 
   const std::vector<btc::Txid> conflicts = conflicts_of(tx);
   if (!conflicts.empty()) {
-    if (!replacement_allowed(tx, conflicts)) return AcceptResult::kConflictRejected;
+    if (!replacement_allowed(tx, conflicts)) {
+      m.rejected_conflict.add();
+      return AcceptResult::kConflictRejected;
+    }
     for (const btc::Txid& id : conflicts) {
       ++replaced_;
+      m.replaced.add();
       remove_subtree(id);
     }
   }
 
-  if (!make_room(tx)) return AcceptResult::kMempoolFull;
+  if (!make_room(tx)) {
+    m.rejected_full.add();
+    return AcceptResult::kMempoolFull;
+  }
 
   total_vsize_ += tx.vsize();
   const btc::Txid id = tx.id();
@@ -88,6 +121,7 @@ AcceptResult Mempool::accept(btc::Transaction tx, SimTime now) {
   }
   by_rate_.emplace(tx.fee_rate(), id);
   entries_.emplace(id, MempoolEntry{std::move(tx), now});
+  m.accepted.add();
   return AcceptResult::kAccepted;
 }
 
@@ -137,6 +171,7 @@ std::vector<btc::Txid> Mempool::expire_before(SimTime cutoff) {
     dropped.push_back(id);
     remove_subtree(id);
     ++expired_;
+    metrics().expired.add();
   }
   return dropped;
 }

@@ -1,0 +1,150 @@
+#include "obs/export.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace cn::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips doubles; trim a trailing ".0"-less integer form.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = wrote == body.size() && std::fclose(f) == 0;
+  if (!ok && wrote != body.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+std::string metrics_json_string(bool with_meta) {
+  const std::vector<MetricValue> metrics = snapshot();
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"cn.obs.metrics/1\",\n";
+  if (with_meta) {
+    out += "  \"wall_unix_seconds\": ";
+    append_number(
+        out, std::chrono::duration<double>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count());
+    out += ",\n";
+  }
+
+  const auto emit_section = [&](const char* title, MetricKind kind,
+                                bool trailing_comma) {
+    out += "  \"";
+    out += title;
+    out += "\": {";
+    bool first = true;
+    for (const MetricValue& m : metrics) {
+      if (m.kind != kind) continue;
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"";
+      append_escaped(out, m.name);
+      out += "\": ";
+      if (kind == MetricKind::kHistogram) {
+        out += "{\"buckets\": [";
+        for (std::size_t i = 0; i < m.bucket_uppers.size(); ++i) {
+          if (i > 0) out += ", ";
+          append_number(out, m.bucket_uppers[i]);
+        }
+        out += "], \"counts\": [";
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          if (i > 0) out += ", ";
+          append_u64(out, m.bucket_counts[i]);
+        }
+        out += "], \"count\": ";
+        append_u64(out, m.count);
+        out += ", \"sum\": ";
+        append_number(out, m.sum);
+        out += "}";
+      } else if (kind == MetricKind::kCounter) {
+        append_u64(out, static_cast<std::uint64_t>(m.value));
+      } else {
+        append_number(out, m.value);
+      }
+    }
+    out += first ? "}" : "\n  }";
+    out += trailing_comma ? ",\n" : "\n";
+  };
+
+  emit_section("counters", MetricKind::kCounter, true);
+  emit_section("gauges", MetricKind::kGauge, true);
+  emit_section("histograms", MetricKind::kHistogram, false);
+  out += "}\n";
+  return out;
+}
+
+bool write_metrics_json(const std::string& path, bool with_meta) {
+  return write_file(path, metrics_json_string(with_meta));
+}
+
+bool write_trace_json(const std::string& path) {
+  const std::vector<TraceEvent> events = timeline_events();
+  std::string out;
+  out.reserve(256 + events.size() * 128);
+  out += "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": \"";
+    append_escaped(out, e.name);
+    out += "\", \"cat\": \"cn\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    append_u64(out, e.thread);
+    out += ", \"ts\": ";
+    append_number(out, static_cast<double>(e.start_ns) / 1000.0);
+    out += ", \"dur\": ";
+    append_number(out, static_cast<double>(e.dur_ns) / 1000.0);
+    out += ", \"args\": {\"span\": ";
+    append_u64(out, e.id);
+    out += ", \"parent\": ";
+    append_u64(out, e.parent);
+    out += "}}";
+  }
+  out += events.empty() ? "]" : "\n]";
+  out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return write_file(path, out);
+}
+
+}  // namespace cn::obs

@@ -1,0 +1,39 @@
+// Metric / trace serialization (DESIGN.md §10).
+//
+// Two documents, written on demand (cnaudit --metrics-out, bench
+// harness, tests):
+//
+//   metrics.json — every registered metric, merged across shards.
+//     Schema-stable by construction: keys are the sorted metric names,
+//     values are plain numbers (counters/gauges) or
+//     {buckets, counts, count, sum} objects (histograms). The default
+//     document carries NO wall-clock timestamps, so two runs of the
+//     same deterministic workload differ only where genuinely
+//     nondeterministic quantities (latency histograms, seconds gauges)
+//     differ — never in the key set.
+//
+//   trace.json — the Timeline's spans in Chrome "trace event" format
+//     (chrome://tracing, ui.perfetto.dev): complete ("ph":"X") events
+//     with microsecond start/duration, one row per recording thread,
+//     parent span ids under "args".
+//
+// Writers return false on I/O failure and never throw.
+#pragma once
+
+#include <string>
+
+namespace cn::obs {
+
+/// Serializes the current Registry snapshot (see registry.hpp) to
+/// @p path. @p with_meta adds a "wall_unix_seconds" stamp — off by
+/// default so documents stay reproducible.
+bool write_metrics_json(const std::string& path, bool with_meta = false);
+
+/// Serializes the Timeline to @p path in Chrome trace format.
+bool write_trace_json(const std::string& path);
+
+/// The metrics document as a string (what write_metrics_json writes;
+/// exposed for the determinism tests).
+std::string metrics_json_string(bool with_meta = false);
+
+}  // namespace cn::obs

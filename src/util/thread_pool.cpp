@@ -1,9 +1,37 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
+#include "obs/registry.hpp"
+
 namespace cn::util {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter workers_spawned{"util.thread_pool.workers_spawned"};
+  obs::Counter tasks_submitted{"util.thread_pool.tasks_submitted"};
+  obs::Counter tasks_inline{"util.thread_pool.tasks_inline"};
+  obs::Counter idle_ns{"util.thread_pool.idle_ns"};
+  obs::Histogram queue_depth{"util.thread_pool.queue_depth",
+                             obs::depth_buckets()};
+  obs::Histogram task_seconds{"util.thread_pool.task_seconds",
+                              obs::latency_seconds_buckets()};
+};
+
+PoolMetrics& metrics() {
+  static PoolMetrics* m = new PoolMetrics();  // interned once per process
+  return *m;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 unsigned resolve_threads(unsigned requested) noexcept {
   if (requested != 0) return requested;
@@ -16,6 +44,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   for (unsigned i = 0; i + 1 < lanes; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  metrics().workers_spawned.add(workers_.size());
 }
 
 ThreadPool::~ThreadPool() {
@@ -28,30 +57,41 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& m = metrics();
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      const auto idle_start = std::chrono::steady_clock::now();
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      m.idle_ns.add(static_cast<std::uint64_t>(seconds_since(idle_start) * 1e9));
       // Drain the queue even when stopping so ~ThreadPool never drops
       // submitted work.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();
+    m.task_seconds.observe(seconds_since(t0));
   }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& m = metrics();
   if (workers_.empty()) {
+    m.tasks_inline.add();
     task();
     return;
   }
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  m.tasks_submitted.add();
+  m.queue_depth.observe(static_cast<double>(depth));
   wake_.notify_one();
 }
 
@@ -59,6 +99,8 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    // Inline path: exceptions propagate directly — there is no shared
+    // state a concurrent helper could still be reading.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -66,22 +108,40 @@ void ThreadPool::parallel_for(std::size_t n,
   struct Shared {
     std::atomic<std::size_t> next{0};
     std::atomic<unsigned> pending{0};
+    std::atomic<bool> failed{false};
     std::mutex mutex;
     std::condition_variable done;
+    std::exception_ptr first_error;  // guarded by mutex
   };
   auto shared = std::make_shared<Shared>();
   const unsigned helpers = static_cast<unsigned>(
       std::min<std::size_t>(workers_.size(), n - 1));
   shared->pending.store(helpers, std::memory_order_relaxed);
 
-  for (unsigned t = 0; t < helpers; ++t) {
-    // fn outlives the tasks: the caller blocks below until pending == 0,
-    // and every helper touches fn only before decrementing pending.
-    submit([shared, n, &fn] {
-      std::size_t i;
-      while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) {
-        fn(i);
+  // Claims indices until exhausted or a failure is flagged; records the
+  // first exception. Shared by helpers and the calling thread so the
+  // failure semantics cannot diverge between them.
+  const auto drain = [n](Shared& s, const std::function<void(std::size_t)>& f) {
+    std::size_t i;
+    while ((i = s.next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      if (s.failed.load(std::memory_order_acquire)) return;
+      try {
+        f(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.first_error) s.first_error = std::current_exception();
+        s.failed.store(true, std::memory_order_release);
+        return;
       }
+    }
+  };
+
+  for (unsigned t = 0; t < helpers; ++t) {
+    // fn outlives the tasks: the caller ALWAYS blocks below until
+    // pending == 0 — including when its own fn(i) threw — and every
+    // helper touches fn only before decrementing pending.
+    submit([shared, &fn, drain] {
+      drain(*shared, fn);
       if (shared->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(shared->mutex);
         shared->done.notify_all();
@@ -89,13 +149,13 @@ void ThreadPool::parallel_for(std::size_t n,
     });
   }
 
-  std::size_t i;
-  while ((i = shared->next.fetch_add(1, std::memory_order_relaxed)) < n) fn(i);
+  drain(*shared, fn);
 
   std::unique_lock<std::mutex> lock(shared->mutex);
   shared->done.wait(lock, [&] {
     return shared->pending.load(std::memory_order_acquire) == 0;
   });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
 }
 
 }  // namespace cn::util

@@ -10,12 +10,27 @@
 //
 // ThreadPool(1) spawns no workers and runs everything inline on the
 // calling thread, which keeps the serial path trivially identical.
+//
+// Exception safety: parallel_for / parallel_map capture the first
+// exception any fn(i) throws (on a worker or the calling thread), keep
+// draining the remaining indices, wait for every helper to finish, and
+// rethrow in the caller — so a throwing fn can never unwind the caller
+// while helpers still reference its stack frame. Fire-and-forget
+// submit() tasks must not throw (nothing can receive the exception).
+//
+// Observability (DESIGN.md §10): the pool reports
+//   util.thread_pool.workers_spawned / tasks_submitted / tasks_inline
+//   counters, util.thread_pool.queue_depth (depth after each enqueue)
+//   and .task_seconds (per dequeued task) histograms, and
+//   .idle_seconds_total — time workers spent blocked waiting for work —
+//   as a gauge-like counter in nanoseconds (idle_ns).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -44,14 +59,20 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size()) + 1;
   }
 
-  /// Enqueues a fire-and-forget task. Tasks must not throw. With no
-  /// workers (threads() == 1) the task runs inline.
+  /// Enqueues a fire-and-forget task. Tasks must not throw (there is no
+  /// caller left to receive the exception; a throwing submitted task
+  /// terminates the process). With no workers (threads() == 1) the task
+  /// runs inline. Tasks still queued at destruction time are drained,
+  /// never dropped.
   void submit(std::function<void()> task);
 
   /// Runs fn(i) for every i in [0, n), distributing indices over the
   /// workers plus the calling thread; returns when all n calls finished.
-  /// fn must not throw and must be safe to invoke concurrently on
-  /// distinct indices. Not reentrant from inside a pool task.
+  /// fn must be safe to invoke concurrently on distinct indices. If one
+  /// or more fn(i) throw, every index is still visited or abandoned
+  /// deterministically (indices claimed after the first failure are
+  /// skipped), all helpers quiesce, and the first captured exception is
+  /// rethrown here. Not reentrant from inside a pool task.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// parallel_for that collects fn(i) into a vector in index order. The

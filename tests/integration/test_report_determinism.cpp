@@ -1,0 +1,149 @@
+// Determinism of the audit with observability enabled.
+//
+// The obs layer must be write-only with respect to results: the rendered
+// audit report has to come out byte-identical whatever the thread count,
+// however often the audit has already run in this process, and whether
+// metrics are being recorded or not. The metrics document itself must be
+// schema-stable — sorted keys, no timestamps, identical key set across
+// runs — so diffs between two runs are pure value deltas.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "btc/coinbase_tags.hpp"
+#include "core/audit_pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "sim/dataset.hpp"
+
+namespace cn {
+namespace {
+
+std::string rendered(const core::AuditReport& report) {
+  std::FILE* tmp = std::tmpfile();
+  core::print_audit_report(report, tmp);
+  const long size = std::ftell(tmp);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::rewind(tmp);
+  const std::size_t read = std::fread(out.data(), 1, out.size(), tmp);
+  std::fclose(tmp);
+  out.resize(read);
+  return out;
+}
+
+/// Keys of a flat metrics document, in file order (good enough for a
+/// schema check: every key in this JSON is a quoted string followed by
+/// a colon).
+std::vector<std::string> json_keys(const std::string& doc) {
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    if (doc[i] != '"') continue;
+    const std::size_t end = doc.find('"', i + 1);
+    if (end == std::string::npos) break;
+    std::size_t after = end + 1;
+    while (after < doc.size() && (doc[after] == ' ' || doc[after] == '\n')) ++after;
+    if (after < doc.size() && doc[after] == ':') {
+      keys.push_back(doc.substr(i + 1, end - i - 1));
+    }
+    i = end;
+  }
+  return keys;
+}
+
+class ReportDeterminism : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new sim::SimResult(sim::make_dataset(sim::DatasetKind::kA, 7, 0.35));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static std::string audit_bytes(unsigned threads) {
+    core::AuditOptions options;
+    options.threads = threads;
+    options.watch_addresses.push_back(world_->scam_address);
+    const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+    return rendered(core::run_full_audit(world_->chain, registry, options));
+  }
+
+  static sim::SimResult* world_;
+};
+
+sim::SimResult* ReportDeterminism::world_ = nullptr;
+
+TEST_F(ReportDeterminism, ReportBytesStableAcrossThreadCounts) {
+  obs::set_enabled(true);
+  const std::string serial = audit_bytes(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, audit_bytes(4)) << "threads=4 changed the report";
+  EXPECT_EQ(serial, audit_bytes(0)) << "threads=hw changed the report";
+}
+
+TEST_F(ReportDeterminism, ReportBytesStableAcrossRepeatsAndObsSwitch) {
+  obs::set_enabled(true);
+  const std::string first = audit_bytes(0);
+  const std::string second = audit_bytes(0);
+  EXPECT_EQ(first, second) << "re-running the audit changed the report";
+
+  obs::set_enabled(false);
+  const std::string dark = audit_bytes(0);
+  obs::set_enabled(true);
+  EXPECT_EQ(first, dark) << "disabling observability changed the report";
+}
+
+TEST_F(ReportDeterminism, MetricsDocumentIsSchemaStable) {
+  obs::set_enabled(true);
+  (void)audit_bytes(0);
+  const std::string doc1 = obs::metrics_json_string();
+  (void)audit_bytes(4);
+  const std::string doc2 = obs::metrics_json_string();
+
+  // Same key set in the same order on every scrape: keys are sorted by
+  // the snapshot, and counters only ever accumulate — they never appear
+  // or vanish between runs once touched.
+  const auto keys1 = json_keys(doc1);
+  const auto keys2 = json_keys(doc2);
+  ASSERT_FALSE(keys1.empty());
+  EXPECT_EQ(keys1, keys2);
+  // Metric names are sorted within each section (counters, gauges,
+  // histograms), not across the whole file. The stage metrics land one
+  // suffix per section, so per-suffix monotonicity is the sortedness
+  // guarantee we can and should hold the exporter to.
+  for (const std::string suffix : {".runs", ".last_seconds", ".seconds"}) {
+    std::vector<std::string> stage_keys;
+    for (const auto& k : keys1) {
+      if (k.rfind("audit.stage.", 0) == 0 &&
+          k.size() >= suffix.size() &&
+          k.compare(k.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        stage_keys.push_back(k);
+      }
+    }
+    EXPECT_GE(stage_keys.size(), 7u) << suffix;
+    EXPECT_TRUE(std::is_sorted(stage_keys.begin(), stage_keys.end()))
+        << "stage metrics with suffix " << suffix << " not sorted";
+  }
+
+  // No timestamps (or any other wall-clock residue) in the default doc.
+  EXPECT_EQ(doc1.find("time"), std::string::npos);
+  EXPECT_EQ(doc1.find("date"), std::string::npos);
+
+  // The document is self-labelling.
+  EXPECT_NE(doc1.find("\"cn.obs.metrics/1\""), std::string::npos);
+
+  // Audit instrumentation present: run counter plus every stage.
+  EXPECT_NE(doc1.find("\"audit.runs\""), std::string::npos);
+  for (const std::string& stage : core::audit_stage_names()) {
+    EXPECT_NE(doc1.find("\"audit.stage." + stage + ".runs\""),
+              std::string::npos)
+        << stage;
+  }
+  EXPECT_NE(doc2.find("\"util.thread_pool.task_seconds\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,0 +1,159 @@
+// Golden-value tests for the hypothesis-test stack (binomial, Fisher,
+// KS, special functions) against references computed independently of
+// this implementation — exact rational arithmetic (Fraction) where n is
+// small, 60-digit Decimal arithmetic elsewhere. No scipy, no libm: the
+// references share no code path with what they check.
+//
+// Tolerances: well-conditioned values are asserted to 1e-12 RELATIVE.
+// The n = 10^6 extreme tails are asserted on the log scale with a wider
+// budget: binomial_log_pmf seeds the tail recurrence from lgamma at
+// arguments ~1e6, where lgamma's few-ulp error is ~1e-8 ABSOLUTE in the
+// log (ulp(1.3e7) ~ 2e-9) — 1e-12 is not achievable there by any
+// lgamma-based implementation, and pretending otherwise would just test
+// the local libm build.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/binomial.hpp"
+#include "stats/fisher.hpp"
+#include "stats/ks.hpp"
+#include "stats/normal.hpp"
+#include "stats/special.hpp"
+
+namespace cn::stats {
+namespace {
+
+/// EXPECT a relative error below @p rel (absolute below rel for values
+/// near zero, where relative error is meaningless).
+void expect_rel(double value, double golden, double rel,
+                const char* what) {
+  EXPECT_NEAR(value, golden, std::max(rel, rel * std::fabs(golden))) << what;
+}
+
+TEST(GoldenBinomial, ExactRationalReferences) {
+  // References: Fraction arithmetic over the exact binary value of the
+  // double literal (Fraction(0.3), not 3/10) — bit-honest to the input
+  // the implementation actually receives.
+  expect_rel(binomial_pmf(3, 10, 0.3), 0.26682793199999999, 1e-12, "pmf");
+  expect_rel(binomial_cdf(3, 10, 0.3), 0.64961071840000006, 1e-12, "cdf");
+  expect_rel(binomial_sf(7, 10, 0.3), 0.010592078399999998, 1e-12, "sf");
+  expect_rel(binomial_pmf(0, 50, 0.02), 0.36416968008711703, 1e-12, "pmf0");
+  expect_rel(binomial_cdf(60, 100, 0.5), 0.98239989989114762, 1e-12, "cdf100");
+  expect_rel(binomial_sf(60, 100, 0.5), 0.028443966820490395, 1e-12, "sf100");
+  // n = 1000: lgamma arguments ~1e3 push the log error to ~1e-12; give
+  // the value one decade of headroom.
+  expect_rel(binomial_sf(620, 1000, 0.6), 0.10382449783572575, 1e-11,
+             "sf1000");
+}
+
+TEST(GoldenBinomial, ExtremeTailsAtMillionTrials) {
+  // Pr[B >= 505000], B ~ Bin(1e6, 0.5): a 10-sigma tail, p ~ 7.7e-24.
+  const double sf_mid = binomial_sf(505'000, 1'000'000, 0.5);
+  ASSERT_GT(sf_mid, 0.0);
+  EXPECT_NEAR(std::log(sf_mid), -53.222020345264198, 1e-6);
+
+  // Pr[B >= 1200], B ~ Bin(1e6, 0.001): 6.3 sigma on a skewed binomial.
+  const double sf_skew = binomial_sf(1'200, 1'000'000, 0.001);
+  ASSERT_GT(sf_skew, 0.0);
+  EXPECT_NEAR(std::log(sf_skew), -21.502049644022069, 1e-6);
+
+  // The tails must remain monotone and complementary down there.
+  EXPECT_LT(binomial_sf(505'100, 1'000'000, 0.5), sf_mid);
+  EXPECT_NEAR(binomial_cdf(1'199, 1'000'000, 0.001) + sf_skew, 1.0, 1e-12);
+}
+
+TEST(GoldenBinomial, PaperTestsAreTheTails) {
+  EXPECT_DOUBLE_EQ(acceleration_p_value(60, 100, 0.5),
+                   binomial_sf(60, 100, 0.5));
+  EXPECT_DOUBLE_EQ(deceleration_p_value(60, 100, 0.5),
+                   binomial_cdf(60, 100, 0.5));
+}
+
+TEST(GoldenNormalApprox, ContinuityCorrectedPhi) {
+  // Reference: Decimal erf series. Both inputs sit at the same |z|, so
+  // the approximation must be exactly symmetric as well.
+  expect_rel(acceleration_p_value_normal(520, 1000, 0.5),
+             0.10873411307177115, 1e-12, "accel");
+  expect_rel(deceleration_p_value_normal(480, 1000, 0.5),
+             0.10873411307177115, 1e-12, "decel");
+  EXPECT_DOUBLE_EQ(normal_cdf(0.0), 0.5);
+  expect_rel(normal_cdf(-3.0), 0.0013498980316300946, 1e-12, "phi(-3)");
+}
+
+TEST(GoldenFisher, CombinedPValue) {
+  // p-values chosen as exact powers of two so the only rounding in the
+  // statistic X = -2*sum(log p) is log itself.
+  const std::vector<double> ps = {0.03125, 0.5, 0.25, 0.125};
+  expect_rel(fisher_combine(ps), 0.054476560039593801, 1e-12, "fisher");
+}
+
+TEST(GoldenChiSquare, EvenDofClosedForms) {
+  // Reference: Q(k, x/2) = exp(-x/2) * sum_{j<k} (x/2)^j/j! in Decimal.
+  expect_rel(chi_square_sf(3.0, 2), 0.22313016014842982, 1e-12, "dof2");
+  expect_rel(chi_square_sf(10.0, 4), 0.040427681994512805, 1e-12, "dof4");
+  expect_rel(chi_square_sf(50.0, 10), 2.6690834249044957e-07, 1e-12, "dof10");
+  expect_rel(chi_square_sf(150.0, 100), 0.00090393204235400906, 1e-11,
+             "dof100");
+}
+
+TEST(GoldenRegGamma, IntegerShape) {
+  expect_rel(reg_gamma_q(3.0, 2.5), 0.54381311588332948, 1e-12, "q(3,2.5)");
+  expect_rel(reg_gamma_p(3.0, 2.5), 0.45618688411667047, 1e-12, "p(3,2.5)");
+  expect_rel(reg_gamma_q(100.0, 120.0), 0.027863739890520663, 1e-11,
+             "q(100,120)");
+  // Complement identity where both sides are away from 0 and 1.
+  EXPECT_NEAR(reg_gamma_p(7.0, 6.5) + reg_gamma_q(7.0, 6.5), 1.0, 1e-14);
+}
+
+TEST(GoldenSpecial, LogGammaAndFriends) {
+  // log_choose(1e6, 5e5): reference is ln of the exact 301030-digit
+  // integer (Decimal.ln of math.comb). Value ~6.9e5, so 1e-12 relative
+  // leaves lgamma's ~1e-9 absolute error three decades of room.
+  expect_rel(log_choose(1'000'000, 500'000), 693140.04701306368, 1e-12,
+             "choose1e6");
+  expect_rel(log_choose(52, 5), 14.770621922970371, 1e-12, "choose52");
+  EXPECT_DOUBLE_EQ(log_choose(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_choose(10, 10), 0.0);
+
+  // ln Gamma(1/2) = ln(pi)/2; Gamma(10.5) = 20! sqrt(pi) / (4^10 10!).
+  expect_rel(log_gamma(0.5), 0.57236494292470008, 1e-12, "lgamma(.5)");
+  expect_rel(log_gamma(10.5), 13.940625219403763, 1e-12, "lgamma(10.5)");
+  expect_rel(log_gamma(1'000'000.0), 12815504.569147611, 1e-12, "lgamma(1e6)");
+
+  expect_rel(log_add_exp(-1000.0, -1000.5), -999.5259230158199, 1e-12,
+             "log_add_exp");
+  // Both ends of log1m_exp: x -> 0- (catastrophic cancellation zone) and
+  // deep negative (result is -exp(x) to first order).
+  expect_rel(log1m_exp(-1e-10), -23.025850929990458, 1e-12, "log1m near0");
+  expect_rel(log1m_exp(-50.0), -1.9287498479639178e-22, 1e-12, "log1m deep");
+}
+
+TEST(GoldenKolmogorov, SurvivalFunction) {
+  // Reference: the alternating series summed in Decimal to 1e-55; the
+  // implementation truncates at 1e-16 absolute, inside 1e-12 relative
+  // for every lambda checked here.
+  expect_rel(kolmogorov_sf(0.5), 0.96394524366487511, 1e-12, "l=.5");
+  expect_rel(kolmogorov_sf(1.0), 0.2699996716773545, 1e-12, "l=1");
+  expect_rel(kolmogorov_sf(1.5), 0.02221796261652513, 1e-12, "l=1.5");
+  expect_rel(kolmogorov_sf(2.0), 0.00067092525577969533, 1e-12, "l=2");
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+}
+
+TEST(GoldenKolmogorov, TwoSampleStatisticIsExact) {
+  // D is a ratio of small integers — exactly representable, so the
+  // merge-walk must produce it exactly: samples {1,2,3,4} vs {3,4,5,6}
+  // give sup|F1-F2| = 1/2 at x just below 3.
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {3, 4, 5, 6};
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.5);
+  // p must be exactly what the documented Stephens formula yields.
+  const double ne = 4.0 * 4.0 / 8.0;
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * 0.5;
+  EXPECT_DOUBLE_EQ(r.p_value, kolmogorov_sf(lambda));
+}
+
+}  // namespace
+}  // namespace cn::stats

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace cn::util {
@@ -94,6 +98,113 @@ TEST(ThreadPool, UnevenTaskCostsStillComplete) {
     sum.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionFromTaskPropagatesToCaller) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [](std::size_t i) {
+                            if (i == 37) throw std::runtime_error("boom 37");
+                          }),
+        std::runtime_error)
+        << "threads " << threads;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndLaterIndicesAreSkipped) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  try {
+    pool.parallel_for(10'000, [&](std::size_t) {
+      visited.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("every index throws");
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "every index throws");
+  }
+  // Indices claimed after the first failure are abandoned, not run: with
+  // every task throwing, only the handful in flight at failure time ran.
+  EXPECT_LE(visited.load(), 64);
+}
+
+TEST(ThreadPool, CallerSideThrowDoesNotUnwindPastHelpers) {
+  // Regression: fn(i) throwing on the CALLING thread must not unwind
+  // parallel_for while workers still hold references to the stack-local
+  // fn. The slow worker tasks below keep helpers busy across the throw;
+  // the shared flag outliving the call is what ASan/TSan verify.
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 0) throw std::logic_error("caller throws");
+                          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+        std::logic_error);
+  // Every non-throwing task either finished before the rethrow or was
+  // skipped; none may still be running once parallel_for returned.
+  const int after_return = completed.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(completed.load(), after_return) << "task outlived parallel_for";
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t) { throw std::runtime_error("once"); }),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(1'000, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 1'000);
+  const auto doubled = pool.parallel_map(
+      100, [](std::size_t i) { return 2 * static_cast<int>(i); });
+  ASSERT_EQ(doubled.size(), 100u);
+  EXPECT_EQ(doubled[99], 198);
+}
+
+TEST(ThreadPool, ParallelMapPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_map(50,
+                                 [](std::size_t i) -> int {
+                                   if (i == 49) throw std::out_of_range("map");
+                                   return static_cast<int>(i);
+                                 }),
+               std::out_of_range);
+}
+
+TEST(ThreadPool, DestructionDrainsSlowQueuedTasks) {
+  // Destroying the pool the instant the queue is full must block until
+  // every task ran — tasks reference `ran`, which lives outside the pool.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SubmitFromWithinATaskIsDrained) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&] {
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace

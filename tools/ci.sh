@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI driver: builds the release and asan presets, runs the full test
-# suite under both, re-runs the concurrency-sensitive tests (the
-# ThreadPool, the parallel audit pipeline, the columnar-vs-legacy
-# differential suite, and the fault-injection property suite) under
-# tsan, and runs the fault-injection suite under asan plus the
-# ingestion throughput bench (bench_out/BENCH_fault_ingest.json).
+# suite under both (the detector-calibration suite gets its own labelled
+# ASan pass), gates the observability overhead on the bit bench_audit
+# writes to bench_out/BENCH_audit.json, re-runs the concurrency-sensitive
+# tests (the ThreadPool, the lock-free obs registry, the parallel audit
+# pipeline, the columnar-vs-legacy differential suite, and the
+# fault-injection property suite) under tsan, runs the fault-injection
+# suite under asan plus the ingestion throughput bench, and smoke-builds
+# the -DCN_OBS_DISABLE=ON configuration.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the sanitizer configurations (release build + ctest only)
@@ -30,10 +33,34 @@ if [[ "${QUICK}" == "1" ]]; then
   exit 0
 fi
 
+echo "=== observability overhead gate (bench_audit) ==="
+# bench_audit measures the columnar audit with obs on vs off and writes
+# obs_overhead_ok (overhead <= 2%) and obs_reports_byte_identical into
+# its JSON; a FATAL divergence already exits non-zero above, the gate
+# here catches a >2% slowdown that is not otherwise fatal.
+run env CN_SCALE=0.3 ./build-release/bench/bench_audit --benchmark_filter='^$'
+python3 - <<'EOF'
+import json, sys
+with open("bench_out/BENCH_audit.json") as f:
+    metrics = json.load(f)["metrics"]
+for bit in ("obs_overhead_ok", "obs_reports_byte_identical"):
+    if metrics.get(bit) != 1.0:
+        sys.exit(f"observability gate failed: {bit}={metrics.get(bit)} "
+                 f"(overhead {metrics.get('obs_overhead_fraction')})")
+print(f"obs overhead {metrics['obs_overhead_fraction']:+.4f} (budget 0.02), "
+      "reports byte-identical")
+EOF
+
 echo "=== asan+ubsan: configure + build + ctest ==="
 run cmake --preset asan
 run cmake --build --preset asan -j "${JOBS}"
-run ctest --preset asan -j "${JOBS}"
+run ctest --preset asan -j "${JOBS}" -LE calibration
+
+echo "=== detector calibration under asan ==="
+# The ground-truth calibration suite (planted selfish / low-fee-tolerant
+# / honest worlds) runs in its own labelled pass so failures are
+# unmistakably a detector regression, not a unit-test flake.
+run ctest --preset asan -j "${JOBS}" -L calibration
 
 echo "=== fault injection: property tests under asan + ingest bench ==="
 # Lenient import must survive any seeded corruption asan-clean; strict
@@ -45,12 +72,24 @@ run ./build-release/bench/bench_fault_ingest
 
 echo "=== tsan: configure + build + concurrency tests ==="
 run cmake --preset tsan
-run cmake --build --preset tsan -j "${JOBS}" --target cn_tests_util cn_tests_core cn_tests_io
+run cmake --build --preset tsan -j "${JOBS}" --target cn_tests_util cn_tests_core cn_tests_io cn_tests_obs
 run ./build-tsan/tests/cn_tests_util --gtest_filter='ThreadPool*'
+# The lock-free metric registry (per-thread shards, CAS-installed chunks)
+# is exactly the kind of code tsan exists for.
+run ./build-tsan/tests/cn_tests_obs
 # The parallel audit fan-outs, the columnar-vs-legacy differential suite
 # (parallel AuditDataset build + staged pipeline), and the fault-injection
 # property tests all drive the thread pool; run them race-checked.
 run ./build-tsan/tests/cn_tests_core --gtest_filter='AuditPipeline*:AuditDifferential*:AuditStages*'
 run ./build-tsan/tests/cn_tests_io --gtest_filter='FaultInjection*'
+
+echo "=== obs disabled: -DCN_OBS_DISABLE=ON compiles and passes ==="
+# The compile-time kill switch turns every handle into an empty inline
+# body; verify that configuration still builds and that the obs suite's
+# disabled-mode expectations (empty snapshot, inert spans) hold.
+run cmake -B build-obsoff -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCN_OBS_DISABLE=ON
+run cmake --build build-obsoff -j "${JOBS}" --target cn_tests_obs cn_tests_util
+run ./build-obsoff/tests/cn_tests_obs
+run ./build-obsoff/tests/cn_tests_util --gtest_filter='ThreadPool*'
 
 echo "=== all configurations passed ==="

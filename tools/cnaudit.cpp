@@ -29,6 +29,16 @@
 // pinpoints its file and line; lenient skips or repairs defects,
 // prints a diagnostic summary, and still loads the data set.
 //
+// Observability (DESIGN.md §10): every subcommand accepts
+//   --metrics-out PATH   write the cn::obs metric registry as JSON after
+//                        the command finishes; the span timeline goes to
+//                        PATH with ".json" replaced by ".trace.json"
+//                        (Chrome trace format) unless --trace-out PATH
+//                        overrides it.
+//   --obs on|off         runtime switch (default on); off makes every
+//                        metric/span a no-op and the exports empty.
+// Options may be spelled "--key value" or "--key=value".
+//
 //   cnaudit neutrality --data DIR
 //       Print the per-pool chain-neutrality scorecard (§6.1).
 //
@@ -63,6 +73,8 @@
 #include "core/sppe.hpp"
 #include "core/wallet_inference.hpp"
 #include "io/dataset_io.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "sim/dataset.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/ecdf.hpp"
@@ -72,13 +84,22 @@ namespace {
 
 using namespace cn;
 
-/// "--key value" option map; positional args rejected.
+/// "--key value" / "--key=value" option map; positional args rejected.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
-      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+      if (key.rfind("--", 0) != 0) {
+        ok_ = false;
+        bad_ = key;
+        return;
+      }
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(2, eq - 2)] = key.substr(eq + 1);
+        continue;
+      }
+      if (i + 1 >= argc) {
         ok_ = false;
         bad_ = key;
         return;
@@ -123,7 +144,8 @@ int usage() {
                "  neutrality --data DIR\n"
                "  ppe        --data DIR\n"
                "  darkfee    --data DIR [--pool NAME] [--sppe T]\n"
-               "data-loading commands also take --policy strict|lenient (default strict)\n");
+               "data-loading commands also take --policy strict|lenient (default strict)\n"
+               "every command takes --metrics-out PATH [--trace-out PATH] [--obs on|off]\n");
   return 2;
 }
 
@@ -402,6 +424,44 @@ int cmd_darkfee(const Args& args) {
   return 0;
 }
 
+std::string default_trace_path(const std::string& metrics_path) {
+  std::string base = metrics_path;
+  if (base.size() >= 5 && base.compare(base.size() - 5, 5, ".json") == 0) {
+    base.resize(base.size() - 5);
+  }
+  return base + ".trace.json";
+}
+
+/// Writes metrics.json (+ trace) after the subcommand ran, so the export
+/// covers everything the command did. Returns false on I/O failure.
+bool export_observability(const Args& args) {
+  const auto metrics_path = args.get("metrics-out");
+  if (!metrics_path) return true;
+  const std::string trace_path =
+      args.get_or("trace-out", default_trace_path(*metrics_path));
+  bool ok = true;
+  if (!obs::write_metrics_json(*metrics_path)) {
+    std::fprintf(stderr, "cnaudit: could not write %s\n", metrics_path->c_str());
+    ok = false;
+  }
+  if (!obs::write_trace_json(trace_path)) {
+    std::fprintf(stderr, "cnaudit: could not write %s\n", trace_path.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+int run_command(const std::string& command, const Args& args) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "audit") return cmd_audit(args);
+  if (command == "report") return cmd_report(args);
+  if (command == "neutrality") return cmd_neutrality(args);
+  if (command == "ppe") return cmd_ppe(args);
+  if (command == "darkfee") return cmd_darkfee(args);
+  std::fprintf(stderr, "cnaudit: unknown command '%s'\n", command.c_str());
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -412,12 +472,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cnaudit: bad argument '%s'\n", args.bad().c_str());
     return usage();
   }
-  if (command == "simulate") return cmd_simulate(args);
-  if (command == "audit") return cmd_audit(args);
-  if (command == "report") return cmd_report(args);
-  if (command == "neutrality") return cmd_neutrality(args);
-  if (command == "ppe") return cmd_ppe(args);
-  if (command == "darkfee") return cmd_darkfee(args);
-  std::fprintf(stderr, "cnaudit: unknown command '%s'\n", command.c_str());
-  return usage();
+  const std::string obs_switch = args.get_or("obs", "on");
+  if (obs_switch != "on" && obs_switch != "off") {
+    std::fprintf(stderr, "cnaudit: unknown --obs '%s' (want on|off)\n",
+                 obs_switch.c_str());
+    return 2;
+  }
+  obs::set_enabled(obs_switch == "on");
+
+  const int rc = run_command(command, args);
+  if (!export_observability(args) && rc == 0) return 1;
+  return rc;
 }
