@@ -6,10 +6,13 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "btc/intern.hpp"
 #include "core/audit_dataset.hpp"
 #include "core/wallet_inference.hpp"
+#include "io/cnb.hpp"
+#include "io/dataset_source.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -78,6 +81,144 @@ int main(int argc, char** argv) {
   json.metric("build_seconds", best);
   json.metric("memory_bytes", static_cast<double>(bytes));
   json.metric("bytes_per_tx", bytes_per_tx);
+
+  // --- CSV vs CNB1 ingest (the DESIGN.md §11 acceptance gate) ---
+  // "Ingest" is everything between a path on disk and an audit-ready
+  // dataset: the CSV side parses text, attributes pools, and builds the
+  // columnar view; the CNB1 side verifies checksums and copies columns
+  // out — the derived sections ride inside the file. The hard gate
+  // asserts the binary path ingests the same rows at >= 20x the CSV
+  // throughput, so a regression in either loader fails this bench.
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  namespace fs = std::filesystem;
+  const fs::path ingest_dir = fs::path(cn::bench::out_dir()) / "ingest";
+  std::error_code ec;
+  fs::remove_all(ingest_dir, ec);
+  const std::string csv_dir = (ingest_dir / "csv").string();
+  const std::string cnb_path = (ingest_dir / "dataset.cnb").string();
+
+  std::string io_error;
+  bool exported =
+      io::export_chain(world.chain, csv_dir, &io_error) &&
+      io::export_snapshots(world.observer.snapshots(),
+                           csv_dir + "/snapshots.csv", &io_error) &&
+      io::export_first_seen(world.observer.first_seen_map(),
+                            csv_dir + "/first_seen.csv", &io_error);
+  if (exported) {
+    const auto dataset =
+        core::AuditDataset::build(world.chain, attribution, workers);
+    io::CnbWriteOptions cnb_options;
+    cnb_options.snapshots = &world.observer.snapshots();
+    cnb_options.first_seen = &world.observer.first_seen_map();
+    cnb_options.dataset = &dataset;
+    cnb_options.registry_fingerprint = registry.fingerprint();
+    exported = io::write_cnb(world.chain, cnb_path, cnb_options, &io_error);
+  }
+  if (!exported) {
+    std::fprintf(stderr, "FATAL: ingest fixture export failed: %s\n",
+                 io_error.c_str());
+    return 1;
+  }
+
+  // Identical logical rows on both sides: the relational tables plus the
+  // optional series (the CNB1 file stores the same data as columns).
+  std::uint64_t inputs = 0, outputs = 0;
+  for (const btc::Block& block : world.chain.blocks()) {
+    for (const btc::Transaction& tx : block.txs()) {
+      inputs += tx.inputs().size();
+      outputs += tx.outputs().size();
+    }
+  }
+  const double rows =
+      static_cast<double>(world.chain.size()) + txs +
+      static_cast<double>(inputs) + static_cast<double>(outputs) +
+      static_cast<double>(world.observer.snapshots().size()) +
+      static_cast<double>(world.observer.first_seen_map().size());
+
+  // Raw load: open_dataset alone (no attribution / build on either side).
+  const auto time_open = [](const std::string& path, int reps) {
+    double load_best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto loaded = io::open_dataset(path, io::LoadPolicy::kStrict);
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!loaded.has_value()) return -1.0;
+      load_best = std::min(load_best, s);
+    }
+    return load_best;
+  };
+  const double load_csv_s = time_open(csv_dir, 2);
+  const double load_cnb_s = time_open(cnb_path, 5);
+
+  // Audit-ready ingest. CSV: load + pool attribution + dataset build.
+  // CNB1: load alone — prebuilt_for() must hand back the stored dataset,
+  // otherwise the embedded columns were silently unusable.
+  double ingest_csv_s = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto loaded = io::open_dataset(csv_dir, io::LoadPolicy::kStrict);
+    if (!loaded.has_value()) { ingest_csv_s = -1.0; break; }
+    const core::PoolAttribution attr(loaded->chain, registry);
+    const auto ds = core::AuditDataset::build(loaded->chain, attr, workers);
+    benchmark::DoNotOptimize(ds);
+    ingest_csv_s = std::min(
+        ingest_csv_s,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  double ingest_cnb_s = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto loaded = io::open_dataset(cnb_path, io::LoadPolicy::kStrict);
+    if (!loaded.has_value() || loaded->prebuilt_for(registry) == nullptr) {
+      ingest_cnb_s = -1.0;
+      break;
+    }
+    ingest_cnb_s = std::min(
+        ingest_cnb_s,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  if (load_csv_s <= 0.0 || load_cnb_s <= 0.0 || ingest_csv_s <= 0.0 ||
+      ingest_cnb_s <= 0.0) {
+    std::fprintf(stderr, "FATAL: an ingest path failed to load cleanly\n");
+    return 1;
+  }
+
+  const double cnb_bytes = static_cast<double>(fs::file_size(cnb_path, ec));
+  const double load_speedup = load_csv_s / load_cnb_s;
+  const double ingest_speedup = ingest_csv_s / ingest_cnb_s;
+  const bool ingest_ok = ingest_speedup >= 20.0;
+  std::printf("\n--- ingest: CSV directory vs CNB1 binary ---\n");
+  std::printf("  raw load    csv: %8.3f s   cnb: %8.3f s   (%.1fx)\n",
+              load_csv_s, load_cnb_s, load_speedup);
+  std::printf("  audit-ready csv: %8.3f s   cnb: %8.3f s   (%.1fx, gate 20x %s)\n",
+              ingest_csv_s, ingest_cnb_s, ingest_speedup,
+              ingest_ok ? "OK" : "FAILED");
+  std::printf("  throughput  csv: %8.0f rows/s   cnb: %8.0f rows/s\n",
+              rows / ingest_csv_s, rows / ingest_cnb_s);
+  std::printf("  cnb file:   %8.1f MiB (%.1f bytes/tx)\n",
+              cnb_bytes / (1024.0 * 1024.0), txs > 0 ? cnb_bytes / txs : 0.0);
+  json.metric("load_seconds_csv", load_csv_s);
+  json.metric("load_seconds_cnb", load_cnb_s);
+  json.metric("load_speedup", load_speedup);
+  json.metric("ingest_rows", rows);
+  json.metric("ingest_seconds_csv", ingest_csv_s);
+  json.metric("ingest_seconds_cnb", ingest_cnb_s);
+  json.metric("ingest_rows_per_s_csv", rows / ingest_csv_s);
+  json.metric("ingest_rows_per_s_cnb", rows / ingest_cnb_s);
+  json.metric("ingest_speedup", ingest_speedup);
+  json.metric("ingest_speedup_ok", ingest_ok ? 1.0 : 0.0);
+  json.metric("cnb_file_bytes", cnb_bytes);
+  json.metric("cnb_bytes_per_tx", txs > 0 ? cnb_bytes / txs : 0.0);
+  if (!ingest_ok) {
+    std::fprintf(stderr,
+                 "FATAL: CNB1 ingest speedup %.1fx is below the 20x gate\n",
+                 ingest_speedup);
+    return 1;
+  }
 
   return cn::bench::run_microbenchmarks(argc, argv);
 }

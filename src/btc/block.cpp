@@ -72,6 +72,16 @@ void Block::seal(const BlockHash& prev_hash) {
   sealed_ = true;
 }
 
+void Block::restore_header(const Txid& merkle_root,
+                           const BlockHash& prev_hash) {
+  CN_ASSERT(!sealed_);
+  header_.prev_hash = prev_hash;
+  header_.merkle_root = merkle_root;
+  header_.height = height_;
+  header_.timestamp = mined_at_;
+  sealed_ = true;
+}
+
 const BlockHeader& Block::header() const {
   CN_ASSERT(sealed_);
   return header_;

@@ -72,6 +72,10 @@ class Block {
   /// Merkle root.
   bool sealed() const noexcept { return sealed_; }
   void seal(const BlockHash& prev_hash);
+  /// Seals with a Merkle root recorded when the block was first sealed
+  /// (the CNB1 loader's fast path — skips re-hashing every txid).
+  /// Chain::verify_integrity recomputes roots and catches a wrong one.
+  void restore_header(const Txid& merkle_root, const BlockHash& prev_hash);
   /// Requires sealed().
   const BlockHeader& header() const;
   BlockHash hash() const { return header().hash(); }

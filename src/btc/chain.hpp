@@ -55,6 +55,10 @@ class Chain {
   /// Total committed (non-coinbase) transactions.
   std::uint64_t total_tx_count() const noexcept { return total_txs_; }
 
+  /// Pre-sizes the transaction index; bulk loaders (CNB1) know the
+  /// final transaction count before the first append.
+  void reserve_txs(std::size_t count) { tx_index_.reserve(count); }
+
   /// Number of blocks with zero non-coinbase transactions.
   std::uint64_t empty_block_count() const noexcept;
 

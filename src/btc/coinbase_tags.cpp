@@ -1,7 +1,9 @@
 #include "btc/coinbase_tags.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "util/sha256.hpp"
 #include "util/strings.hpp"
 
 namespace cn::btc {
@@ -31,6 +33,33 @@ std::optional<std::string> CoinbaseTagRegistry::identify(
     if (contains_icase(coinbase_tag, tag.marker)) return canonical(tag.pool_name);
   }
   return std::nullopt;
+}
+
+std::uint64_t CoinbaseTagRegistry::fingerprint() const noexcept {
+  constexpr std::string_view kSep("\0", 1);
+  Sha256 hasher;
+  for (const PoolTag& tag : tags_) {
+    hasher.update("tag");
+    hasher.update(kSep);
+    hasher.update(tag.pool_name);
+    hasher.update(kSep);
+    hasher.update(tag.marker);
+    hasher.update("\n");
+  }
+  for (const auto& [alias, canon] : aliases_) {
+    hasher.update("alias");
+    hasher.update(kSep);
+    hasher.update(alias);
+    hasher.update(kSep);
+    hasher.update(canon);
+    hasher.update("\n");
+  }
+  const Sha256Digest digest = hasher.finalize();
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(digest[i]) << (8 * i);
+  }
+  return value;
 }
 
 std::string conventional_marker(std::string_view pool_name) {

@@ -40,6 +40,13 @@ class CoinbaseTagRegistry {
 
   std::size_t marker_count() const noexcept { return tags_.size(); }
 
+  /// Order-sensitive 64-bit digest of every (pool, marker) tag and every
+  /// (alias, canonical) pair — SHA-256 truncated. Derived pool-interning
+  /// tables (the CNB1 audit-dataset sections, io/cnb.hpp) are keyed on
+  /// this so a loader can tell whether stored PoolIds line up with the
+  /// registry it is about to audit under.
+  std::uint64_t fingerprint() const noexcept;
+
   /// Registry pre-loaded with the paper's top-20 pools (data set C) plus
   /// the pools that appear in data sets A/B, and the two alias pairs.
   static CoinbaseTagRegistry paper_registry();

@@ -192,6 +192,41 @@ AuditDataset AuditDataset::build(const btc::Chain& chain,
   return ds;
 }
 
+AuditDataset AuditDataset::restore(AuditDatasetColumns&& columns) {
+  const obs::Span span("core.audit_dataset.restore");
+  AuditDataset ds;
+  ds.pool_names_ = std::move(columns.pool_names);
+  ds.pools_by_blocks_ = std::move(columns.pools_by_blocks);
+  ds.block_height_ = std::move(columns.block_height);
+  ds.block_mined_at_ = std::move(columns.block_mined_at);
+  ds.block_pool_ = std::move(columns.block_pool);
+  ds.block_fees_ = std::move(columns.block_fees);
+  ds.block_ppe_ = std::move(columns.block_ppe);
+  ds.tx_begin_ = std::move(columns.tx_begin);
+  ds.fee_rate_ = std::move(columns.fee_rate);
+  ds.vsize_ = std::move(columns.vsize);
+  ds.issued_ = std::move(columns.issued);
+  ds.txid_ = std::move(columns.txid);
+  ds.tx_flags_ = std::move(columns.tx_flags);
+  ds.sppe_ = std::move(columns.sppe);
+  ds.addresses_ = std::move(columns.addresses);
+  ds.out_begin_ = std::move(columns.out_begin);
+  ds.out_addr_ = std::move(columns.out_addr);
+  ds.pool_blocks_ = std::move(columns.pool_blocks);
+  ds.pool_tx_counts_ = std::move(columns.pool_tx_counts);
+  ds.self_interest_ = std::move(columns.self_interest);
+
+  CN_ASSERT(ds.tx_begin_.size() == ds.block_height_.size() + 1);
+  CN_ASSERT(ds.out_begin_.size() == ds.fee_rate_.size() + 1);
+  ds.tx_block_.resize(ds.fee_rate_.size());
+  for (std::size_t b = 0; b + 1 < ds.tx_begin_.size(); ++b) {
+    for (TxIdx t = ds.tx_begin_[b]; t < ds.tx_begin_[b + 1]; ++t) {
+      ds.tx_block_[t] = static_cast<std::uint32_t>(b);
+    }
+  }
+  return ds;
+}
+
 const std::string& AuditDataset::pool_name(PoolId id) const {
   CN_ASSERT(id < pool_names_.size());
   return pool_names_[id];

@@ -58,6 +58,34 @@ enum TxFlag : std::uint8_t {
   kTxBelowFloor = 1u << 2,  ///< exact fee-rate < 1 sat/vB (norm III)
 };
 
+/// Deserialized column bundle for AuditDataset::restore() — a
+/// field-for-field mirror of the private columns, produced by the CNB1
+/// loader (io/cnb.cpp) after it has bounds-checked every array. The
+/// spans must satisfy the invariants in the file comment; restore()
+/// trusts them and only derives what build() derives (tx_block_).
+struct AuditDatasetColumns {
+  std::vector<std::string> pool_names;
+  std::vector<PoolId> pools_by_blocks;
+  std::vector<std::uint64_t> block_height;
+  std::vector<SimTime> block_mined_at;
+  std::vector<PoolId> block_pool;
+  std::vector<std::int64_t> block_fees;
+  std::vector<double> block_ppe;
+  std::vector<TxIdx> tx_begin;  // size block_count + 1
+  std::vector<double> fee_rate;
+  std::vector<std::uint32_t> vsize;
+  std::vector<SimTime> issued;
+  std::vector<btc::Txid> txid;
+  std::vector<std::uint8_t> tx_flags;
+  std::vector<double> sppe;
+  btc::AddressTable addresses;
+  std::vector<std::uint32_t> out_begin;  // size tx_count + 1
+  std::vector<btc::AddressId> out_addr;
+  std::vector<std::vector<std::uint32_t>> pool_blocks;
+  std::vector<std::uint64_t> pool_tx_counts;
+  std::vector<std::vector<TxIdx>> self_interest;
+};
+
 class AuditDataset {
  public:
   AuditDataset() = default;
@@ -69,6 +97,12 @@ class AuditDataset {
                             const PoolAttribution& attribution,
                             util::ThreadPool& workers,
                             const btc::AddressTable* interned_addresses = nullptr);
+
+  /// Rebuilds a dataset from deserialized columns without touching a
+  /// chain: every column is adopted as-is and tx_block_ is derived from
+  /// the tx_begin CSR, so a restored dataset is indistinguishable from
+  /// the build() that produced the columns.
+  static AuditDataset restore(AuditDatasetColumns&& columns);
 
   // --- sizes ---------------------------------------------------------
   std::size_t block_count() const noexcept { return block_height_.size(); }

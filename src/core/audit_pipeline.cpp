@@ -116,8 +116,12 @@ AuditReport run_full_audit_columnar(const btc::Chain& chain,
   // build: attribution, the columnar dataset, and the tested-pool list.
   stage("build", true, [&] {
     ctx.attribution = PoolAttribution(chain, registry);
-    ctx.dataset = AuditDataset::build(chain, ctx.attribution, workers,
-                                      options.interned_addresses);
+    if (options.prebuilt_dataset != nullptr) {
+      ctx.dataset = *options.prebuilt_dataset;
+    } else {
+      ctx.dataset = AuditDataset::build(chain, ctx.attribution, workers,
+                                        options.interned_addresses);
+    }
     for (const PoolId id : ctx.attribution.pool_ids_by_blocks()) {
       if (ctx.attribution.hash_share(id) >= options.min_share) {
         ctx.pools.push_back(id);

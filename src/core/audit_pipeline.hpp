@@ -90,6 +90,15 @@ struct AuditOptions {
   /// universe is hashed once per process instead of once per audit.
   /// Must outlive the run_full_audit call.
   const btc::AddressTable* interned_addresses = nullptr;
+  /// Optional dataset a loader already holds (a CNB1 file's derived
+  /// sections, io::DatasetHandle::prebuilt_for). When set, the build
+  /// stage adopts it instead of calling AuditDataset::build — the
+  /// dominant cost of an audit becomes a column copy. The caller
+  /// guarantees it was built from this chain under this registry (the
+  /// fingerprint gate in prebuilt_for enforces the registry half); it
+  /// must outlive the run_full_audit call. Columnar engine only; the
+  /// legacy oracle never touches a dataset.
+  const AuditDataset* prebuilt_dataset = nullptr;
 };
 
 /// One named pipeline stage with its wall-clock cost (columnar engine

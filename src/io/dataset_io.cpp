@@ -146,7 +146,10 @@ struct IngestMetrics {
         LoadErrorKind::kDuplicateTxPosition, LoadErrorKind::kDuplicateTxid,
         LoadErrorKind::kOutOfOrderRow,     LoadErrorKind::kTxCountMismatch,
         LoadErrorKind::kBadPositionSequence, LoadErrorKind::kMissingBlockRow,
-        LoadErrorKind::kUnterminatedQuote};
+        LoadErrorKind::kUnterminatedQuote,   LoadErrorKind::kBadMagic,
+        LoadErrorKind::kUnsupportedVersion,  LoadErrorKind::kTruncatedFile,
+        LoadErrorKind::kSectionChecksum,     LoadErrorKind::kSectionLayout,
+        LoadErrorKind::kMissingSection,      LoadErrorKind::kMmapFailed};
     rejected.reserve(std::size(kKinds));
     for (const LoadErrorKind kind : kKinds) {
       rejected.emplace_back(std::string("io.ingest.rejected.") +
@@ -222,10 +225,6 @@ bool export_chain(const btc::Chain& chain, const std::string& dir,
     }
   }
   return commit_exports({&blocks, &txs, &inputs, &outputs}, error);
-}
-
-std::optional<btc::Chain> import_chain(const std::string& dir) {
-  return std::move(import_chain(dir, LoadPolicy::kStrict).value);
 }
 
 LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy) {
@@ -620,10 +619,6 @@ bool export_snapshots(const node::SnapshotSeries& series, const std::string& pat
   return commit_exports({&csv}, error);
 }
 
-std::optional<node::SnapshotSeries> import_snapshots(const std::string& path) {
-  return std::move(import_snapshots(path, LoadPolicy::kStrict).value);
-}
-
 namespace {
 
 LoadResult<node::SnapshotSeries> import_snapshots_impl(const std::string& path,
@@ -713,15 +708,17 @@ bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path,
   TmpCsv csv(path);
   if (!csv.writer.ok()) return set_error(error, "could not open " + csv.tmp_path);
   csv.writer.header({"txid", "first_seen"});
-  for (const auto& [id, time] : first_seen) {
+  // Sorted by txid so the file bytes are a pure function of the map —
+  // the same order the CNB1 first-seen section uses, which makes the
+  // csv -> cnb -> csv round trip byte-identical.
+  std::vector<std::pair<btc::Txid, SimTime>> rows(first_seen.begin(),
+                                                  first_seen.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [id, time] : rows) {
     csv.writer.field(id.to_hex()).field(time);
     csv.writer.end_row();
   }
   return commit_exports({&csv}, error);
-}
-
-std::optional<FirstSeenMap> import_first_seen(const std::string& path) {
-  return std::move(import_first_seen(path, LoadPolicy::kStrict).value);
 }
 
 namespace {

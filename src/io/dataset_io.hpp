@@ -19,14 +19,14 @@
 // into place only after every write succeeded, so a crashed or
 // disk-full export never leaves a half-written data set behind.
 //
-// Imports come in two flavours. The std::optional overloads are the
-// historical strict interface (nullopt on the first defect, no
-// diagnostics). The LoadPolicy overloads return a LoadResult carrying a
-// structured LoadReport — see load_report.hpp for the strict/lenient
-// semantics and the defect taxonomy.
+// Every import returns a LoadResult carrying a structured LoadReport —
+// see load_report.hpp for the strict/lenient semantics and the defect
+// taxonomy. These per-file importers are the CSV backend of the unified
+// io::open_dataset entry point (io/dataset_source.hpp), which is what
+// tools, benches, and fixtures should call; the historical
+// std::optional-returning overloads are gone.
 #pragma once
 
-#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -43,10 +43,6 @@ namespace cn::io {
 /// human-readable reason there.
 bool export_chain(const btc::Chain& chain, const std::string& dir,
                   std::string* error = nullptr);
-
-/// Reads a chain previously written by export_chain. Returns nullopt on
-/// missing files or malformed content (strict, no diagnostics).
-std::optional<btc::Chain> import_chain(const std::string& dir);
 
 /// Policy-aware import with full diagnostics. Strict mode fails at the
 /// first defect (report.first_error() pinpoints file and line); lenient
@@ -66,14 +62,12 @@ LoadResult<btc::Chain> import_chain(const std::string& dir, LoadPolicy policy,
 
 bool export_snapshots(const node::SnapshotSeries& series, const std::string& path,
                       std::string* error = nullptr);
-std::optional<node::SnapshotSeries> import_snapshots(const std::string& path);
 LoadResult<node::SnapshotSeries> import_snapshots(const std::string& path,
                                                   LoadPolicy policy);
 
 using FirstSeenMap = std::unordered_map<btc::Txid, SimTime>;
 bool export_first_seen(const FirstSeenMap& first_seen, const std::string& path,
                        std::string* error = nullptr);
-std::optional<FirstSeenMap> import_first_seen(const std::string& path);
 LoadResult<FirstSeenMap> import_first_seen(const std::string& path,
                                            LoadPolicy policy);
 

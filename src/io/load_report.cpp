@@ -17,6 +17,13 @@ const char* to_string(LoadErrorKind kind) {
     case LoadErrorKind::kBadPositionSequence: return "bad-position-sequence";
     case LoadErrorKind::kMissingBlockRow: return "missing-block-row";
     case LoadErrorKind::kUnterminatedQuote: return "unterminated-quote";
+    case LoadErrorKind::kBadMagic: return "bad-magic";
+    case LoadErrorKind::kUnsupportedVersion: return "unsupported-version";
+    case LoadErrorKind::kTruncatedFile: return "truncated-file";
+    case LoadErrorKind::kSectionChecksum: return "section-checksum";
+    case LoadErrorKind::kSectionLayout: return "section-layout";
+    case LoadErrorKind::kMissingSection: return "missing-section";
+    case LoadErrorKind::kMmapFailed: return "mmap-failed";
   }
   return "unknown";
 }

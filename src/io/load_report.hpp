@@ -42,6 +42,16 @@ enum class LoadErrorKind {
   kMissingBlockRow,    ///< txs exist for a height with no blocks.csv row,
                        ///< or a height hole inside the block range
   kUnterminatedQuote,  ///< record ended at EOF inside a quoted field
+  // Binary (CNB1, see io/cnb.hpp) defects. `line` holds the 1-based
+  // section-directory index for per-section defects, 0 for file-level
+  // ones; `detail` names the section.
+  kBadMagic,           ///< file does not start with the CNB1 magic
+  kUnsupportedVersion, ///< version or endianness tag this build can't read
+  kTruncatedFile,      ///< header, directory, or section extends past EOF
+  kSectionChecksum,    ///< a section's payload fails its checksum
+  kSectionLayout,      ///< section size/counts violate the format contract
+  kMissingSection,     ///< a required section is absent from the directory
+  kMmapFailed,         ///< the OS refused to map the file (e.g. ENOMEM)
 };
 
 /// Stable lower-case label for a LoadErrorKind (e.g. "duplicate-height").

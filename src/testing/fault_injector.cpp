@@ -7,6 +7,8 @@
 #include <optional>
 #include <sstream>
 
+#include "io/cnb.hpp"
+
 namespace cn::testing {
 
 namespace {
@@ -90,6 +92,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSwapRows: return "swap-rows";
     case FaultKind::kTruncateFile: return "truncate-file";
     case FaultKind::kDeleteSnapshotWindow: return "delete-snapshot-window";
+    case FaultKind::kCorruptSection: return "corrupt-section";
   }
   return "unknown";
 }
@@ -117,7 +120,8 @@ bool FaultInjector::inject_file(const std::string& src, const std::string& dst,
 
   std::vector<FaultKind> row_kinds;
   for (FaultKind k : options.kinds) {
-    if (k != FaultKind::kTruncateFile && k != FaultKind::kDeleteSnapshotWindow) {
+    if (k != FaultKind::kTruncateFile && k != FaultKind::kDeleteSnapshotWindow &&
+        k != FaultKind::kCorruptSection) {
       row_kinds.push_back(k);
     }
   }
@@ -189,6 +193,7 @@ bool FaultInjector::inject_file(const std::string& src, const std::string& dst,
       }
       case FaultKind::kTruncateFile:
       case FaultKind::kDeleteSnapshotWindow:
+      case FaultKind::kCorruptSection:
         out.push_back(line);  // not row faults; unreachable via row_kinds
         break;
     }
@@ -239,6 +244,66 @@ bool FaultInjector::delete_snapshot_window(const std::string& src,
                         std::to_string(end - start) + " snapshot row(s) deleted",
                         false, times[start - 1], times[end]});
   return write_lines(dst, out);
+}
+
+bool FaultInjector::inject_cnb_file(const std::string& src,
+                                    const std::string& dst,
+                                    const FaultOptions& options,
+                                    InjectionLog& log) {
+  const auto info = io::inspect_cnb(src);
+  if (!info) return false;
+
+  std::ifstream in(src, std::ios::binary);
+  if (!in) return false;
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+
+  // Directory indices of sections a byte flip can land in.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < info->sections.size(); ++i) {
+    const io::CnbSectionInfo& s = info->sections[i];
+    if (s.byte_size > 0 && s.offset + s.byte_size <= bytes.size()) {
+      candidates.push_back(i);
+    }
+  }
+
+  std::size_t flips = options.cnb_sections;
+  if (flips > candidates.size()) flips = candidates.size();
+  for (std::size_t f = 0; f < flips; ++f) {
+    // Draw without replacement so each fault hits a distinct section.
+    const std::size_t pick = rng_.uniform_below(candidates.size());
+    const std::size_t dir_index = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    const io::CnbSectionInfo& s = info->sections[dir_index];
+    const std::uint64_t at = s.offset + rng_.uniform_below(s.byte_size);
+    bytes[at] = static_cast<char>(
+        static_cast<unsigned char>(bytes[at]) ^
+        static_cast<unsigned char>(1 + rng_.uniform_below(255)));
+    log.faults.push_back(
+        {FaultKind::kCorruptSection, dst, dir_index + 1,
+         std::string("section ") +
+             io::to_string(static_cast<io::CnbSection>(s.id)) +
+             " payload byte flipped at file offset " + std::to_string(at),
+         true, 0, 0});
+  }
+
+  if (options.truncate_tail && bytes.size() > io::kCnbHeaderBytes) {
+    // Cut somewhere past the header so the defect reads as a truncated
+    // payload, not a missing directory.
+    const std::size_t keep =
+        io::kCnbHeaderBytes +
+        rng_.uniform_below(bytes.size() - io::kCnbHeaderBytes);
+    bytes.resize(keep);
+    log.faults.push_back({FaultKind::kTruncateFile, dst, 0,
+                          "file cut mid-section", false, 0, 0});
+  }
+
+  std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return out.good();
 }
 
 InjectionLog FaultInjector::inject_dataset(const std::string& src_dir,

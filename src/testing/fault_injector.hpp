@@ -22,6 +22,10 @@
 //   kDeleteSnapshotWindow  an observer outage: snapshot rows inside a
 //                   time window disappear. Invisible to the importer by
 //                   design — the data-quality layer must catch it.
+//   kCorruptSection a CNB1 binary section's payload bytes are flipped
+//                   (inject_cnb_file) — detectable; the per-section
+//                   checksum fails and a strict io::read_cnb pinpoints
+//                   the logged directory index.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +44,7 @@ enum class FaultKind {
   kSwapRows,
   kTruncateFile,
   kDeleteSnapshotWindow,
+  kCorruptSection,
 };
 
 const char* to_string(FaultKind kind);
@@ -47,10 +52,13 @@ const char* to_string(FaultKind kind);
 struct InjectedFault {
   FaultKind kind{};
   std::string file;      ///< path of the mutated output file
-  std::size_t line = 0;  ///< 1-based line in the OUTPUT file (0 = file level)
+  std::size_t line = 0;  ///< 1-based line in the OUTPUT file (0 = file level).
+                         ///< For kCorruptSection: the 1-based CNB1
+                         ///< section-directory index, matching LoadError::line.
   std::string detail;
   /// True when the fault is guaranteed to abort a strict import at
-  /// exactly `line` (only kCorruptField faults make this promise).
+  /// exactly `line` (kCorruptField and kCorruptSection faults make this
+  /// promise).
   bool detectable = false;
   SimTime gap_from = 0;  ///< kDeleteSnapshotWindow: last time before the gap
   SimTime gap_to = 0;    ///< kDeleteSnapshotWindow: first time after the gap
@@ -79,6 +87,9 @@ struct FaultOptions {
   std::size_t snapshot_gaps = 0;
   /// Width of each deleted window, in the series' time unit.
   SimTime gap_width = 120;
+  /// Distinct CNB1 sections to corrupt (inject_cnb_file only); clamped
+  /// to the number of non-empty sections in the file.
+  std::size_t cnb_sections = 1;
 };
 
 class FaultInjector {
@@ -105,6 +116,16 @@ class FaultInjector {
   /// be read or has too few rows to cut.
   bool delete_snapshot_window(const std::string& src, const std::string& dst,
                               SimTime width, InjectionLog& log);
+
+  /// Copies the CNB1 file at @p src to @p dst while flipping one payload
+  /// byte in each of options.cnb_sections distinct non-empty sections
+  /// (kCorruptSection faults whose `line` is the 1-based directory index
+  /// a strict io::read_cnb reports), then optionally cutting the file
+  /// mid-section when options.truncate_tail is set (kTruncateFile).
+  /// Returns false when @p src is not a readable CNB1 file or the write
+  /// failed. Deterministic per seed.
+  bool inject_cnb_file(const std::string& src, const std::string& dst,
+                       const FaultOptions& options, InjectionLog& log);
 
  private:
   Rng rng_;

@@ -60,7 +60,7 @@ TEST_F(DatasetIoTest, ChainRoundTripsExactly) {
   original.append(cn::test::block_with_rates(102, {7.0}, "/ViaBTC/", 1900));
 
   ASSERT_TRUE(export_chain(original, dir_));
-  const auto loaded = import_chain(dir_);
+  const auto loaded = import_chain(dir_, LoadPolicy::kStrict);
   ASSERT_TRUE(loaded.has_value());
 
   ASSERT_EQ(loaded->size(), original.size());
@@ -97,7 +97,7 @@ TEST_F(DatasetIoTest, CpfpStructureSurvivesRoundTrip) {
                               cn::test::tx_with_rate(9, 250, 0, 8804)}));
 
   ASSERT_TRUE(export_chain(original, dir_));
-  const auto loaded = import_chain(dir_);
+  const auto loaded = import_chain(dir_, LoadPolicy::kStrict);
   ASSERT_TRUE(loaded.has_value());
 
   EXPECT_EQ(loaded->blocks()[0].cpfp_positions(),
@@ -109,7 +109,7 @@ TEST_F(DatasetIoTest, CpfpStructureSurvivesRoundTrip) {
 TEST_F(DatasetIoTest, SimulatedDatasetRoundTrips) {
   const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, 5, 0.03);
   ASSERT_TRUE(export_chain(world.chain, dir_));
-  const auto loaded = import_chain(dir_);
+  const auto loaded = import_chain(dir_, LoadPolicy::kStrict);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->size(), world.chain.size());
   EXPECT_EQ(loaded->total_tx_count(), world.chain.total_tx_count());
@@ -125,7 +125,7 @@ TEST_F(DatasetIoTest, SnapshotsRoundTrip) {
   series.record({15, 3, 700});
   series.record({30, 5, 1400});
   ASSERT_TRUE(export_snapshots(series, dir_ + ".csv"));
-  const auto loaded = import_snapshots(dir_ + ".csv");
+  const auto loaded = import_snapshots(dir_ + ".csv", LoadPolicy::kStrict);
   ASSERT_TRUE(loaded.has_value());
   ASSERT_EQ(loaded->size(), 2u);
   EXPECT_EQ(loaded->stats()[1].total_vsize, 1400u);
@@ -137,16 +137,16 @@ TEST_F(DatasetIoTest, FirstSeenRoundTrips) {
   map.emplace(btc::Txid::hash_of("a"), 100);
   map.emplace(btc::Txid::hash_of("b"), 250);
   ASSERT_TRUE(export_first_seen(map, dir_ + ".csv"));
-  const auto loaded = import_first_seen(dir_ + ".csv");
+  const auto loaded = import_first_seen(dir_ + ".csv", LoadPolicy::kStrict);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(*loaded, map);
   std::filesystem::remove(dir_ + ".csv");
 }
 
 TEST_F(DatasetIoTest, ImportMissingDirectoryFails) {
-  EXPECT_FALSE(import_chain("/nonexistent-dir-xyz").has_value());
-  EXPECT_FALSE(import_snapshots("/nonexistent-dir-xyz/s.csv").has_value());
-  EXPECT_FALSE(import_first_seen("/nonexistent-dir-xyz/f.csv").has_value());
+  EXPECT_FALSE(import_chain("/nonexistent-dir-xyz", LoadPolicy::kStrict).has_value());
+  EXPECT_FALSE(import_snapshots("/nonexistent-dir-xyz/s.csv", LoadPolicy::kStrict).has_value());
+  EXPECT_FALSE(import_first_seen("/nonexistent-dir-xyz/f.csv", LoadPolicy::kStrict).has_value());
 }
 
 TEST_F(DatasetIoTest, ImportRejectsCorruptTxCount) {
@@ -158,7 +158,7 @@ TEST_F(DatasetIoTest, ImportRejectsCorruptTxCount) {
     CsvWriter csv(dir_ + "/txs.csv");
     csv.header({"height", "position", "txid", "issued", "vsize", "fee_sat"});
   }
-  EXPECT_FALSE(import_chain(dir_).has_value());
+  EXPECT_FALSE(import_chain(dir_, LoadPolicy::kStrict).has_value());
 }
 
 TEST(CsvReader, ParsesQuotedFields) {

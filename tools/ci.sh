@@ -6,8 +6,11 @@
 # tests (the ThreadPool, the lock-free obs registry, the parallel audit
 # pipeline, the columnar-vs-legacy differential suite, and the
 # fault-injection property suite) under tsan, runs the fault-injection
-# suite under asan plus the ingestion throughput bench, and smoke-builds
-# the -DCN_OBS_DISABLE=ON configuration.
+# suite under asan plus the ingestion throughput bench, exercises the
+# CNB1 leg (round-trip suite under asan, cnconvert-built fixtures feeding
+# the legacy-vs-columnar differential from a binary source, and the 20x
+# ingest-throughput gate from bench_dataset_build), and smoke-builds the
+# -DCN_OBS_DISABLE=ON configuration.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the sanitizer configurations (release build + ctest only)
@@ -69,6 +72,52 @@ run ./build-asan/tests/cn_tests_io --gtest_filter='FaultInjection*'
 # Strict-vs-lenient ingestion throughput at 1% corruption; emits
 # bench_out/BENCH_fault_ingest.json for the perf trajectory.
 run ./build-release/bench/bench_fault_ingest
+
+echo "=== CNB1 binary format: round-trip suite under asan ==="
+# The CNB1 header/section/corruption suite and the DatasetSource
+# sniffing/ownership tests are exactly where a lifetime bug in the
+# mmap-backed loader would hide; run them asan-clean.
+run ./build-asan/tests/cn_tests_io --gtest_filter='CnbFormat*:DatasetSource*'
+
+echo "=== CNB1 fixtures via cnconvert + audit differential from binary ==="
+# Build a binary fixture with the conversion tool, then prove the
+# legacy-vs-columnar differential holds when the audit loads from CNB1,
+# and that converting back to CSV reads the same report bytes.
+CNB_WORK="$(mktemp -d)"
+trap 'rm -rf "${CNB_WORK}"' EXIT
+run ./build-release/tools/cnaudit simulate --dataset A --seed 11 --scale 0.1 \
+    --out "${CNB_WORK}/csv"
+run ./build-release/tools/cnconvert --input "${CNB_WORK}/csv" \
+    --output "${CNB_WORK}/world.cnb"
+# The "loaded ... from <path>" banner names the input path, so drop it
+# before comparing reports read from different sources.
+./build-release/tools/cnaudit report --input "${CNB_WORK}/world.cnb" \
+    --engine legacy | sed '/^loaded /d' > "${CNB_WORK}/legacy.txt"
+./build-release/tools/cnaudit report --input "${CNB_WORK}/world.cnb" \
+    --engine columnar | sed '/^loaded /d' > "${CNB_WORK}/columnar.txt"
+run cmp "${CNB_WORK}/legacy.txt" "${CNB_WORK}/columnar.txt"
+run ./build-release/tools/cnconvert --input "${CNB_WORK}/world.cnb" \
+    --output "${CNB_WORK}/csv2" --format csv
+./build-release/tools/cnaudit report --input "${CNB_WORK}/csv2" \
+    --engine columnar | sed '/^loaded /d' > "${CNB_WORK}/columnar2.txt"
+run cmp "${CNB_WORK}/columnar.txt" "${CNB_WORK}/columnar2.txt"
+
+echo "=== CNB1 ingest throughput gate (bench_dataset_build) ==="
+# The bench exits non-zero below the 20x audit-ready ingest target; the
+# json check guards the emitted bit so a silent edit to the bench's own
+# gate cannot slip through CI.
+run ./build-release/bench/bench_dataset_build --benchmark_filter='^$'
+python3 - <<'EOF'
+import json, sys
+with open("bench_out/BENCH_dataset_build.json") as f:
+    metrics = json.load(f)["metrics"]
+if metrics.get("ingest_speedup_ok") != 1.0:
+    sys.exit(f"CNB1 ingest gate failed: {metrics.get('ingest_speedup')}x "
+             "(need >= 20x)")
+print(f"CNB1 ingest {metrics['ingest_speedup']:.1f}x CSV "
+      f"(raw load {metrics['load_speedup']:.1f}x, "
+      f"{metrics['cnb_bytes_per_tx']:.0f} B/tx)")
+EOF
 
 echo "=== tsan: configure + build + concurrency tests ==="
 run cmake --preset tsan

@@ -4,30 +4,35 @@
 //       Simulate a data set and export it (blocks/txs/inputs/outputs CSV
 //       plus Mempool snapshots and the observer's first-seen log).
 //
-//   cnaudit audit      --data DIR [--alpha P] [--min-share F]
-//       Import a chain and run the §5 cross-pool differential-
+//   cnaudit audit      --input PATH [--alpha P] [--min-share F]
+//       Load a data set and run the §5 cross-pool differential-
 //       prioritization audit (Table 2 style), printing findings.
 //
-//   cnaudit report     --data DIR [--alpha P] [--threads N]
+//   cnaudit report     --input PATH [--alpha P] [--threads N]
 //                      [--min-coverage F] [--stages CSV]
 //                      [--engine columnar|legacy] [--timings on|off]
 //       The whole §4-§5 methodology in one shot (run_full_audit):
 //       PPE, cross-pool findings with bootstrap CIs, dark-fee
-//       suspicion, and the neutrality scorecard. When snapshots.csv /
-//       first_seen.csv sit next to the chain they are graded into a
-//       data-quality report: blocks under --min-coverage are masked
-//       from the norm statistics and findings resting on them are
-//       downgraded to "insufficient data". --stages selects which
+//       suspicion, and the neutrality scorecard. When the data set
+//       carries Mempool snapshots / first-seen series they are graded
+//       into a data-quality report: blocks under --min-coverage are
+//       masked from the norm statistics and findings resting on them
+//       are downgraded to "insufficient data". --stages selects which
 //       analysis stages run (comma-separated names from
 //       audit_stage_names(); skipped stages print as [SKIPPED]);
 //       --engine legacy runs the pre-columnar oracle instead;
 //       --timings on appends the per-stage wall-time footer (off by
 //       default so the output stays byte-reproducible run to run).
 //
-// Every data-loading subcommand takes --policy strict|lenient
-// (default strict). Strict aborts at the first defective row and
-// pinpoints its file and line; lenient skips or repairs defects,
-// prints a diagnostic summary, and still loads the data set.
+// Every data-loading subcommand takes --input PATH: either a CSV export
+// directory or a CNB1 binary columnar file (io/cnb.hpp). The format is
+// sniffed from the path; --format csv|cnb overrides the sniff. --data is
+// the historical alias for --input. A CNB1 file that embeds derived
+// audit columns (cnconvert's default) lets `report` skip the dataset
+// build stage outright. All of them take --policy strict|lenient
+// (default strict). Strict aborts at the first defective row or section
+// and pinpoints it; lenient skips or repairs defects, prints a
+// diagnostic summary, and still loads the data set.
 //
 // Observability (DESIGN.md §10): every subcommand accepts
 //   --metrics-out PATH   write the cn::obs metric registry as JSON after
@@ -39,14 +44,14 @@
 //                        metric/span a no-op and the exports empty.
 // Options may be spelled "--key value" or "--key=value".
 //
-//   cnaudit neutrality --data DIR
+//   cnaudit neutrality --input PATH
 //       Print the per-pool chain-neutrality scorecard (§6.1).
 //
-//   cnaudit ppe        --data DIR
+//   cnaudit ppe        --input PATH
 //       Norm-adherence summary: PPE distribution over all blocks and the
 //       top pools (Figure 7 style).
 //
-//   cnaudit darkfee    --data DIR [--pool NAME] [--sppe T]
+//   cnaudit darkfee    --input PATH [--pool NAME] [--sppe T]
 //       Flag suspected dark-fee (accelerated) transactions by SPPE
 //       (Table 4's detector; validation against a service API requires
 //       the service, so only counts and positions are reported).
@@ -57,7 +62,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -73,6 +77,7 @@
 #include "core/sppe.hpp"
 #include "core/wallet_inference.hpp"
 #include "io/dataset_io.hpp"
+#include "io/dataset_source.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
 #include "sim/dataset.hpp"
@@ -138,13 +143,15 @@ int usage() {
   std::fprintf(stderr,
                "usage: cnaudit <simulate|audit|report|neutrality|ppe|darkfee> [--key value ...]\n"
                "  simulate   --dataset A|B|C [--seed N] [--scale X] --out DIR\n"
-               "  audit      --data DIR [--alpha P] [--min-share F]\n"
-               "  report     --data DIR [--alpha P] [--threads N] [--min-coverage F]\n"
+               "  audit      --input PATH [--alpha P] [--min-share F]\n"
+               "  report     --input PATH [--alpha P] [--threads N] [--min-coverage F]\n"
                "             [--stages CSV] [--engine columnar|legacy] [--timings on|off]\n"
-               "  neutrality --data DIR\n"
-               "  ppe        --data DIR\n"
-               "  darkfee    --data DIR [--pool NAME] [--sppe T]\n"
-               "data-loading commands also take --policy strict|lenient (default strict)\n"
+               "  neutrality --input PATH\n"
+               "  ppe        --input PATH\n"
+               "  darkfee    --input PATH [--pool NAME] [--sppe T]\n"
+               "--input takes a CSV export directory or a .cnb file (sniffed;\n"
+               "--format csv|cnb overrides, --data is a deprecated alias) and\n"
+               "commands also take --policy strict|lenient (default strict)\n"
                "every command takes --metrics-out PATH [--trace-out PATH] [--obs on|off]\n");
   return 2;
 }
@@ -158,27 +165,38 @@ std::optional<io::LoadPolicy> parse_policy(const Args& args) {
   return std::nullopt;
 }
 
-std::optional<btc::Chain> load_chain(const Args& args,
-                                     btc::AddressTable* addresses = nullptr) {
-  const auto dir = args.get("data");
-  if (!dir) {
-    std::fprintf(stderr, "cnaudit: --data DIR is required\n");
+std::optional<io::DatasetHandle> load_dataset(const Args& args) {
+  auto path = args.get("input");
+  if (!path) path = args.get("data");  // historical alias for --input
+  if (!path) {
+    std::fprintf(stderr, "cnaudit: --input PATH is required\n");
     return std::nullopt;
   }
   const auto policy = parse_policy(args);
   if (!policy) return std::nullopt;
-  auto result = io::import_chain(*dir, *policy, addresses);
+  std::optional<io::DatasetFormat> format;
+  if (const auto f = args.get("format")) {
+    format = io::parse_dataset_format(*f);
+    if (!format) {
+      std::fprintf(stderr, "cnaudit: unknown --format '%s' (want csv|cnb)\n",
+                   f->c_str());
+      return std::nullopt;
+    }
+  }
+  auto result = io::open_dataset(*path, *policy, format);
   if (!result.report.clean()) {
-    std::fprintf(stderr, "cnaudit: %s: %s\n", dir->c_str(),
+    std::fprintf(stderr, "cnaudit: %s: %s\n", path->c_str(),
                  result.report.summary().c_str());
   }
   if (!result) {
-    std::fprintf(stderr, "cnaudit: failed to load a chain from %s\n", dir->c_str());
+    std::fprintf(stderr, "cnaudit: failed to load a data set from %s\n",
+                 path->c_str());
     return std::nullopt;
   }
-  std::printf("loaded %zu blocks, %llu transactions from %s\n\n", result->size(),
-              static_cast<unsigned long long>(result->total_tx_count()),
-              dir->c_str());
+  std::printf("loaded %zu blocks, %llu transactions from %s\n\n",
+              result->chain.size(),
+              static_cast<unsigned long long>(result->chain.total_tx_count()),
+              path->c_str());
   return std::move(result.value);
 }
 
@@ -222,13 +240,14 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_audit(const Args& args) {
-  const auto chain = load_chain(args);
-  if (!chain) return 1;
+  const auto data = load_dataset(args);
+  if (!data) return 1;
+  const btc::Chain& chain = data->chain;
   const double alpha = args.get_double("alpha", 0.001);
   const double min_share = args.get_double("min-share", 0.03);
 
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
-  const core::PoolAttribution attribution(*chain, registry);
+  const core::PoolAttribution attribution(chain, registry);
 
   std::vector<std::string> pools;
   for (const auto& pool : attribution.pools_by_blocks()) {
@@ -241,11 +260,11 @@ int cmd_audit(const Args& args) {
   table.print_header();
   int findings = 0;
   for (const auto& owner : pools) {
-    const auto txs = core::self_interest_txs(*chain, attribution, owner);
+    const auto txs = core::self_interest_txs(chain, attribution, owner);
     if (txs.size() < 10) continue;
     for (const auto& miner : pools) {
       const auto r =
-          core::test_differential_prioritization(*chain, attribution, miner, txs);
+          core::test_differential_prioritization(chain, attribution, miner, txs);
       const bool accel = r.p_accelerate < alpha && r.sppe > 25.0;
       const bool decel = r.p_decelerate < alpha && r.x == 0;
       if (!accel && !decel) continue;
@@ -270,18 +289,18 @@ int cmd_report(const Args& args) {
   }
   const bool with_timings = timings == "on";
 
-  // The importer interns every address it parses; the build stage then
-  // reuses the table instead of re-hashing the address universe.
-  btc::AddressTable addresses;
-  const auto chain = load_chain(args, &addresses);
-  if (!chain) return 1;
+  const auto data = load_dataset(args);
+  if (!data) return 1;
+  const btc::Chain& chain = data->chain;
   core::AuditOptions options;
   options.alpha = args.get_double("alpha", 0.001);
   // 0 = all hardware threads, 1 = serial; the report is byte-identical
   // at any setting (DESIGN.md §7.2, §9).
   options.threads = static_cast<unsigned>(args.get_u64("threads", 0));
   options.min_coverage = args.get_double("min-coverage", options.min_coverage);
-  options.interned_addresses = &addresses;
+  // The loader interned every address it touched; the build stage reuses
+  // the table instead of re-hashing the address universe.
+  options.interned_addresses = &data->addresses;
 
   const std::string engine = args.get_or("engine", "columnar");
   if (engine == "legacy") {
@@ -310,54 +329,34 @@ int cmd_report(const Args& args) {
     }
   }
 
-  // Grade coverage from whichever observer series were exported next to
-  // the chain; with neither present the audit keeps the historical
-  // perfect-coverage behaviour.
-  const std::string dir = *args.get("data");
-  const io::LoadPolicy policy = *parse_policy(args);
-  std::error_code ec;
-  std::optional<node::SnapshotSeries> snapshots;
-  std::optional<io::FirstSeenMap> first_seen;
-  if (const std::string path = dir + "/snapshots.csv";
-      std::filesystem::exists(path, ec)) {
-    auto r = io::import_snapshots(path, policy);
-    if (!r.report.clean()) {
-      std::fprintf(stderr, "cnaudit: %s: %s\n", path.c_str(),
-                   r.report.summary().c_str());
-    }
-    if (r) snapshots = std::move(*r);
-  }
-  if (const std::string path = dir + "/first_seen.csv";
-      std::filesystem::exists(path, ec)) {
-    auto r = io::import_first_seen(path, policy);
-    if (!r.report.clean()) {
-      std::fprintf(stderr, "cnaudit: %s: %s\n", path.c_str(),
-                   r.report.summary().c_str());
-    }
-    if (r) first_seen = std::move(*r);
-  }
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  // A CNB1 source that embeds derived audit columns built under this
+  // registry lets the build stage adopt them instead of rebuilding.
+  options.prebuilt_dataset = data->prebuilt_for(registry);
 
-  if (snapshots.has_value() || first_seen.has_value()) {
+  // Grade coverage from whichever observer series the data set carries;
+  // with neither present the audit keeps the historical perfect-coverage
+  // behaviour.
+  if (data->snapshots.has_value() || data->first_seen.has_value()) {
     const core::DataQualityReport quality = core::assess_data_quality(
-        *chain, snapshots.has_value() ? &*snapshots : nullptr,
-        first_seen.has_value() ? &*first_seen : nullptr);
-    const auto report = core::run_full_audit(
-        *chain, btc::CoinbaseTagRegistry::paper_registry(), &quality, options);
+        chain, data->snapshots.has_value() ? &*data->snapshots : nullptr,
+        data->first_seen.has_value() ? &*data->first_seen : nullptr);
+    const auto report = core::run_full_audit(chain, registry, &quality, options);
     core::print_audit_report(report, stdout, with_timings);
     return 0;
   }
-  const auto report = core::run_full_audit(
-      *chain, btc::CoinbaseTagRegistry::paper_registry(), options);
+  const auto report = core::run_full_audit(chain, registry, options);
   core::print_audit_report(report, stdout, with_timings);
   return 0;
 }
 
 int cmd_neutrality(const Args& args) {
-  const auto chain = load_chain(args);
-  if (!chain) return 1;
+  const auto data = load_dataset(args);
+  if (!data) return 1;
+  const btc::Chain& chain = data->chain;
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
-  const core::PoolAttribution attribution(*chain, registry);
-  const auto reports = core::neutrality_reports(*chain, attribution);
+  const core::PoolAttribution attribution(chain, registry);
+  const auto reports = core::neutrality_reports(chain, attribution);
 
   core::TablePrinter table({"pool", "blocks", "PPE%", "boost%", "self-p",
                             "floor%", "score"},
@@ -374,9 +373,9 @@ int cmd_neutrality(const Args& args) {
 }
 
 int cmd_ppe(const Args& args) {
-  const auto chain = load_chain(args);
-  if (!chain) return 1;
-  const auto ppe = core::chain_ppe(*chain);
+  const auto data = load_dataset(args);
+  if (!data) return 1;
+  const auto ppe = core::chain_ppe(data->chain);
   const auto s = stats::summarize(ppe);
   const stats::Ecdf cdf{std::span<const double>(ppe)};
   core::print_summary_row("PPE (all)", s);
@@ -388,11 +387,12 @@ int cmd_ppe(const Args& args) {
 }
 
 int cmd_darkfee(const Args& args) {
-  const auto chain = load_chain(args);
-  if (!chain) return 1;
+  const auto data = load_dataset(args);
+  if (!data) return 1;
+  const btc::Chain& chain = data->chain;
   const double threshold = args.get_double("sppe", 99.0);
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
-  const core::PoolAttribution attribution(*chain, registry);
+  const core::PoolAttribution attribution(chain, registry);
 
   std::vector<std::string> pools;
   if (const auto pool = args.get("pool")) {
@@ -405,9 +405,9 @@ int cmd_darkfee(const Args& args) {
   core::TablePrinter table({"pool", "txs", "flagged", "rate"}, {16, 11, 9, 10});
   table.print_header();
   for (const auto& pool : pools) {
-    const auto flagged = core::detect_accelerated(*chain, attribution, pool, threshold);
+    const auto flagged = core::detect_accelerated(chain, attribution, pool, threshold);
     std::uint64_t txs = 0;
-    for (const auto& block : chain->blocks()) {
+    for (const auto& block : chain.blocks()) {
       const auto owner = attribution.pool_of(block.height());
       if (owner.has_value() && *owner == pool) txs += block.tx_count();
     }

@@ -1,26 +1,37 @@
 // cninject — deterministic fault injection for exported data sets.
 //
-//   cninject --in DIR --out DIR [--seed N] [--rate F] [--kinds LIST]
-//            [--gaps N] [--gap-width T] [--truncate 0|1]
+//   cninject --input PATH --output PATH [--seed N] [--rate F]
+//            [--kinds LIST] [--gaps N] [--gap-width T] [--truncate 0|1]
+//            [--sections N]
 //
-// Copies the data set at --in to --out while injecting faults drawn
-// from a seeded RNG (see src/testing/fault_injector.hpp), then prints
-// the injection log: one line per fault with the output file and line
-// it landed on. The same --seed always produces the same faults, so a
-// logged failure is replayable with nothing but the original data set
-// and the seed.
+// Copies the data set at --input to --output while injecting faults
+// drawn from a seeded RNG (see src/testing/fault_injector.hpp), then
+// prints the injection log: one line per fault with the output file and
+// line it landed on. The same --seed always produces the same faults,
+// so a logged failure is replayable with nothing but the original data
+// set and the seed.
 //
+// When --input is a CSV export directory, row faults apply:
 //   --kinds   comma-separated subset of corrupt,drop,dup,swap
 //             (default: all four)
 //   --rate    per-row fault probability (default 0.01)
 //   --gaps    observer-outage windows to delete from snapshots.csv
 //   --truncate 1 cuts each row file mid-record at a random point
 //
+// When --input is a CNB1 binary file (io/cnb.hpp), the section-
+// corruption mode runs instead:
+//   --sections N  flip a payload byte in N distinct sections (default 1;
+//                 each logged with the directory index a strict
+//                 io::read_cnb pinpoints)
+//   --truncate 1  additionally cut the file mid-section
+//
+// --in/--out are historical aliases for --input/--output.
+//
 // Typical round trip:
 //   cnaudit simulate --dataset C --out clean
-//   cninject --in clean --out dirty --seed 7 --rate 0.02 --gaps 2
-//   cnaudit report --data dirty --policy lenient   # loads, masks gaps
-//   cnaudit report --data dirty --policy strict    # pinpoints a fault
+//   cninject --input clean --output dirty --seed 7 --rate 0.02 --gaps 2
+//   cnaudit report --input dirty --policy lenient  # loads, masks gaps
+//   cnaudit report --input dirty --policy strict   # pinpoints a fault
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -28,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "io/dataset_source.hpp"
 #include "testing/fault_injector.hpp"
 
 namespace {
@@ -36,9 +48,11 @@ using namespace cn;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cninject --in DIR --out DIR [--seed N] [--rate F]\n"
+               "usage: cninject --input PATH --output PATH [--seed N] [--rate F]\n"
                "                [--kinds corrupt,drop,dup,swap] [--gaps N]\n"
-               "                [--gap-width T] [--truncate 0|1]\n");
+               "                [--gap-width T] [--truncate 0|1] [--sections N]\n"
+               "CSV directories get row faults; .cnb files get the\n"
+               "section-corruption mode (--sections payload-byte flips)\n");
   return 2;
 }
 
@@ -75,6 +89,8 @@ int main(int argc, char** argv) {
     if (key.rfind("--", 0) != 0 || i + 1 >= argc) return usage();
     args[key.substr(2)] = argv[++i];
   }
+  if (args.count("input")) args["in"] = args["input"];
+  if (args.count("output")) args["out"] = args["output"];
   if (!args.count("in") || !args.count("out")) return usage();
 
   const std::uint64_t seed =
@@ -98,10 +114,21 @@ int main(int argc, char** argv) {
     options.gap_width = std::strtoll(args["gap-width"].c_str(), nullptr, 10);
   }
   if (args.count("truncate")) options.truncate_tail = args["truncate"] == "1";
+  if (args.count("sections")) {
+    options.cnb_sections = std::strtoull(args["sections"].c_str(), nullptr, 10);
+  }
 
   testing::FaultInjector injector(seed);
-  testing::InjectionLog log =
-      injector.inject_dataset(args["in"], args["out"], options);
+  testing::InjectionLog log;
+  if (io::sniff_dataset_format(args["in"]) == io::DatasetFormat::kCnb) {
+    if (!injector.inject_cnb_file(args["in"], args["out"], options, log)) {
+      std::fprintf(stderr, "cninject: could not read CNB1 file %s\n",
+                   args["in"].c_str());
+      return 1;
+    }
+  } else {
+    log = injector.inject_dataset(args["in"], args["out"], options);
+  }
   log.seed = seed;
 
   std::printf("injected %zu fault(s) with seed %llu (%zu strict-detectable)\n",

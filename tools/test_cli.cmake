@@ -79,6 +79,62 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "unknown command unexpectedly succeeded")
 endif()
 
+# CNB1 conversion round trip: CSV -> cnb -> CSV, with the audit reading
+# identical report bytes from all three sources via the unified --input.
+# The "loaded ... from <path>" banner names the input path, so it is
+# stripped before the byte comparison; everything below it must match.
+function(strip_loaded_banner report out_var)
+  string(REGEX REPLACE "^loaded [^\n]*\n" "" report "${report}")
+  set("${out_var}" "${report}" PARENT_SCOPE)
+endfunction()
+if(DEFINED CNCONVERT)
+  set(cnb "${workdir}.cnb")
+  set(csv2 "${workdir}_from_cnb")
+  file(REMOVE "${cnb}")
+  file(REMOVE_RECURSE "${csv2}")
+  execute_process(
+    COMMAND "${CNCONVERT}" --input "${workdir}" --output "${cnb}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cnconvert csv->cnb failed (${rc}): ${out}${err}")
+  endif()
+  execute_process(
+    COMMAND "${CNAUDIT}" report --input "${workdir}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE csv_report ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "report --input csv failed (${rc}): ${err}")
+  endif()
+  strip_loaded_banner("${csv_report}" csv_report)
+  execute_process(
+    COMMAND "${CNAUDIT}" report --input "${cnb}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE cnb_report ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "report --input cnb failed (${rc}): ${err}")
+  endif()
+  strip_loaded_banner("${cnb_report}" cnb_report)
+  if(NOT cnb_report STREQUAL csv_report)
+    message(FATAL_ERROR "CNB1 report diverged from the CSV report:\n--- csv ---\n${csv_report}\n--- cnb ---\n${cnb_report}")
+  endif()
+  execute_process(
+    COMMAND "${CNCONVERT}" --input "${cnb}" --output "${csv2}" --format csv
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cnconvert cnb->csv failed (${rc}): ${out}${err}")
+  endif()
+  execute_process(
+    COMMAND "${CNAUDIT}" report --input "${csv2}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE csv2_report ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "report --input converted-csv failed (${rc}): ${err}")
+  endif()
+  strip_loaded_banner("${csv2_report}" csv2_report)
+  if(NOT csv2_report STREQUAL csv_report)
+    message(FATAL_ERROR "round-tripped CSV report diverged from the original")
+  endif()
+  file(REMOVE "${cnb}")
+  file(REMOVE_RECURSE "${csv2}")
+endif()
+
 # Fault-injection round trip: corrupt the export, then lenient import
 # must still produce a report while strict import must refuse it.
 if(DEFINED CNINJECT)
