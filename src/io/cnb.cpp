@@ -278,6 +278,13 @@ std::optional<CnbInfo> inspect_cnb(const std::string& path,
   info.file_size = std::filesystem::file_size(path, ec);
   if (ec) return fail("cannot stat " + path);
 
+  // Validate the directory fits BEFORE sizing anything by section_count:
+  // a crafted header with section_count = 0xFFFFFFFF would otherwise
+  // drive a ~137 GB reserve straight into std::bad_alloc.
+  if (header_bytes + 32ull * section_count > info.file_size) {
+    return fail("directory extends past EOF");
+  }
+
   in.seekg(header_bytes);
   std::vector<std::uint8_t> entry(32);
   info.sections.reserve(section_count);
@@ -610,6 +617,14 @@ struct Verified {
   bool ok = false;
 };
 
+/// Relational sections the chain rebuild cannot do without; lenient
+/// mode may only drop the optional groups, so a file-level defect on
+/// one of these (e.g. a duplicate directory entry) is always fatal.
+bool required_section(std::uint32_t id) {
+  return id >= static_cast<std::uint32_t>(CnbSection::kBlockMinedAt) &&
+         id <= static_cast<std::uint32_t>(CnbSection::kOutValueSat);
+}
+
 }  // namespace
 
 LoadResult<DatasetHandle> read_cnb(const std::string& path,
@@ -710,8 +725,11 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
     return finish();
   }
 
-  // --- directory: bounds + checksum pass, in file order. Unrecognised
-  // ids are skipped (forward compatibility); duplicates keep the first.
+  // --- directory: bounds + alignment + checksum pass, in file order.
+  // Unrecognised ids are skipped (forward compatibility). Duplicates
+  // keep the first entry; the duplicate itself is a recorded defect —
+  // droppable in lenient mode for optional sections, fatal for required
+  // ones (and, like any defect, fatal under strict).
   // The digests are the only O(file) cost of the walk and are pure reads
   // over disjoint payload ranges, so big files fold them in parallel up
   // front; the serial walk below just compares, keeping defect discovery
@@ -739,16 +757,30 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
     if (std::string_view(name) == "unknown") continue;
     if (sections.count(id) != 0) {
       if (!load.defect(LoadErrorKind::kSectionLayout, dir_line,
-                       std::string("duplicate section ") + name, true)) {
+                       std::string("duplicate section ") + name,
+                       required_section(id))) {
         return finish();
       }
-      continue;
+      continue;  // keep the first entry, already verified above
     }
     Verified v;
     v.dir_line = dir_line;
     if (offset > file_size || byte_size > file_size - offset) {
       if (!load.defect(LoadErrorKind::kTruncatedFile, dir_line,
                        std::string("section ") + name + " extends past EOF",
+                       false)) {
+        return finish();
+      }
+      sections.emplace(id, v);  // present but unusable
+      continue;
+    }
+    if (offset % 8 != 0) {
+      // The writer 8-byte-aligns every payload; the reader's zero-copy
+      // u64/i64/f64 views rely on it, so a misaligned entry in a
+      // crafted/corrupt file must never reach a reinterpret_cast.
+      if (!load.defect(LoadErrorKind::kSectionLayout, dir_line,
+                       std::string("section ") + name +
+                           " offset is not 8-byte aligned",
                        false)) {
         return finish();
       }
@@ -775,9 +807,12 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
   // --- section group extraction ---
   // `take` fetches one section of a group: it must exist, be
   // checksum-clean, and hold a whole number of elements of the declared
-  // width (an exact count when one is implied). On any miss the group is
-  // poisoned: fatal for the required relational group, dropped (with the
-  // defect recorded) for optional ones in lenient mode.
+  // width (an exact count when one is implied). ANY miss poisons the
+  // group unconditionally — group_ok never survives a defect, so later
+  // consumers of sibling columns cannot index into a half-loaded group.
+  // defect()'s return value only decides whether the whole load aborts:
+  // fatal for the required relational group (and everything in strict
+  // mode), dropped-with-record for optional groups in lenient mode.
   bool group_ok = true;
   const auto take = [&](CnbSection id, std::size_t elem_size,
                         std::optional<std::uint64_t> count,
@@ -786,13 +821,13 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
     const char* name = to_string(id);
     const auto it = sections.find(static_cast<std::uint32_t>(id));
     if (it == sections.end()) {
-      group_ok = load.defect(LoadErrorKind::kMissingSection, 0,
-                             std::string("section ") + name + " is missing",
-                             required);
+      load.defect(LoadErrorKind::kMissingSection, 0,
+                  std::string("section ") + name + " is missing", required);
+      group_ok = false;
       return nullptr;
     }
     const Verified& v = it->second;
-    if (!v.ok) {  // bounds/checksum defect already recorded
+    if (!v.ok) {  // bounds/alignment/checksum defect already recorded
       group_ok = false;
       if (required) {
         load.fatal = true;
@@ -803,10 +838,11 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
     const bool size_ok =
         count ? v.size == *count * elem_size : v.size % elem_size == 0;
     if (!size_ok) {
-      group_ok = load.defect(LoadErrorKind::kSectionLayout, v.dir_line,
-                             std::string("section ") + name +
-                                 " has an unexpected byte size",
-                             required);
+      load.defect(LoadErrorKind::kSectionLayout, v.dir_line,
+                  std::string("section ") + name +
+                      " has an unexpected byte size",
+                  required);
+      group_ok = false;
       return nullptr;
     }
     return &v;
@@ -815,9 +851,10 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
                                  bool required) {
     const auto it = sections.find(static_cast<std::uint32_t>(id));
     const std::size_t line = it == sections.end() ? 0 : it->second.dir_line;
-    group_ok = load.defect(LoadErrorKind::kSectionLayout, line,
-                           std::string("section ") + to_string(id) + ": " + why,
-                           required);
+    load.defect(LoadErrorKind::kSectionLayout, line,
+                std::string("section ") + to_string(id) + ": " + why,
+                required);
+    group_ok = false;
   };
 
   // --- required relational group ---
@@ -830,9 +867,10 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
   // intern pass, derived-column copies), so they are read straight out
   // of the verified mapping instead of through intermediate vectors —
   // on one core the extra 40+ MB alloc-and-copy pass was a measurable
-  // slice of the load. The writer 8-byte-aligns every payload, which
-  // satisfies all the element types here; after the required group
-  // either load.fatal is set or every view below is non-null.
+  // slice of the load. The directory walk above rejected any section
+  // whose offset is not 8-byte aligned, so these views are well-aligned
+  // for every element type here; after the required group either
+  // load.fatal is set or every view below is non-null.
   const SimTime* mined_at = nullptr;
   const std::uint64_t* reward_addr = nullptr;
   const std::int64_t* reward_sat = nullptr;

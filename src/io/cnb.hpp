@@ -43,7 +43,11 @@
 // magic, endianness tag, or major version, and MUST ignore directory
 // entries whose section_id they do not recognise — a newer writer may
 // append new optional sections without breaking old readers. Removing
-// or re-typing a section requires a version bump.
+// or re-typing a section requires a version bump. Duplicate directory
+// entries keep the first occurrence; the duplicate itself is a defect
+// (droppable in lenient mode for optional sections, fatal for required
+// ones). Payload offsets MUST be 8-byte aligned — the reader rejects a
+// misaligned entry (kSectionLayout) rather than form a misaligned view.
 //
 // Failure model: every defect surfaces as a typed LoadError (never a
 // crash) — kBadMagic / kUnsupportedVersion / kTruncatedFile /

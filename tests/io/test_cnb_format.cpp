@@ -72,6 +72,45 @@ class CnbFormatTest : public ::testing::Test {
     ADD_FAILURE() << "section " << to_string(id) << " not in " << path_;
     return 0;
   }
+
+  /// Patches one 32-byte directory entry in place via @p edit, which
+  /// receives a pointer to the entry inside the file bytes (and the
+  /// parsed CnbSectionInfo) and may rewrite any of its fields. Returns
+  /// the 1-based directory index of the patched entry.
+  template <typename Edit>
+  std::size_t patch_entry(CnbSection id, Edit edit) {
+    const auto info = inspect_cnb(path_);
+    EXPECT_TRUE(info.has_value());
+    std::string bytes = read_bytes(path_);
+    for (std::size_t i = 0; i < info->sections.size(); ++i) {
+      if (info->sections[i].id == static_cast<std::uint32_t>(id)) {
+        edit(bytes.data() + kCnbHeaderBytes + 32 * i, bytes,
+             info->sections[i]);
+        write_bytes(path_, bytes);
+        return i + 1;
+      }
+    }
+    ADD_FAILURE() << "section " << to_string(id) << " not in " << path_;
+    return 0;
+  }
+
+  /// Rebrands @p id's directory entry under @p new_id (payload intact).
+  std::size_t rebrand_section(CnbSection id, std::uint32_t new_id) {
+    return patch_entry(id, [&](char* entry, std::string&, const CnbSectionInfo&) {
+      std::memcpy(entry, &new_id, sizeof new_id);
+    });
+  }
+
+  btc::Chain write_with_snapshots() {
+    const btc::Chain chain = three_block_chain();
+    node::SnapshotSeries snapshots;
+    snapshots.record({15, 3, 700});
+    snapshots.record({30, 5, 1400});
+    CnbWriteOptions options;
+    options.snapshots = &snapshots;
+    EXPECT_TRUE(write_cnb(chain, path_, options));
+    return chain;
+  }
 };
 
 TEST_F(CnbFormatTest, ChainAndSeriesRoundTripExactly) {
@@ -394,6 +433,185 @@ TEST_F(CnbFormatTest, UnknownSectionIdIgnoredButRequiredOnesMissed) {
     EXPECT_NE(loaded.report.first_error()->detail.find("block-mined-at"),
               std::string::npos);
   }
+}
+
+// A group whose optional section is simply MISSING (not
+// checksum-corrupt) must be poisoned whole: strict aborts, lenient
+// drops the group. Before the fix lenient kept group_ok true and
+// consumed the sibling columns half-loaded (out-of-bounds reads on the
+// empty counts vector).
+TEST_F(CnbFormatTest, LenientDropsGroupWhenOptionalSectionMissing) {
+  const btc::Chain chain = write_with_snapshots();
+  // Hide kSnapTxCount under an unrecognised id: the reader skips the
+  // entry, leaving the snapshot group with times but no counts.
+  rebrand_section(CnbSection::kSnapTxCount, 60'001);
+
+  const auto strict = read_cnb(path_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kMissingSection);
+
+  const auto lenient = read_cnb(path_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value()) << lenient.report.summary();
+  EXPECT_FALSE(lenient.report.clean());
+  EXPECT_GT(lenient.report.rows_skipped, 0u);
+  EXPECT_FALSE(lenient->snapshots.has_value());
+  EXPECT_EQ(lenient->chain.size(), chain.size());
+  EXPECT_EQ(lenient->chain.tip_hash(), chain.tip_hash());
+}
+
+// Same failure model for a checksum-clean section whose byte size
+// disagrees with the group's implied element count.
+TEST_F(CnbFormatTest, LenientDropsGroupWhenOptionalSectionWrongSized) {
+  const btc::Chain chain = write_with_snapshots();
+  // Shrink kSnapTxCount to one element, checksum recomputed so the only
+  // defect is the size disagreeing with kSnapTime's count.
+  const std::size_t dir_index = patch_entry(
+      CnbSection::kSnapTxCount,
+      [](char* entry, std::string& bytes, const CnbSectionInfo& s) {
+        const std::uint64_t new_size = 8;
+        const std::uint64_t checksum =
+            cnb_checksum(bytes.data() + s.offset, new_size);
+        std::memcpy(entry + 16, &new_size, sizeof new_size);
+        std::memcpy(entry + 24, &checksum, sizeof checksum);
+      });
+
+  const auto strict = read_cnb(path_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kSectionLayout);
+  EXPECT_EQ(strict.report.first_error()->line, dir_index);
+
+  const auto lenient = read_cnb(path_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value()) << lenient.report.summary();
+  EXPECT_GT(lenient.report.rows_skipped, 0u);
+  EXPECT_FALSE(lenient->snapshots.has_value());
+  EXPECT_EQ(lenient->chain.tip_hash(), chain.tip_hash());
+}
+
+// The derived-columns flavour of the missing-section hole: an absent
+// offsets column used to reach name_offsets.front() on an empty vector.
+TEST_F(CnbFormatTest, LenientDropsDerivedGroupWhenOffsetsColumnMissing) {
+  const btc::Chain chain = three_block_chain();
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const core::PoolAttribution attribution(chain, registry);
+  util::ThreadPool workers(1);
+  const auto dataset = core::AuditDataset::build(chain, attribution, workers);
+  CnbWriteOptions options;
+  options.dataset = &dataset;
+  options.registry_fingerprint = registry.fingerprint();
+  ASSERT_TRUE(write_cnb(chain, path_, options));
+  rebrand_section(CnbSection::kPoolNameOffsets, 60'002);
+
+  const auto strict = read_cnb(path_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kMissingSection);
+
+  const auto lenient = read_cnb(path_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value()) << lenient.report.summary();
+  EXPECT_FALSE(lenient->audit_dataset.has_value());
+  EXPECT_EQ(lenient->chain.tip_hash(), chain.tip_hash());
+}
+
+// A section offset the writer would never emit (not 8-byte aligned)
+// must be rejected in the directory walk, never reinterpret_cast into a
+// misaligned column view.
+TEST_F(CnbFormatTest, MisalignedSectionOffsetIsTypedNotDereferenced) {
+  const btc::Chain chain = write_with_snapshots();
+  const std::size_t dir_index = patch_entry(
+      CnbSection::kSnapTime,
+      [](char* entry, std::string&, const CnbSectionInfo& s) {
+        const std::uint64_t off = s.offset + 4;
+        std::memcpy(entry + 8, &off, sizeof off);
+      });
+
+  const auto strict = read_cnb(path_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kSectionLayout);
+  EXPECT_EQ(strict.report.first_error()->line, dir_index);
+  EXPECT_NE(strict.report.first_error()->detail.find("aligned"),
+            std::string::npos);
+
+  const auto lenient = read_cnb(path_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value()) << lenient.report.summary();
+  EXPECT_FALSE(lenient->snapshots.has_value());
+  EXPECT_EQ(lenient->chain.tip_hash(), chain.tip_hash());
+}
+
+// Duplicate directory entries: the first (already verified) entry wins;
+// the duplicate is a recorded defect — droppable for an optional
+// section in lenient mode, fatal like any defect under strict.
+TEST_F(CnbFormatTest, DuplicateOptionalEntryKeepsFirstUnderLenient) {
+  const btc::Chain chain = three_block_chain();
+  node::SnapshotSeries snapshots;
+  snapshots.record({15, 3, 700});
+  snapshots.record({30, 5, 1400});
+  FirstSeenMap first_seen;
+  first_seen.emplace(btc::Txid::hash_of("a"), 100);
+  first_seen.emplace(btc::Txid::hash_of("b"), 250);
+  CnbWriteOptions options;
+  options.snapshots = &snapshots;
+  options.first_seen = &first_seen;
+  ASSERT_TRUE(write_cnb(chain, path_, options));
+  // Rebrand the first-seen time column as a SECOND kSnapTxCount entry.
+  const std::size_t dir_index = rebrand_section(
+      CnbSection::kFirstSeenTime,
+      static_cast<std::uint32_t>(CnbSection::kSnapTxCount));
+
+  const auto strict = read_cnb(path_, LoadPolicy::kStrict);
+  EXPECT_FALSE(strict.has_value());
+  ASSERT_NE(strict.report.first_error(), nullptr);
+  EXPECT_EQ(strict.report.first_error()->kind, LoadErrorKind::kSectionLayout);
+  EXPECT_EQ(strict.report.first_error()->line, dir_index);
+  EXPECT_NE(strict.report.first_error()->detail.find("duplicate"),
+            std::string::npos);
+
+  const auto lenient = read_cnb(path_, LoadPolicy::kLenient);
+  ASSERT_TRUE(lenient.has_value()) << lenient.report.summary();
+  EXPECT_FALSE(lenient.report.clean());
+  // Keep-first: the snapshot group still loads from its intact entry...
+  ASSERT_TRUE(lenient->snapshots.has_value());
+  ASSERT_EQ(lenient->snapshots->size(), 2u);
+  EXPECT_EQ(lenient->snapshots->stats()[1].tx_count, 5u);
+  // ...while the group that actually lost a section is dropped.
+  EXPECT_FALSE(lenient->first_seen.has_value());
+  EXPECT_EQ(lenient->chain.tip_hash(), chain.tip_hash());
+}
+
+// Duplicating a REQUIRED section is a file-level malformation lenient
+// mode has no safe answer to — fatal under both policies.
+TEST_F(CnbFormatTest, DuplicateRequiredEntryIsFatalUnderBothPolicies) {
+  write_with_snapshots();
+  const std::size_t dir_index = rebrand_section(
+      CnbSection::kSnapTime,
+      static_cast<std::uint32_t>(CnbSection::kBlockMinedAt));
+  for (const LoadPolicy policy : {LoadPolicy::kStrict, LoadPolicy::kLenient}) {
+    const auto loaded = read_cnb(path_, policy);
+    EXPECT_FALSE(loaded.has_value());
+    ASSERT_NE(loaded.report.first_error(), nullptr);
+    EXPECT_EQ(loaded.report.first_error()->kind, LoadErrorKind::kSectionLayout);
+    EXPECT_EQ(loaded.report.first_error()->line, dir_index);
+    EXPECT_NE(loaded.report.first_error()->detail.find(
+                  "duplicate section block-mined-at"),
+              std::string::npos);
+  }
+}
+
+// A crafted section_count must be bounds-checked against the file size
+// before anything is sized by it (a 0xFFFFFFFF count is a ~137 GB
+// reserve otherwise — std::bad_alloc, not a typed failure).
+TEST_F(CnbFormatTest, InspectRejectsHugeSectionCountWithoutAllocating) {
+  ASSERT_TRUE(write_cnb(three_block_chain(), path_));
+  std::string bytes = read_bytes(path_);
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + 16, &huge, sizeof huge);  // section_count
+  write_bytes(path_, bytes);
+  std::string error;
+  const auto info = inspect_cnb(path_, &error);
+  EXPECT_FALSE(info.has_value());
+  EXPECT_NE(error.find("directory extends past EOF"), std::string::npos);
 }
 
 }  // namespace
