@@ -14,23 +14,6 @@ double FeeRate::btc_per_kb() const noexcept {
   return sat_per_vbyte() * 1e-5;
 }
 
-std::strong_ordering FeeRate::operator<=>(const FeeRate& o) const noexcept {
-  if (vsize_ == 0 || o.vsize_ == 0) {
-    // Invalid rates are the lowest; two invalid rates are equal.
-    if (vsize_ == 0 && o.vsize_ == 0) return std::strong_ordering::equal;
-    return vsize_ == 0 ? std::strong_ordering::less : std::strong_ordering::greater;
-  }
-  const __int128 lhs = static_cast<__int128>(fee_.value) * o.vsize_;
-  const __int128 rhs = static_cast<__int128>(o.fee_.value) * vsize_;
-  if (lhs < rhs) return std::strong_ordering::less;
-  if (lhs > rhs) return std::strong_ordering::greater;
-  return std::strong_ordering::equal;
-}
-
-bool FeeRate::operator==(const FeeRate& o) const noexcept {
-  return (*this <=> o) == std::strong_ordering::equal;
-}
-
 std::string FeeRate::to_string() const {
   return fixed(sat_per_vbyte(), 3) + " sat/vB";
 }

@@ -69,9 +69,25 @@ class FeeRate {
   /// BTC/KB as double — the unit the paper's figures use.
   double btc_per_kb() const noexcept;
 
-  /// Exact three-way comparison by fee/vsize; invalid rates compare lowest.
-  std::strong_ordering operator<=>(const FeeRate& o) const noexcept;
-  bool operator==(const FeeRate& o) const noexcept;
+  /// Exact three-way comparison by fee/vsize; invalid rates compare
+  /// lowest. Inline: fee-rate ordering dominates the mempool eviction
+  /// index and the per-block template heap in the simulator.
+  constexpr std::strong_ordering operator<=>(const FeeRate& o) const noexcept {
+    if (vsize_ == 0 || o.vsize_ == 0) {
+      // Invalid rates are the lowest; two invalid rates are equal.
+      if (vsize_ == 0 && o.vsize_ == 0) return std::strong_ordering::equal;
+      return vsize_ == 0 ? std::strong_ordering::less
+                         : std::strong_ordering::greater;
+    }
+    const __int128 lhs = static_cast<__int128>(fee_.value) * o.vsize_;
+    const __int128 rhs = static_cast<__int128>(o.fee_.value) * vsize_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  constexpr bool operator==(const FeeRate& o) const noexcept {
+    return (*this <=> o) == std::strong_ordering::equal;
+  }
 
   std::string to_string() const;
 

@@ -1,5 +1,8 @@
 #include "btc/transaction.hpp"
 
+#include <charconv>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "util/assert.hpp"
@@ -9,30 +12,43 @@ namespace cn::btc {
 
 namespace {
 
-std::string serialize_for_id(SimTime issued, std::uint32_t vsize, Satoshi fee,
-                             const std::vector<TxInput>& inputs,
-                             const std::vector<TxOutput>& outputs,
-                             std::uint64_t nonce) {
-  std::string buf;
-  buf.reserve(64 + inputs.size() * 48 + outputs.size() * 24);
-  const auto append_u64 = [&buf](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>(v >> (8 * i)));
+// Serializes into a stack buffer and hashes in place: the per-tx id
+// derivation is hot enough in the simulator that the std::string
+// push_back version showed up as ~5% of a run. Byte layout is unchanged
+// (explicit little-endian), so ids are identical to earlier versions.
+Txid id_for(SimTime issued, std::uint32_t vsize, Satoshi fee,
+            const std::vector<TxInput>& inputs,
+            const std::vector<TxOutput>& outputs, std::uint64_t nonce) {
+  const std::size_t total = 32 + inputs.size() * 48 + outputs.size() * 16;
+  std::uint8_t stack[512];
+  std::unique_ptr<std::uint8_t[]> heap;
+  std::uint8_t* buf = stack;
+  if (total > sizeof(stack)) {
+    heap = std::make_unique<std::uint8_t[]>(total);
+    buf = heap.get();
+  }
+  std::uint8_t* p = buf;
+  const auto put_u64 = [&p](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    p += 8;
   };
-  append_u64(static_cast<std::uint64_t>(issued));
-  append_u64(vsize);
-  append_u64(static_cast<std::uint64_t>(fee.value));
-  append_u64(nonce);
+  put_u64(static_cast<std::uint64_t>(issued));
+  put_u64(vsize);
+  put_u64(static_cast<std::uint64_t>(fee.value));
+  put_u64(nonce);
   for (const TxInput& in : inputs) {
-    buf.append(reinterpret_cast<const char*>(in.prev_txid.bytes.data()),
-               in.prev_txid.bytes.size());
-    append_u64(in.prev_vout);
-    append_u64(in.owner.value);
+    std::memcpy(p, in.prev_txid.bytes.data(), in.prev_txid.bytes.size());
+    p += in.prev_txid.bytes.size();
+    put_u64(in.prev_vout);
+    put_u64(in.owner.value);
   }
   for (const TxOutput& out : outputs) {
-    append_u64(out.to.value);
-    append_u64(static_cast<std::uint64_t>(out.value.value));
+    put_u64(out.to.value);
+    put_u64(static_cast<std::uint64_t>(out.value.value));
   }
-  return buf;
+  CN_ASSERT(static_cast<std::size_t>(p - buf) == total);
+  return Txid::hash_of(
+      std::string_view(reinterpret_cast<const char*>(buf), total));
 }
 
 }  // namespace
@@ -47,7 +63,7 @@ Transaction::Transaction(SimTime issued, std::uint32_t vsize_vb, Satoshi fee,
       outputs_(std::move(outputs)) {
   CN_ASSERT(vsize_ > 0);
   CN_ASSERT(fee_.value >= 0);
-  id_ = Txid::hash_of(serialize_for_id(issued_, vsize_, fee_, inputs_, outputs_, nonce));
+  id_ = id_for(issued_, vsize_, fee_, inputs_, outputs_, nonce);
 }
 
 Transaction Transaction::restore(Txid id, SimTime issued, std::uint32_t vsize_vb,
@@ -98,9 +114,14 @@ Transaction make_payment(SimTime issued, std::uint32_t vsize_vb, Satoshi fee,
                          Address from, Address to, Satoshi amount,
                          std::uint64_t nonce) {
   // Synthetic confirmed funding outpoint; the "funding/" domain prefix
-  // keeps these ids disjoint from real transaction ids.
-  const Txid funding = Txid::hash_of("funding/" + std::to_string(from.value) +
-                                     "/" + std::to_string(nonce));
+  // keeps these ids disjoint from real transaction ids. Formatted on the
+  // stack — the preimage bytes match the old string concatenation.
+  char pre[64] = "funding/";
+  char* q = pre + 8;
+  q = std::to_chars(q, pre + sizeof(pre) - 1, from.value).ptr;
+  *q++ = '/';
+  q = std::to_chars(q, pre + sizeof(pre), nonce).ptr;
+  const Txid funding = Txid::hash_of(std::string_view(pre, q - pre));
   std::vector<TxInput> ins{TxInput{funding, 0, from}};
   std::vector<TxOutput> outs{TxOutput{to, amount}};
   return Transaction(issued, vsize_vb, fee, std::move(ins), std::move(outs), nonce);

@@ -27,18 +27,6 @@ Txid Txid::hash_of(std::string_view preimage) noexcept {
   return id;
 }
 
-std::uint64_t Txid::short_id() const noexcept {
-  std::uint64_t v;
-  std::memcpy(&v, bytes.data(), sizeof(v));
-  return v;
-}
-
-bool Txid::is_null() const noexcept {
-  for (std::uint8_t b : bytes)
-    if (b != 0) return false;
-  return true;
-}
-
 std::string Address::to_string() const {
   std::uint8_t raw[8];
   for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(value >> (56 - 8 * i));

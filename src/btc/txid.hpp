@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <string>
@@ -20,6 +21,16 @@ struct Txid {
 
   auto operator<=>(const Txid&) const = default;
 
+  /// Word-wise equality: the defaulted operator== lowers to an
+  /// out-of-line memcmp call, which shows up in profiles — every hash
+  /// lookup in the simulator ends in one of these compares.
+  bool operator==(const Txid& o) const noexcept {
+    std::uint64_t a[4], b[4];
+    std::memcpy(a, bytes.data(), sizeof(a));
+    std::memcpy(b, o.bytes.data(), sizeof(b));
+    return ((a[0] ^ b[0]) | (a[1] ^ b[1]) | (a[2] ^ b[2]) | (a[3] ^ b[3])) == 0;
+  }
+
   /// Hex display, most-significant byte first (explorer convention).
   std::string to_hex() const;
 
@@ -30,9 +41,19 @@ struct Txid {
   static Txid hash_of(std::string_view preimage) noexcept;
 
   /// A cheap 64-bit key for hash maps (first 8 bytes of the digest).
-  std::uint64_t short_id() const noexcept;
+  /// Inline: this is the single hottest call in the simulator (every
+  /// mempool/observer hash lookup goes through it).
+  std::uint64_t short_id() const noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), sizeof(v));
+    return v;
+  }
 
-  bool is_null() const noexcept;
+  bool is_null() const noexcept {
+    for (std::uint8_t b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
 };
 
 inline constexpr Txid kNullTxid{};

@@ -28,6 +28,7 @@ class TemplateBuilder {
   BlockTemplate build() {
     seed_heap();
     BlockTemplate out;
+    std::vector<const MempoolEntry*> package;  // reused across iterations
     while (!heap_.empty()) {
       const PackageScore top = heap_.top();
       heap_.pop();
@@ -35,7 +36,6 @@ class TemplateBuilder {
 
       // Recompute: ancestors may have been selected since this entry was
       // pushed, which only *raises* the package rate (lazy invalidation).
-      std::vector<const MempoolEntry*> package;
       const btc::FeeRate current = package_rate(top.id, package);
       if (current != top.rate) {
         heap_.push(PackageScore{current, top.id});
@@ -68,15 +68,34 @@ class TemplateBuilder {
 
  private:
   void seed_heap() {
-    mempool_.for_each([this](const MempoolEntry& entry) {
+    // Bulk-build the heap in O(n): the pop order of a binary heap under a
+    // strict total order (txid tie-break makes PackageScore one) does not
+    // depend on how the heap was built, so this matches per-push seeding.
+    std::vector<PackageScore> seed;
+    seed.reserve(mempool_.size());
+    std::vector<const MempoolEntry*> package;
+    mempool_.for_each_entry([&](const MempoolEntry& entry) {
       const btc::Txid& id = entry.tx.id();
       if (options_.exclude.contains(id)) return;
-      std::vector<const MempoolEntry*> package;
-      heap_.push(PackageScore{package_rate(id, package), id});
+      // Parentless entries (the overwhelmingly common case) score as their
+      // own effective fee-rate — no mempool lookups at all. The ancestry
+      // walk runs only for the few CPFP-linked entries.
+      const btc::FeeRate rate =
+          entry.in_pool_parents == 0
+              ? btc::FeeRate(effective_fee(entry), entry.tx.vsize())
+              : package_rate(id, package);
+      seed.push_back(PackageScore{rate, id});
     });
+    heap_ = std::priority_queue<PackageScore>(std::less<PackageScore>{},
+                                              std::move(seed));
   }
 
   btc::Satoshi effective_fee(const MempoolEntry& entry) const {
+    // Fast path: no acceleration deltas and no age boost configured means
+    // the effective fee is the real fee (fees are non-negative).
+    if (options_.fee_deltas.empty() && options_.age_weight_per_hour <= 0.0) {
+      return entry.tx.fee();
+    }
     btc::Satoshi fee = entry.tx.fee();
     const auto it = options_.fee_deltas.find(entry.tx.id());
     if (it != options_.fee_deltas.end()) fee += it->second;
@@ -100,6 +119,12 @@ class TemplateBuilder {
     const MempoolEntry* self = mempool_.find(id);
     CN_ASSERT(self != nullptr);
     package.push_back(self);
+    if (self->in_pool_parents == 0) {
+      // No unconfirmed ancestry (the overwhelmingly common case): the
+      // package is the transaction alone. Skips the BFS and its
+      // allocations.
+      return btc::FeeRate(effective_fee(*self), self->tx.vsize());
+    }
     for (const MempoolEntry* anc : mempool_.ancestors_of(id)) {
       if (selected_.contains(anc->tx.id())) continue;
       if (options_.exclude.contains(anc->tx.id())) {

@@ -33,15 +33,16 @@ MempoolMetrics& metrics() {
 }  // namespace
 
 std::vector<btc::Txid> Mempool::conflicts_of(const btc::Transaction& tx) const {
+  // Transactions have a handful of inputs at most, so dedup by linear
+  // scan; this runs once per accept() and must not allocate when there
+  // are no conflicts (the overwhelmingly common case).
   std::vector<btc::Txid> out;
-  out.reserve(tx.inputs().size());
-  std::unordered_set<btc::Txid> seen;
-  seen.reserve(tx.inputs().size());
   for (const btc::TxInput& in : tx.inputs()) {
     if (!is_real_outpoint(in)) continue;
     const auto it = spenders_.find(Outpoint{in.prev_txid, in.prev_vout});
     if (it == spenders_.end()) continue;
-    if (seen.insert(it->second).second) out.push_back(it->second);
+    if (std::find(out.begin(), out.end(), it->second) == out.end())
+      out.push_back(it->second);
   }
   return out;
 }
@@ -114,13 +115,15 @@ AcceptResult Mempool::accept(btc::Transaction tx, SimTime now) {
 
   total_vsize_ += tx.vsize();
   const btc::Txid id = tx.id();
+  std::uint32_t in_pool_parents = 0;
   for (const btc::TxInput& in : tx.inputs()) {
     if (!is_real_outpoint(in)) continue;
     children_[in.prev_txid].push_back(id);
     spenders_.emplace(Outpoint{in.prev_txid, in.prev_vout}, id);
+    if (entries_.contains(in.prev_txid)) ++in_pool_parents;
   }
   by_rate_.emplace(tx.fee_rate(), id);
-  entries_.emplace(id, MempoolEntry{std::move(tx), now});
+  entries_.emplace(id, MempoolEntry{std::move(tx), now, in_pool_parents});
   m.accepted.add();
   return AcceptResult::kAccepted;
 }
@@ -128,6 +131,17 @@ AcceptResult Mempool::accept(btc::Transaction tx, SimTime now) {
 void Mempool::unlink(const btc::Txid& id) {
   const auto it = entries_.find(id);
   CN_ASSERT(it != entries_.end());
+  // The departing parent's still-queued children lose one in-pool parent
+  // each (one children_ element exists per spending input, matching the
+  // per-input increment in accept()).
+  if (const auto kit = children_.find(id); kit != children_.end()) {
+    for (const btc::Txid& child : kit->second) {
+      const auto cit = entries_.find(child);
+      if (cit != entries_.end() && cit->second.in_pool_parents > 0) {
+        --cit->second.in_pool_parents;
+      }
+    }
+  }
   total_vsize_ -= it->second.tx.vsize();
   by_rate_.erase({it->second.tx.fee_rate(), id});
   for (const btc::TxInput& in : it->second.tx.inputs()) {

@@ -43,6 +43,11 @@ struct OutpointHash {
 struct MempoolEntry {
   btc::Transaction tx;
   SimTime arrival = 0;  ///< when this node first saw the transaction
+  /// Number of this transaction's inputs whose funding parent is still
+  /// queued (maintained incrementally by accept()/unlink()). Zero means
+  /// the package rate is just the transaction's own fee-rate — the
+  /// template builder's O(1) fast path.
+  std::uint32_t in_pool_parents = 0;
 };
 
 enum class AcceptResult {
@@ -96,6 +101,13 @@ class Mempool {
 
   /// Visits every entry (unspecified order).
   void for_each(const std::function<void(const MempoolEntry&)>& fn) const;
+
+  /// Like for_each but statically dispatched — the per-entry call is on
+  /// the template-build hot path.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [id, entry] : entries_) fn(entry);
+  }
 
   /// Snapshot of entries sorted by arrival time (deterministic export).
   std::vector<const MempoolEntry*> entries_by_arrival() const;

@@ -1,12 +1,19 @@
 #include "node/observer.hpp"
 
+#include <utility>
+
 namespace cn::node {
 
 AcceptResult ObserverNode::on_transaction(const btc::Transaction& tx, SimTime now) {
-  const AcceptResult result = mempool_.accept(tx, now);
+  return on_transaction(btc::Transaction(tx), now);
+}
+
+AcceptResult ObserverNode::on_transaction(btc::Transaction&& tx, SimTime now) {
+  const btc::Txid id = tx.id();
+  const AcceptResult result = mempool_.accept(std::move(tx), now);
   switch (result) {
     case AcceptResult::kAccepted:
-      first_seen_.emplace(tx.id(), now);
+      first_seen_.emplace(id, now);
       break;
     case AcceptResult::kBelowMinFeeRate:
       ++below_floor_;
@@ -21,6 +28,10 @@ AcceptResult ObserverNode::on_transaction(const btc::Transaction& tx, SimTime no
 
 void ObserverNode::on_block(const btc::Block& block) {
   for (const btc::Transaction& tx : block.txs()) mempool_.remove(tx.id());
+}
+
+void ObserverNode::on_block_txids(std::span<const btc::Txid> mined) {
+  for (const btc::Txid& id : mined) mempool_.remove(id);
 }
 
 void ObserverNode::record_snapshot(SimTime now) {

@@ -11,6 +11,7 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "btc/chain.hpp"
@@ -21,6 +22,7 @@
 #include "sim/network.hpp"
 #include "sim/pool.hpp"
 #include "sim/workload.hpp"
+#include "util/pool_alloc.hpp"
 
 namespace cn::sim {
 
@@ -51,6 +53,21 @@ struct EngineConfig {
   /// When false, every pool sees every pending transaction instantly
   /// (useful for isolating policy effects in tests).
   bool propagation_exclusion = true;
+
+  /// Execution lanes: 0 = hardware concurrency, 1 = the serial engine
+  /// (byte-identical to the seed implementation), N >= 2 = the sharded
+  /// engine on N lanes. Sharded output depends only on (seed, sim_shards,
+  /// barrier_window_s) — never on the lane count or scheduling — so any
+  /// N >= 2 produces the same result, deterministically.
+  unsigned threads = 1;
+
+  /// Number of workload shards for the parallel engine (machine-
+  /// independent; part of the deterministic configuration).
+  std::uint32_t sim_shards = 8;
+
+  /// Conservative time-window barrier width in seconds: shards generate
+  /// independently within a window and synchronize only at its edge.
+  SimTime barrier_window_s = 10;
 };
 
 /// Everything a post-hoc audit can see, plus the simulator's ground truth
@@ -102,6 +119,26 @@ class Engine {
   std::size_t pick_winner();
   const btc::Transaction* pick_cpfp_parent();
   void request_acceleration(const btc::Transaction& tx);
+  /// Drops exclusion-window expirees from recent_broadcasts_ (and the
+  /// mirror hash set); amortized O(1) when called once per event.
+  void prune_recent_broadcasts(SimTime now);
+  /// Builds the propagation-exclusion set for @p winner at @p now.
+  std::unordered_set<btc::Txid> propagation_exclude(SimTime now,
+                                                    const MiningPool& winner);
+  /// Everything after block selection: coinbase, mempool eviction,
+  /// estimator update, chain append. Returns the mined txids. The serial
+  /// path also feeds the observer; the sharded merge ships the ids to the
+  /// observer lane instead.
+  std::vector<btc::Txid> commit_block(SimTime now, MiningPool& winner,
+                                      node::BlockTemplate tpl,
+                                      bool feed_observer);
+
+  /// Today's single-threaded event loop (byte-identical to the seed
+  /// engine) and the sharded windowed engine. Both leave their results in
+  /// the member state consumed by run().
+  void run_serial();
+  void run_sharded(unsigned lanes);
+  void flush_sim_metrics();
 
   EngineConfig config_;
   Rng rng_workload_;
@@ -122,10 +159,20 @@ class Engine {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::uint64_t next_seq_ = 0;
 
-  /// Transactions pending observer delivery, by txid.
-  std::unordered_map<btc::Txid, btc::Transaction> in_flight_to_observer_;
-  /// Recently broadcast txids (for propagation exclusion at block time).
+  /// Transactions pending observer delivery, by txid. Node allocations
+  /// come from a slab arena (util::SlabAllocator): the map churns one
+  /// node per issued transaction, and the freelist turns that steady
+  /// insert/erase traffic into pointer pushes instead of heap calls.
+  std::unordered_map<
+      btc::Txid, btc::Transaction, std::hash<btc::Txid>,
+      std::equal_to<btc::Txid>,
+      util::SlabAllocator<std::pair<const btc::Txid, btc::Transaction>>>
+      in_flight_to_observer_;
+  /// Recently broadcast txids (for propagation exclusion at block time),
+  /// pruned once per event; the hash set mirrors the deque for O(1)
+  /// membership checks.
   std::deque<std::pair<SimTime, btc::Txid>> recent_broadcasts_;
+  std::unordered_set<btc::Txid> recent_broadcast_set_;
   /// Candidate CPFP parents (pending, low fee).
   std::deque<btc::Txid> cpfp_candidates_;
   /// Candidates for owner fee bumps (pending, low fee).
@@ -139,6 +186,14 @@ class Engine {
   std::uint64_t issued_count_ = 0;
   std::uint64_t rbf_replacements_ = 0;
   bool ran_ = false;
+
+  /// Batched sim telemetry (flushed to cn::obs once per run, keeping the
+  /// instrumentation overhead far under the 2% gate).
+  std::uint64_t stat_events_ = 0;          ///< events processed
+  std::uint64_t stat_messages_ = 0;        ///< cross-shard messages merged
+  std::uint64_t stat_barriers_ = 0;        ///< window barrier waits
+  std::uint64_t stat_rbf_decisions_ = 0;   ///< RBF bump attempts
+  std::uint64_t stat_cpfp_decisions_ = 0;  ///< CPFP parent picks
 };
 
 }  // namespace cn::sim

@@ -22,7 +22,7 @@ void SelfInterestPolicy::apply(node::TemplateOptions& options,
                                const node::Mempool& mempool,
                                const PolicyContext& ctx) const {
   CN_ASSERT(ctx.own_wallets != nullptr);
-  mempool.for_each([&](const node::MempoolEntry& entry) {
+  mempool.for_each_entry([&](const node::MempoolEntry& entry) {
     if (involves_any(entry.tx, *ctx.own_wallets)) {
       options.fee_deltas[entry.tx.id()] += kPriorityBoost;
     }
@@ -33,7 +33,7 @@ void CollusionPolicy::apply(node::TemplateOptions& options,
                             const node::Mempool& mempool,
                             const PolicyContext& ctx) const {
   if (ctx.partner_wallets.empty()) return;
-  mempool.for_each([&](const node::MempoolEntry& entry) {
+  mempool.for_each_entry([&](const node::MempoolEntry& entry) {
     for (const auto* wallets : ctx.partner_wallets) {
       if (involves_any(entry.tx, *wallets)) {
         options.fee_deltas[entry.tx.id()] += kPriorityBoost;
@@ -56,7 +56,7 @@ void DarkFeePolicy::apply(node::TemplateOptions& options,
 void CensorshipPolicy::apply(node::TemplateOptions& options,
                              const node::Mempool& mempool,
                              const PolicyContext&) const {
-  mempool.for_each([&](const node::MempoolEntry& entry) {
+  mempool.for_each_entry([&](const node::MempoolEntry& entry) {
     if (involves_any(entry.tx, blacklist_)) options.exclude.insert(entry.tx.id());
   });
 }
@@ -75,7 +75,7 @@ void CourtesyBoostPolicy::apply(node::TemplateOptions& options,
   // a pseudo-random choice that is stable for replay.
   const btc::Txid* chosen = nullptr;
   std::uint64_t best = ~std::uint64_t{0};
-  mempool.for_each([&](const node::MempoolEntry& entry) {
+  mempool.for_each_entry([&](const node::MempoolEntry& entry) {
     if (entry.tx.fee_rate().sat_per_vbyte() >= 5.0) return;
     std::uint64_t h = entry.tx.id().short_id() ^ ctx.height;
     h = splitmix64(h);

@@ -1,5 +1,7 @@
 #include "sim/pool.hpp"
 
+
+#include <utility>
 #include "util/assert.hpp"
 
 namespace cn::sim {
@@ -45,7 +47,7 @@ btc::Address MiningPool::next_reward_wallet() {
 
 node::BlockTemplate MiningPool::build_template(
     const node::Mempool& mempool, const PolicyContext& ctx,
-    const std::unordered_set<btc::Txid>& base_exclude) const {
+    std::unordered_set<btc::Txid> base_exclude) const {
   if (spec_.builder == BuilderKind::kLegacyPriority) {
     // The legacy builder predates all the audited misbehaviours; policies
     // other than exclusion do not apply to it.
@@ -56,7 +58,7 @@ node::BlockTemplate MiningPool::build_template(
 
   node::TemplateOptions options;
   options.max_vsize = ctx.max_template_vsize;
-  options.exclude = base_exclude;
+  options.exclude = std::move(base_exclude);
   options.age_weight_per_hour = spec_.age_weight_per_hour;
   options.now = ctx.now;
   if (spec_.min_rate_sat_per_vb > 0) {

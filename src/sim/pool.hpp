@@ -80,10 +80,12 @@ class MiningPool {
 
   /// Builds this pool's block template from @p mempool.
   /// @p base_exclude — transactions this pool has not yet heard of
-  /// (propagation); merged with any policy exclusions.
+  /// (propagation); merged with any policy exclusions. Taken by value:
+  /// the engine rebuilds the set per block anyway, so it is moved rather
+  /// than copied into the template options.
   node::BlockTemplate build_template(
       const node::Mempool& mempool, const PolicyContext& ctx,
-      const std::unordered_set<btc::Txid>& base_exclude) const;
+      std::unordered_set<btc::Txid> base_exclude) const;
 
   /// The policy stack (diagnostics).
   const std::vector<std::unique_ptr<MinerPolicy>>& policies() const noexcept {

@@ -1,0 +1,197 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace cn::sim {
+
+namespace {
+
+/// Workload config for one lane: 1/S of the global arrival rate. All
+/// other knobs (fee tiers, size distributions, special-class rates) are
+/// shared — rates expressed "per block" or "per hour" are converted to
+/// per-issue probabilities against the *global* rate at issue time.
+WorkloadConfig shard_workload(const EngineConfig& config,
+                              std::uint32_t shard_count) {
+  WorkloadConfig w = config.workload;
+  w.base_tx_per_second /= static_cast<double>(shard_count);
+  return w;
+}
+
+Rng shard_rng(std::uint64_t seed, std::uint32_t id) {
+  // Stable derivation: seed -> "shard/<id>" stream, independent of thread
+  // count and of every serial-engine stream ("workload"/"blocks"/"misc").
+  return Rng(seed).fork("shard/" + std::to_string(id));
+}
+
+}  // namespace
+
+ShardLane::ShardLane(std::uint32_t id, const EngineConfig& config,
+                     const std::vector<MiningPool>* pools,
+                     const std::vector<double>* payout_weights,
+                     btc::Address scam_address, std::uint32_t shard_count)
+    : id_(id),
+      config_(&config),
+      pools_(pools),
+      payout_weights_(payout_weights),
+      scam_address_(scam_address),
+      shard_count_(static_cast<double>(shard_count)),
+      rng_(shard_rng(config.seed, id)),
+      workload_(shard_workload(config, shard_count),
+                shard_rng(config.seed, id).fork("txgen"),
+                /*nonce_base=*/(std::uint64_t{id} + 1) << 48) {}
+
+void ShardLane::generate(SimTime t0, SimTime t1, const WindowContext& ctx,
+                         const node::Mempool& canonical,
+                         std::vector<ShardMsg>& out) {
+  if (!primed_) {
+    next_issue_ = workload_.next_arrival(0);
+    primed_ = true;
+  }
+  (void)t0;
+  while (next_issue_ < t1) {
+    const SimTime now = next_issue_;
+    emit(now, ctx, canonical, out);
+    next_issue_ = workload_.next_arrival(now);
+  }
+}
+
+void ShardLane::note_candidate(const btc::Txid& id) {
+  // Per-shard caps mirror the serial engine's global 512/256 bounds,
+  // scaled down so the aggregate candidate population stays comparable.
+  const std::size_t cpfp_cap = std::max<std::size_t>(
+      512 / static_cast<std::size_t>(shard_count_), 16);
+  const std::size_t rbf_cap = std::max<std::size_t>(
+      256 / static_cast<std::size_t>(shard_count_), 8);
+  if (cpfp_candidates_.size() < cpfp_cap) cpfp_candidates_.push_back(id);
+  if (rbf_candidates_.size() < rbf_cap) rbf_candidates_.push_back(id);
+}
+
+const btc::Transaction* ShardLane::pick_cpfp_parent(
+    const node::Mempool& canonical) {
+  while (!cpfp_candidates_.empty()) {
+    const std::size_t idx =
+        cpfp_candidates_.size() <= 1
+            ? 0
+            : static_cast<std::size_t>(rng_.uniform_below(
+                  std::min<std::uint64_t>(cpfp_candidates_.size(), 8)));
+    const btc::Txid id = cpfp_candidates_[idx];
+    cpfp_candidates_.erase(cpfp_candidates_.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+    const node::MempoolEntry* entry = canonical.find(id);
+    if (entry == nullptr) continue;  // mined or evicted since noted
+    ++cpfp_picks_;
+    return &entry->tx;
+  }
+  return nullptr;
+}
+
+const btc::Transaction* ShardLane::pick_rbf_original(
+    const node::Mempool& canonical) {
+  while (!rbf_candidates_.empty()) {
+    const btc::Txid id = rbf_candidates_.front();
+    rbf_candidates_.pop_front();
+    const node::MempoolEntry* entry = canonical.find(id);
+    if (entry != nullptr) return &entry->tx;
+  }
+  return nullptr;
+}
+
+void ShardLane::emit(SimTime now, const WindowContext& ctx,
+                     const node::Mempool& canonical,
+                     std::vector<ShardMsg>& out) {
+  WorkloadContext wctx;
+  wctx.rec_p25 = ctx.rec_p25;
+  wctx.rec_p50 = ctx.rec_p50;
+  wctx.rec_p75 = ctx.rec_p75;
+  wctx.congestion = ctx.congestion;
+
+  ShardMsg msg;
+  msg.time = now;
+  msg.shard = id_;
+  msg.seq = seq_++;
+
+  // Replace-by-fee branch: the user bumps one of their own stuck
+  // transactions instead of issuing a new one. Liveness is checked
+  // against the frozen window-start mempool; the (rare) case where the
+  // original gets mined later in the same window models the real-network
+  // race of a bump racing a block.
+  if (rng_.chance(config_->workload.rbf_fraction)) {
+    if (const btc::Transaction* original = pick_rbf_original(canonical)) {
+      ++rbf_attempts_;
+      msg.tx = workload_.make_rbf_replacement(now, *original, wctx);
+      msg.is_rbf_bump = true;
+      out.push_back(std::move(msg));
+      return;
+    }
+  }
+
+  // Special-class probabilities are per issue at the *global* rate (the
+  // lane sees 1/S of the arrivals, so per-arrival probabilities are
+  // unchanged from the serial engine).
+  const double rate_now =
+      std::max(workload_.rate_at(now) * shard_count_, 1e-9);
+  const double p_self = config_->workload.self_interest_per_block /
+                        (config_->mean_block_interval_s * rate_now);
+  wctx.make_self_interest = rng_.chance(std::min(p_self, 0.5));
+  if (wctx.make_self_interest) {
+    const std::size_t pool_idx = rng_.weighted_index(*payout_weights_);
+    const auto& wallets = (*pools_)[pool_idx].wallets();
+    wctx.pool_wallet = wallets[rng_.uniform_below(wallets.size())];
+  } else if (config_->workload.scam.has_value()) {
+    const ScamConfig& scam = *config_->workload.scam;
+    if (now >= scam.start && now < scam.end) {
+      const double p_scam = scam.txs_per_hour / (3600.0 * rate_now);
+      wctx.make_scam = rng_.chance(std::min(p_scam, 0.5));
+      wctx.scam_address = scam_address_;
+    }
+  }
+  if (!wctx.make_self_interest && !wctx.make_scam) {
+    wctx.cpfp_parent = pick_cpfp_parent(canonical);
+  }
+
+  GeneratedTx generated = workload_.make_transaction(now, wctx);
+  const bool ordinary = !generated.is_scam && !generated.is_self_interest &&
+                        !generated.used_cpfp_parent;
+  msg.is_scam = generated.is_scam;
+  msg.wants_acceleration = generated.wants_acceleration;
+  msg.low_fee_ordinary =
+      ordinary && generated.tx.fee_rate().sat_per_vbyte() < ctx.rec_p50;
+  msg.tx = std::move(generated.tx);
+  out.push_back(std::move(msg));
+}
+
+void ObserverLane::apply(std::vector<ObserverOp>& ops) {
+  for (ObserverOp& op : ops) {
+    switch (op.kind) {
+      case ObserverOp::Kind::kDeliver:
+        if (!mined_recent_.contains(op.tx.id())) {
+          observer_->on_transaction(std::move(op.tx), op.time);
+        }
+        break;
+      case ObserverOp::Kind::kBlock:
+        for (const btc::Txid& id : op.mined) {
+          if (mined_recent_.insert(id).second) {
+            mined_order_.emplace_back(op.time, id);
+          }
+        }
+        observer_->on_block_txids(op.mined);
+        // Deliveries trail broadcasts by the propagation cap (30 s), so
+        // mined ids older than a minute can never gate a delivery again.
+        while (!mined_order_.empty() &&
+               mined_order_.front().first + 64 < op.time) {
+          mined_recent_.erase(mined_order_.front().second);
+          mined_order_.pop_front();
+        }
+        break;
+      case ObserverOp::Kind::kSnapshot:
+        observer_->record_snapshot(op.time);
+        break;
+    }
+  }
+}
+
+}  // namespace cn::sim

@@ -1,0 +1,129 @@
+// Shard lanes for the parallel discrete-event engine (DESIGN.md §12).
+//
+// The sharded engine partitions the *workload* into S independent
+// generation lanes. Each lane owns a Poisson stream at 1/S of the global
+// arrival rate (superposition: S independent thinned streams at rate r/S
+// are exactly one stream at rate r), its own RNG streams forked from
+// EngineConfig::seed + the stable shard id, a disjoint nonce range (so
+// synthetic funding outpoints can never collide across shards), and its
+// own CPFP/RBF candidate lists (users bump their *own* transactions).
+//
+// Within a barrier window [t0, t1) the lanes run concurrently against a
+// frozen read-only view of the canonical mempool and a frozen
+// WindowContext (fee percentiles, congestion). Lanes communicate with
+// the merge loop only through typed ShardMsg buffers handed over at the
+// barrier — the only cross-shard synchronization point. Everything the
+// merge applies (mempool admission, block production, bookkeeping) is
+// serial and deterministic, so results depend only on (seed, shards,
+// window), never on thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "node/observer.hpp"
+#include "sim/engine.hpp"
+
+namespace cn::sim {
+
+/// Frozen world view a shard generates against for one window.
+struct WindowContext {
+  double rec_p25 = 1.0;
+  double rec_p50 = 2.0;
+  double rec_p75 = 4.0;
+  node::CongestionLevel congestion = node::CongestionLevel::kNone;
+};
+
+/// Typed message from a shard's generation lane to the merge loop: one
+/// generated transaction plus its classification flags.
+struct ShardMsg {
+  SimTime time = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t seq = 0;  ///< within-shard issue counter (tie-break)
+  btc::Transaction tx;
+  bool is_rbf_bump = false;
+  bool is_scam = false;
+  bool wants_acceleration = false;
+  /// Ordinary payment below the recent median rate: a future CPFP/RBF
+  /// candidate for the originating shard.
+  bool low_fee_ordinary = false;
+};
+
+/// One workload generation lane. generate() is called concurrently
+/// across shards; it touches only shard-local state plus read-only
+/// shared state (canonical mempool, pool tables).
+class ShardLane {
+ public:
+  ShardLane(std::uint32_t id, const EngineConfig& config,
+            const std::vector<MiningPool>* pools,
+            const std::vector<double>* payout_weights,
+            btc::Address scam_address, std::uint32_t shard_count);
+
+  /// Appends this shard's transaction stream for [t0, t1) to @p out.
+  /// @p canonical is frozen for the duration of the call.
+  void generate(SimTime t0, SimTime t1, const WindowContext& ctx,
+                const node::Mempool& canonical, std::vector<ShardMsg>& out);
+
+  /// Registers an accepted low-fee ordinary transaction of this shard as
+  /// a future CPFP/RBF candidate. Called from the merge thread (between
+  /// windows), never concurrently with generate().
+  void note_candidate(const btc::Txid& id);
+
+  std::uint64_t cpfp_picks() const noexcept { return cpfp_picks_; }
+  std::uint64_t rbf_attempts() const noexcept { return rbf_attempts_; }
+
+ private:
+  void emit(SimTime now, const WindowContext& ctx,
+            const node::Mempool& canonical, std::vector<ShardMsg>& out);
+  const btc::Transaction* pick_cpfp_parent(const node::Mempool& canonical);
+  const btc::Transaction* pick_rbf_original(const node::Mempool& canonical);
+
+  std::uint32_t id_ = 0;
+  const EngineConfig* config_ = nullptr;
+  const std::vector<MiningPool>* pools_ = nullptr;
+  const std::vector<double>* payout_weights_ = nullptr;
+  btc::Address scam_address_{};
+  double shard_count_ = 1.0;
+  Rng rng_;  ///< shard-local decision stream (self-interest, scam, picks)
+  WorkloadGenerator workload_;
+  SimTime next_issue_ = 0;
+  bool primed_ = false;
+  std::uint32_t seq_ = 0;
+  std::deque<btc::Txid> cpfp_candidates_;
+  std::deque<btc::Txid> rbf_candidates_;
+  std::uint64_t cpfp_picks_ = 0;
+  std::uint64_t rbf_attempts_ = 0;
+};
+
+/// A unit of work for the observer lane, which replays the observer
+/// node's event stream one window behind the merge (pipelined with the
+/// next window's generation phase).
+struct ObserverOp {
+  enum class Kind : std::uint8_t { kDeliver, kBlock, kSnapshot };
+  SimTime time = 0;
+  std::uint64_t seq = 0;  ///< merge-order tie-break
+  Kind kind = Kind::kDeliver;
+  btc::Transaction tx;            ///< kDeliver payload
+  std::vector<btc::Txid> mined;   ///< kBlock payload
+};
+
+/// Applies ObserverOps in order. The serial engine checks the chain at
+/// delivery time to skip already-mined transactions; this lane keeps its
+/// own recently-mined set (ops arrive in global time order, so the set's
+/// contents at a delivery match the chain at that simulated time).
+class ObserverLane {
+ public:
+  explicit ObserverLane(node::ObserverNode* observer) : observer_(observer) {}
+
+  /// Consumes the ops (transaction payloads are moved into the node).
+  void apply(std::vector<ObserverOp>& ops);
+
+ private:
+  node::ObserverNode* observer_;
+  std::unordered_set<btc::Txid> mined_recent_;
+  std::deque<std::pair<SimTime, btc::Txid>> mined_order_;
+};
+
+}  // namespace cn::sim

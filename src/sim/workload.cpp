@@ -8,11 +8,15 @@
 
 namespace cn::sim {
 
-WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, Rng rng)
-    : config_(std::move(config)), rng_(rng) {
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, Rng rng,
+                                     std::uint64_t nonce_base)
+    : config_(std::move(config)), rng_(rng), nonce_(nonce_base) {
   CN_ASSERT(config_.base_tx_per_second > 0.0);
   CN_ASSERT(config_.diurnal_amplitude >= 0.0 && config_.diurnal_amplitude < 1.0);
   CN_ASSERT(config_.urgent_fraction + config_.patient_fraction <= 1.0);
+  user_addresses_.reserve(config_.user_address_count);
+  for (std::size_t i = 0; i < config_.user_address_count; ++i)
+    user_addresses_.push_back(btc::Address::derive("user/" + std::to_string(i)));
 }
 
 double WorkloadGenerator::rate_at(SimTime t) const noexcept {
@@ -55,8 +59,7 @@ SimTime WorkloadGenerator::next_arrival(SimTime now) {
 }
 
 btc::Address WorkloadGenerator::random_user_address() {
-  const std::uint64_t idx = rng_.uniform_below(config_.user_address_count);
-  return btc::Address::derive("user/" + std::to_string(idx));
+  return user_addresses_[rng_.uniform_below(config_.user_address_count)];
 }
 
 namespace {

@@ -117,7 +117,11 @@ struct GeneratedTx {
 
 class WorkloadGenerator {
  public:
-  WorkloadGenerator(WorkloadConfig config, Rng rng);
+  /// @p nonce_base offsets the per-transaction nonce counter. The sharded
+  /// engine gives each shard a disjoint nonce range so the synthetic
+  /// funding outpoints of different shards can never collide.
+  WorkloadGenerator(WorkloadConfig config, Rng rng,
+                    std::uint64_t nonce_base = 0);
 
   const WorkloadConfig& config() const noexcept { return config_; }
 
@@ -148,6 +152,9 @@ class WorkloadGenerator {
   WorkloadConfig config_;
   Rng rng_;
   std::uint64_t nonce_ = 0;
+  /// User wallet pool, derived once up front: deriving an address is a
+  /// SHA-256 + string build, far too hot to repeat per transaction.
+  std::vector<btc::Address> user_addresses_;
   /// Continuous-time arrival clock; avoids the per-arrival rounding bias
   /// integer SimTime would otherwise introduce.
   double continuous_clock_ = 0.0;

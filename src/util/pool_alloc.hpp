@@ -1,0 +1,173 @@
+// Allocation-recycling pools for the simulator's hot loops.
+//
+// The sharded engine moves typed messages (generated transactions,
+// observer deliveries, mined-id lists) between lanes every barrier
+// window. Allocating fresh vectors per window would put millions of
+// small allocations on the critical path; these pools recycle fully
+// constructed objects instead, so steady-state windows allocate nothing.
+//
+// Neither pool is thread-safe: each lane owns its pools, and hand-offs
+// across lanes happen only at the window barrier (by std::move of whole
+// buffers), which is exactly the engine's synchronization contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace cn::util {
+
+/// Recycles std::vector buffers, preserving capacity across uses.
+/// acquire() returns an empty vector (possibly with warm capacity);
+/// release() takes a spent buffer back. Dropping a buffer instead of
+/// releasing it is safe — the pool merely loses the warm capacity.
+template <typename T>
+class VectorPool {
+ public:
+  std::vector<T> acquire() {
+    if (free_.empty()) return {};
+    std::vector<T> v = std::move(free_.back());
+    free_.pop_back();
+    v.clear();
+    return v;
+  }
+
+  void release(std::vector<T>&& v) { free_.push_back(std::move(v)); }
+
+  std::size_t idle() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::vector<T>> free_;
+};
+
+/// Slab-backed object pool: objects are default-constructed once per
+/// slab slot and handed out via a free list, so acquire/release are
+/// pointer pushes with no heap traffic after warm-up. Objects are
+/// *reused, not reset* — callers must overwrite what they read.
+template <typename T, std::size_t kSlabSize = 256>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Destroys every slot (in use or free): outstanding pointers must not
+  /// be dereferenced after the pool dies.
+  ~ObjectPool() {
+    for (auto& slab : slabs_)
+      for (std::size_t i = 0; i < kSlabSize; ++i)
+        reinterpret_cast<T*>(&slab[i].storage)->~T();
+  }
+
+  T* acquire() {
+    if (free_.empty()) grow();
+    T* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  void release(T* p) { free_.push_back(p); }
+
+  /// Objects constructed so far (all slabs, in use or free).
+  std::size_t capacity() const noexcept { return slabs_.size() * kSlabSize; }
+
+ private:
+  void grow() {
+    slabs_.push_back(std::make_unique_for_overwrite<Slot[]>(kSlabSize));
+    Slot* slab = slabs_.back().get();
+    free_.reserve(free_.size() + kSlabSize);
+    for (std::size_t i = 0; i < kSlabSize; ++i) {
+      new (&slab[i].storage) T();
+      free_.push_back(reinterpret_cast<T*>(&slab[i].storage));
+    }
+  }
+
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::vector<T*> free_;
+};
+
+/// Standard-library-compatible arena allocator: single-object
+/// allocations (node-based container nodes — the in-flight transaction
+/// map's bread and butter) come from slab-carved free lists; array
+/// allocations (hash bucket tables) fall through to operator new. The
+/// arena lives as long as any copy of the allocator (shared state), so
+/// containers can be moved/swapped freely. Not thread-safe, like the
+/// pools above.
+template <typename T, std::size_t kSlabBytes = 1 << 16>
+class SlabAllocator {
+  struct State {
+    std::vector<std::unique_ptr<std::byte[]>> slabs;
+    void* freelist = nullptr;
+    std::size_t brk = kSlabBytes;  ///< carve offset into the newest slab
+
+    static constexpr std::size_t slot_size() {
+      return sizeof(T) < sizeof(void*) ? sizeof(void*) : sizeof(T);
+    }
+
+    void* pop() {
+      if (freelist != nullptr) {
+        void* p = freelist;
+        freelist = *static_cast<void**>(p);
+        return p;
+      }
+      if (brk + slot_size() > kSlabBytes) {
+        slabs.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+        brk = 0;
+      }
+      void* p = slabs.back().get() + brk;
+      brk += slot_size();
+      return p;
+    }
+
+    void push(void* p) {
+      *static_cast<void**>(p) = freelist;
+      freelist = p;
+    }
+  };
+
+ public:
+  using value_type = T;
+  /// Explicit rebind: allocator_traits cannot synthesize one because of
+  /// the non-type kSlabBytes parameter.
+  template <typename U>
+  struct rebind {
+    using other = SlabAllocator<U, kSlabBytes>;
+  };
+
+  SlabAllocator() : state_(std::make_shared<State>()) {}
+  template <typename U, std::size_t B>
+  explicit SlabAllocator(const SlabAllocator<U, B>&)
+      : state_(std::make_shared<State>()) {}  // rebound: fresh arena
+  SlabAllocator(const SlabAllocator&) = default;
+  SlabAllocator& operator=(const SlabAllocator&) = default;
+
+  T* allocate(std::size_t n) {
+    if (n == 1) return static_cast<T*>(state_->pop());
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      state_->push(p);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  bool operator==(const SlabAllocator& o) const noexcept {
+    return state_ == o.state_;
+  }
+
+ private:
+  template <typename U, std::size_t B>
+  friend class SlabAllocator;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace cn::util

@@ -3,6 +3,12 @@
 #include <bit>
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CN_SHA256_X86 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
 namespace cn {
 
 namespace {
@@ -34,6 +40,222 @@ void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>(v);
 }
 
+#if CN_SHA256_X86
+
+// SHA-NI compression: identical output to the scalar path, ~5-10x faster.
+// Standard Intel SHA-extensions schedule (two 4-round batches per group).
+__attribute__((target("sha,sse4.1")))
+void compress_shani(std::uint32_t* state, const std::uint8_t* data,
+                    std::size_t blocks) noexcept {
+  const __m128i kMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i s1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);       // CDAB
+  s1 = _mm_shuffle_epi32(s1, 0x1B);         // EFGH
+  __m128i s0 = _mm_alignr_epi8(tmp, s1, 8);  // ABEF
+  s1 = _mm_blend_epi16(s1, tmp, 0xF0);       // CDGH
+
+  while (blocks > 0) {
+    const __m128i abef_save = s0;
+    const __m128i cdgh_save = s1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3.
+    msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    msg0 = _mm_shuffle_epi8(msg, kMask);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+
+    // Rounds 4-7.
+    msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    msg1 = _mm_shuffle_epi8(msg1, kMask);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    msg2 = _mm_shuffle_epi8(msg2, kMask);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15.
+    msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    msg3 = _mm_shuffle_epi8(msg3, kMask);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51.
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55.
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, msg);
+
+    s0 = _mm_add_epi32(s0, abef_save);
+    s1 = _mm_add_epi32(s1, cdgh_save);
+    data += 64;
+    --blocks;
+  }
+
+  tmp = _mm_shuffle_epi32(s0, 0x1B);        // FEBA
+  s1 = _mm_shuffle_epi32(s1, 0xB1);         // DCHG
+  s0 = _mm_blend_epi16(tmp, s1, 0xF0);      // DCBA
+  s1 = _mm_alignr_epi8(s1, tmp, 8);         // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), s0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), s1);
+}
+
+bool detect_shani() noexcept {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) return false;
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  return (ebx & (1u << 29)) != 0;  // CPUID.7.0:EBX.SHA[29]
+}
+
+const bool kHaveShani = detect_shani();
+
+#endif  // CN_SHA256_X86
+
 }  // namespace
 
 void Sha256::reset() noexcept {
@@ -44,6 +266,12 @@ void Sha256::reset() noexcept {
 }
 
 void Sha256::compress(const std::uint8_t* block) noexcept {
+#if CN_SHA256_X86
+  if (kHaveShani) {
+    compress_shani(state_.data(), block, 1);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
   for (int i = 16; i < 64; ++i) {
@@ -97,9 +325,17 @@ Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {
     }
   }
 
-  while (data.size() - offset >= 64) {
-    compress(data.data() + offset);
-    offset += 64;
+  if (const std::size_t whole = (data.size() - offset) / 64; whole > 0) {
+#if CN_SHA256_X86
+    if (kHaveShani) {
+      compress_shani(state_.data(), data.data() + offset, whole);
+      offset += whole * 64;
+    }
+#endif
+    while (data.size() - offset >= 64) {
+      compress(data.data() + offset);
+      offset += 64;
+    }
   }
 
   if (offset < data.size()) {

@@ -1,0 +1,218 @@
+// The sharded engine's determinism contract (DESIGN.md §12), tested at
+// the strictest level available: exported bytes.
+//
+//   1. threads=1 is the serial engine — byte-identical to the in-tree
+//      seed (pre-sharding) engine, including CSV and CNB1 exports.
+//   2. threads=N is run-to-run deterministic for a fixed seed: two runs
+//      export identical bytes. The interleaving differs from serial
+//      (shards draw from forked RNG streams), which is allowed; what is
+//      not allowed is any dependence on thread scheduling.
+//   3. The audit detectors still recover planted misbehaviour from a
+//      sharded world — parallelism must not wash out the signal the
+//      whole toolkit exists to find.
+//
+// Registered as a world test: the suite shares its simulated worlds
+// across cases, and ci.sh runs the binary under TSan to put the
+// cross-shard hand-offs in front of the race detector.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/prio_test.hpp"
+#include "core/wallet_inference.hpp"
+#include "io/cnb.hpp"
+#include "io/dataset_io.hpp"
+#include "sim/dataset.hpp"
+#include "sim/engine.hpp"
+#include "sim/engine_seed.hpp"
+
+namespace cn {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+/// Exports @p world as the CSV directory plus a CNB1 file underneath
+/// @p dir; returns every written file as (relative name, bytes).
+std::vector<std::pair<std::string, std::string>> export_bytes(
+    const sim::SimResult& world, const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::remove_all(dir);
+  std::string error;
+  EXPECT_TRUE(io::export_chain(world.chain, dir, &error)) << error;
+  EXPECT_TRUE(io::export_snapshots(world.observer.snapshots(),
+                                   dir + "/snapshots.csv", &error))
+      << error;
+  EXPECT_TRUE(io::export_first_seen(world.observer.first_seen_map(),
+                                    dir + "/first_seen.csv", &error))
+      << error;
+  io::CnbWriteOptions options;
+  options.snapshots = &world.observer.snapshots();
+  options.first_seen = &world.observer.first_seen_map();
+  EXPECT_TRUE(io::write_cnb(world.chain, dir + "/dataset.cnb", options, &error))
+      << error;
+
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    files.emplace_back(entry.path().filename().string(),
+                       slurp(entry.path().string()));
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_GE(files.size(), 7u);  // 4 tables + 2 series + dataset.cnb
+  return files;
+}
+
+void expect_identical_exports(const sim::SimResult& a, const sim::SimResult& b,
+                              const std::string& tag) {
+  const auto fa = export_bytes(a, ::testing::TempDir() + "/cn_det_" + tag + "_a");
+  const auto fb = export_bytes(b, ::testing::TempDir() + "/cn_det_" + tag + "_b");
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].first, fb[i].first);
+    EXPECT_TRUE(fa[i].second == fb[i].second)
+        << tag << ": " << fa[i].first << " bytes differ";
+  }
+}
+
+/// The shared worlds: one config, simulated by the seed engine, the
+/// serial path, and the sharded path twice.
+class ShardedDeterminism : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::EngineConfig config = sim::dataset_config(sim::DatasetKind::kA, 4242, 0.15);
+    seed_ = new sim::SimResult(sim::SeedEngine(config).run());
+    config.threads = 1;
+    serial_ = new sim::SimResult(sim::Engine(config).run());
+    config.threads = 2;
+    sharded_a_ = new sim::SimResult(sim::Engine(config).run());
+    sharded_b_ = new sim::SimResult(sim::Engine(config).run());
+  }
+  static void TearDownTestSuite() {
+    delete sharded_b_;
+    delete sharded_a_;
+    delete serial_;
+    delete seed_;
+    sharded_b_ = sharded_a_ = serial_ = seed_ = nullptr;
+  }
+
+  static sim::SimResult* seed_;
+  static sim::SimResult* serial_;
+  static sim::SimResult* sharded_a_;
+  static sim::SimResult* sharded_b_;
+};
+
+sim::SimResult* ShardedDeterminism::seed_ = nullptr;
+sim::SimResult* ShardedDeterminism::serial_ = nullptr;
+sim::SimResult* ShardedDeterminism::sharded_a_ = nullptr;
+sim::SimResult* ShardedDeterminism::sharded_b_ = nullptr;
+
+void expect_same_world(const sim::SimResult& a, const sim::SimResult& b) {
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  for (std::size_t i = 0; i < a.chain.size(); ++i) {
+    const auto& ba = a.chain.blocks()[i];
+    const auto& bb = b.chain.blocks()[i];
+    ASSERT_EQ(ba.tx_count(), bb.tx_count()) << "block " << i;
+    for (std::size_t j = 0; j < ba.tx_count(); ++j) {
+      ASSERT_EQ(ba.txs()[j].id(), bb.txs()[j].id())
+          << "block " << i << " position " << j;
+    }
+  }
+  EXPECT_EQ(a.issued_count, b.issued_count);
+  EXPECT_EQ(a.rbf_replacements, b.rbf_replacements);
+  EXPECT_EQ(a.scam_txids, b.scam_txids);
+  ASSERT_EQ(a.observer.first_seen_map().size(),
+            b.observer.first_seen_map().size());
+  for (const auto& [id, t] : a.observer.first_seen_map()) {
+    const auto other = b.observer.first_seen(id);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(*other, t);
+  }
+  EXPECT_EQ(a.observer.snapshots().stats().size(),
+            b.observer.snapshots().stats().size());
+}
+
+TEST_F(ShardedDeterminism, SerialMatchesSeedEngine) {
+  expect_same_world(*seed_, *serial_);
+}
+
+TEST_F(ShardedDeterminism, SerialExportBytesMatchSeedEngine) {
+  expect_identical_exports(*seed_, *serial_, "serial");
+}
+
+TEST_F(ShardedDeterminism, ShardedRunToRunIdentical) {
+  expect_same_world(*sharded_a_, *sharded_b_);
+}
+
+TEST_F(ShardedDeterminism, ShardedExportBytesIdenticalRunToRun) {
+  expect_identical_exports(*sharded_a_, *sharded_b_, "sharded");
+}
+
+TEST_F(ShardedDeterminism, ShardedWorldIsStatisticallyComparable) {
+  // The sharded interleaving is a different sample of the same process:
+  // block count and issuance must land within a few percent of serial.
+  const double blocks_serial = static_cast<double>(serial_->chain.size());
+  const double blocks_sharded = static_cast<double>(sharded_a_->chain.size());
+  EXPECT_NEAR(blocks_sharded / blocks_serial, 1.0, 0.15);
+  const double issued_serial = static_cast<double>(serial_->issued_count);
+  const double issued_sharded = static_cast<double>(sharded_a_->issued_count);
+  EXPECT_NEAR(issued_sharded / issued_serial, 1.0, 0.05);
+}
+
+TEST(ShardedDetectors, PlantedSelfDealerStillCaught) {
+  // A calibration-style planted world simulated on the sharded engine:
+  // the SPPE detector must still convict the self-dealer and acquit an
+  // honest pool. (The serial engine's verdicts are covered by the
+  // calibration suite; byte-identity above carries them over.)
+  sim::EngineConfig config;
+  config.seed = 991;
+  config.duration = 2 * kDay;
+  sim::PoolSpec selfish;
+  selfish.name = "Selfish";
+  selfish.hash_share = 25.0;
+  selfish.self_tx_weight = 3.0;
+  selfish.selfish = true;
+  sim::PoolSpec honest;
+  honest.name = "Honest";
+  honest.hash_share = 75.0;
+  config.pools = {selfish, honest};
+  config.workload.self_interest_per_block = 0.6;
+  config.workload.bursts.push_back({kDay, 6 * kHour, 3.0});
+  config.threads = 2;
+
+  const sim::SimResult world = sim::Engine(config).run();
+  ASSERT_GT(world.chain.size(), 150u);
+
+  btc::CoinbaseTagRegistry registry;
+  registry.add("Selfish", btc::conventional_marker("Selfish"));
+  registry.add("Honest", btc::conventional_marker("Honest"));
+  const core::PoolAttribution attribution(world.chain, registry);
+
+  const auto own =
+      core::self_interest_txs(world.chain, attribution, "Selfish");
+  ASSERT_GT(own.size(), 20u);
+  const auto verdict = core::test_differential_prioritization(
+      world.chain, attribution, "Selfish", own);
+  EXPECT_LT(verdict.p_accelerate, 0.001);
+  EXPECT_GT(verdict.sppe, 0.0);
+
+  const auto honest_own =
+      core::self_interest_txs(world.chain, attribution, "Honest");
+  if (honest_own.size() > 20u) {
+    const auto honest_verdict = core::test_differential_prioritization(
+        world.chain, attribution, "Honest", honest_own);
+    EXPECT_GT(honest_verdict.p_accelerate, 0.001);
+  }
+}
+
+}  // namespace
+}  // namespace cn

@@ -1,8 +1,12 @@
 // cnaudit — command-line front end to the chainneutrality library.
 //
-//   cnaudit simulate  --dataset A|B|C [--seed N] [--scale X] --out DIR
+//   cnaudit simulate  --dataset A|B|C [--seed N] [--scale X]
+//                     [--threads N] --out DIR
 //       Simulate a data set and export it (blocks/txs/inputs/outputs CSV
 //       plus Mempool snapshots and the observer's first-seen log).
+//       --threads 0 runs the sharded engine on all hardware threads
+//       (deterministic for a fixed seed); the default 1 is the serial
+//       engine, byte-identical to the pre-sharding simulator.
 //
 //   cnaudit audit      --input PATH [--alpha P] [--min-share F]
 //       Load a data set and run the §5 cross-pool differential-
@@ -142,7 +146,7 @@ class Args {
 int usage() {
   std::fprintf(stderr,
                "usage: cnaudit <simulate|audit|report|neutrality|ppe|darkfee> [--key value ...]\n"
-               "  simulate   --dataset A|B|C [--seed N] [--scale X] --out DIR\n"
+               "  simulate   --dataset A|B|C [--seed N] [--scale X] [--threads N] --out DIR\n"
                "  audit      --input PATH [--alpha P] [--min-share F]\n"
                "  report     --input PATH [--alpha P] [--threads N] [--min-coverage F]\n"
                "             [--stages CSV] [--engine columnar|legacy] [--timings on|off]\n"
@@ -220,10 +224,18 @@ int cmd_simulate(const Args& args) {
   }
   const std::uint64_t seed = args.get_u64("seed", 42);
   const double scale = args.get_double("scale", 0.5);
+  // 0 = all hardware threads (sharded engine), 1 = the serial engine
+  // (byte-identical to the pre-sharding simulator). Sharded output is
+  // deterministic for a fixed seed but differs from the serial event
+  // interleaving, so the default stays serial.
+  const unsigned threads = static_cast<unsigned>(args.get_u64("threads", 1));
 
-  std::printf("simulating data set %s (seed %llu, scale %.2f)...\n",
-              kind_str.c_str(), static_cast<unsigned long long>(seed), scale);
-  const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+  std::printf("simulating data set %s (seed %llu, scale %.2f, threads %u)...\n",
+              kind_str.c_str(), static_cast<unsigned long long>(seed), scale,
+              threads);
+  sim::EngineConfig config = sim::dataset_config(kind, seed, scale);
+  config.threads = threads;
+  const sim::SimResult world = sim::Engine(config).run();
   std::printf("  %zu blocks, %llu committed transactions\n", world.chain.size(),
               static_cast<unsigned long long>(world.chain.total_tx_count()));
 
