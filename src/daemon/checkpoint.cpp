@@ -1,0 +1,177 @@
+#include "daemon/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "daemon/wire.hpp"
+#include "testing/crash_points.hpp"
+
+namespace cn::daemon {
+
+namespace {
+
+constexpr char kMagic[6] = {'C', 'N', 'C', 'P', '1', '\0'};
+constexpr std::uint16_t kVersion = 1;
+
+bool fsync_path(const std::string& path, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = path + ": open for fsync: " + std::strerror(errno);
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok && error != nullptr) *error = path + ": fsync: " + std::strerror(errno);
+  ::close(fd);
+  return ok;
+}
+
+io::LoadError make_error(io::LoadErrorKind kind, const std::string& path,
+                         std::string detail) {
+  io::LoadError e;
+  e.kind = kind;
+  e.file = path;
+  e.detail = std::move(detail);
+  return e;
+}
+
+}  // namespace
+
+bool save_checkpoint(const AuditAccumulators& acc, const std::string& path,
+                     std::string* error) {
+  std::vector<std::uint8_t> payload;
+  acc.encode(payload);
+
+  std::vector<std::uint8_t> file;
+  file.reserve(payload.size() + 64);
+  ByteWriter w(file);
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u8(static_cast<std::uint8_t>(kVersion & 0xff));
+  w.u8(static_cast<std::uint8_t>(kVersion >> 8));
+  w.u64(acc.options().fingerprint());
+  // The registry itself is not serialized — the daemon re-creates it —
+  // but its fingerprint guards against resuming with different tags.
+  w.u64(acc.registry_fingerprint());
+  w.u64(payload.size());
+  w.u64(fnv1a(payload.data(), payload.size()));
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = tmp + ": cannot open for writing";
+      return false;
+    }
+    out.write(reinterpret_cast<const char*>(file.data()),
+              static_cast<std::streamsize>(file.size()));
+    if (!out) {
+      if (error != nullptr) *error = tmp + ": short write";
+      return false;
+    }
+  }
+  testing::crash_point("checkpoint.pre_fsync");
+  if (!fsync_path(tmp, error)) return false;
+  testing::crash_point("checkpoint.pre_rename");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error != nullptr) *error = tmp + " -> " + path + ": rename: " + ec.message();
+    return false;
+  }
+  testing::crash_point("checkpoint.post_rename");
+  // Durable rename: fsync the containing directory so the new directory
+  // entry survives power loss too (best-effort; some filesystems refuse
+  // to open directories).
+  const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) fsync_path(dir.string(), nullptr);
+  return true;
+}
+
+CheckpointLoad load_checkpoint(AuditAccumulators& acc, const std::string& path,
+                               std::uint64_t expected_config,
+                               std::uint64_t expected_registry) {
+  CheckpointLoad result;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.error = make_error(io::LoadErrorKind::kFileOpen, path,
+                              "checkpoint file missing or unreadable");
+    return result;
+  }
+  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  in.close();
+
+  ByteReader r(file.data(), file.size());
+  char magic[6] = {};
+  for (char& c : magic) {
+    std::uint8_t b = 0;
+    if (!r.u8(b)) {
+      result.error = make_error(io::LoadErrorKind::kTruncatedFile, path,
+                                "shorter than the CNCP1 magic");
+      return result;
+    }
+    c = static_cast<char>(b);
+  }
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    result.error = make_error(io::LoadErrorKind::kBadMagic, path,
+                              "not a CNCP1 checkpoint");
+    return result;
+  }
+  std::uint8_t vlo = 0, vhi = 0;
+  std::uint64_t config_fpr = 0, registry_fpr = 0, payload_size = 0, checksum = 0;
+  if (!r.u8(vlo) || !r.u8(vhi) || !r.u64(config_fpr) || !r.u64(registry_fpr) ||
+      !r.u64(payload_size) || !r.u64(checksum)) {
+    result.error = make_error(io::LoadErrorKind::kTruncatedFile, path,
+                              "header extends past EOF");
+    return result;
+  }
+  const std::uint16_t version = static_cast<std::uint16_t>(vlo | (vhi << 8));
+  if (version != kVersion) {
+    result.error = make_error(io::LoadErrorKind::kUnsupportedVersion, path,
+                              "checkpoint version " + std::to_string(version));
+    return result;
+  }
+  if (config_fpr != expected_config) {
+    result.error =
+        make_error(io::LoadErrorKind::kUnsupportedVersion, path,
+                   "checkpoint was written under different accumulator options");
+    return result;
+  }
+  if (registry_fpr != expected_registry) {
+    result.error =
+        make_error(io::LoadErrorKind::kUnsupportedVersion, path,
+                   "checkpoint was written under a different coinbase-tag registry");
+    return result;
+  }
+  if (payload_size != r.remaining()) {
+    result.error = make_error(
+        io::LoadErrorKind::kTruncatedFile, path,
+        "payload is " + std::to_string(r.remaining()) + " bytes, header says " +
+            std::to_string(payload_size));
+    return result;
+  }
+  const std::uint8_t* payload = file.data() + (file.size() - payload_size);
+  if (fnv1a(payload, payload_size) != checksum) {
+    result.error = make_error(io::LoadErrorKind::kSectionChecksum, path,
+                              "payload checksum mismatch");
+    return result;
+  }
+  std::string decode_error;
+  if (!acc.decode(payload, payload_size, &decode_error)) {
+    result.error = make_error(io::LoadErrorKind::kSectionLayout, path,
+                              "payload decode: " + decode_error);
+    return result;
+  }
+  result.ok = true;
+  result.seq = acc.last_seq();
+  return result;
+}
+
+}  // namespace cn::daemon

@@ -1,0 +1,55 @@
+// Crash-safe accumulator checkpoints (the CNCP1 format).
+//
+// cnauditd's durability contract: at any instant the checkpoint file on
+// disk is a complete, verifiable snapshot of the accumulators as of some
+// stream sequence number — never a half-written one. Writes go through
+// the classic atomic dance: serialize to `<path>.tmp`, fsync the file,
+// rename over `<path>` (atomic on POSIX), fsync the directory. A crash
+// before the rename leaves the previous checkpoint; a crash after leaves
+// the new one; there is no third state.
+//
+// Layout (all little-endian):
+//   "CNCP1\0"            6-byte magic
+//   u16 version          format version (1)
+//   u64 config_fpr       AccumulatorOptions::fingerprint() — restoring
+//                        under different thresholds is a typed error
+//   u64 registry_fpr     CoinbaseTagRegistry::fingerprint()
+//   u64 payload_size
+//   u64 payload_fnv1a    checksum of the payload bytes
+//   payload              AuditAccumulators::encode()
+//
+// Load failures reuse io::LoadError verbatim (kBadMagic, kTruncatedFile,
+// kSectionChecksum, ...) so daemon logs speak the same defect language
+// as the dataset loaders.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "daemon/accumulators.hpp"
+#include "io/load_report.hpp"
+
+namespace cn::daemon {
+
+/// Atomically persists @p acc to @p path. Returns false with *error set
+/// on any I/O failure (the previous checkpoint, if any, is untouched).
+bool save_checkpoint(const AuditAccumulators& acc, const std::string& path,
+                     std::string* error = nullptr);
+
+struct CheckpointLoad {
+  bool ok = false;
+  std::optional<io::LoadError> error;  ///< set when !ok
+  std::uint64_t seq = 0;               ///< acc.last_seq() after a good load
+};
+
+/// Restores @p acc from @p path. On any defect @p acc is reset-decoded
+/// state and must be discarded by the caller; the typed error says what
+/// was wrong (a missing file is kFileOpen — the normal cold-start case).
+/// @p expected_config / @p expected_registry are the running daemon's
+/// fingerprints; mismatches fail with kUnsupportedVersion rather than
+/// resuming sums computed under different rules.
+CheckpointLoad load_checkpoint(AuditAccumulators& acc, const std::string& path,
+                               std::uint64_t expected_config,
+                               std::uint64_t expected_registry);
+
+}  // namespace cn::daemon

@@ -1,0 +1,172 @@
+// cnauditd's engine: ingest -> apply -> serve, crash-safe.
+//
+// The daemon consumes a StreamSource (blocks + mempool snapshots),
+// applies each event to the incremental AuditAccumulators, persists
+// atomic checkpoints on a block cadence, and serves sealed JSON reports
+// plus health/readiness over HTTP (tools/cnauditd.cpp wires the
+// routes). Two execution modes share every line of apply logic:
+//
+//   threads=1  synchronous: run_to_end() pulls and applies on the
+//              caller's thread (the --oneshot path, and the mode the
+//              chaos harness kills);
+//   threads=0  pipelined: an ingest thread pulls (with per-read
+//              deadline + retry/backoff) into a BoundedQueue — blocking
+//              push IS the backpressure — an apply thread drains it,
+//              and a watchdog thread fails readiness when apply stops
+//              making progress while work is pending.
+//
+// Overload behavior (the robustness headline): when the queue depth
+// crosses the shed watermark the daemon stops re-sealing reports
+// (sealing does the O(n log^2 n) pair recount — the expensive query
+// work) and serves the last sealed body with degraded/staleness stamps
+// in HTTP headers. Bodies stay byte-deterministic; only freshness
+// degrades.
+//
+// Thread discipline: accumulators_ is touched exclusively by the apply
+// side (run_to_end caller or the apply thread); queries read only the
+// cached sealed report under report_mu_. stats_ fields are atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "daemon/accumulators.hpp"
+#include "daemon/bounded_queue.hpp"
+#include "daemon/checkpoint.hpp"
+#include "daemon/http.hpp"
+#include "io/stream_source.hpp"
+
+namespace cn::daemon {
+
+struct DaemonConfig {
+  AccumulatorOptions accumulators;
+
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_blocks = 32;
+  /// Re-seal (refresh the served report) every N applied blocks.
+  std::uint64_t seal_every_blocks = 16;
+
+  int read_deadline_ms = 1'000;
+  io::RetryPolicy retry;
+  /// Give up (fatal) after this many consecutive exhausted-retry reads.
+  int max_consecutive_failures = 100;
+
+  std::size_t queue_capacity = 256;
+  /// Queue depth above which seals are skipped and reads degraded.
+  std::size_t shed_watermark = 192;
+
+  int threads = 1;  ///< 1 = synchronous, 0 = pipelined (ingest/apply/watchdog)
+  int watchdog_stall_ms = 5'000;
+};
+
+/// Monotonic run counters (all readable while the daemon runs).
+struct DaemonStats {
+  std::uint64_t events_applied = 0;
+  std::uint64_t blocks_applied = 0;
+  std::uint64_t snapshots_applied = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t seals = 0;
+  std::uint64_t seals_shed = 0;       ///< seal points skipped under overload
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t read_failures = 0;    ///< exhausted-retry next() calls
+  std::uint64_t recovered_seq = 0;    ///< checkpoint seq resumed from (0 = cold)
+  bool checkpoint_rejected = false;   ///< a checkpoint existed but was unusable
+};
+
+class AuditDaemon {
+ public:
+  /// @p source and @p registry must outlive the daemon. @p first_seen
+  /// resolves observer arrival times (may be empty).
+  AuditDaemon(io::StreamSource& source, const btc::CoinbaseTagRegistry& registry,
+              core::FirstSeenFn first_seen, DaemonConfig config);
+  ~AuditDaemon();
+
+  /// Restores from the configured checkpoint (when present and valid)
+  /// and seeks the source to one past the restored sequence number. An
+  /// unusable checkpoint (torn, wrong fingerprint) is discarded — the
+  /// daemon cold-starts, which is always safe because replay is
+  /// deterministic. Returns false only on a hard source error.
+  /// @p message receives a one-line description either way.
+  bool recover(std::string* message = nullptr);
+
+  // --- synchronous mode (threads = 1) --------------------------------
+
+  /// Pulls and applies until the feed ends (kEnd), a fatal error, or
+  /// stop(). Returns the terminal stream status.
+  io::StreamStatus run_to_end();
+
+  // --- pipelined mode (threads = 0) ----------------------------------
+
+  void start();          ///< spawn ingest + apply + watchdog threads
+  void join();           ///< wait for the feed to drain, then stop threads
+  void stop();           ///< request shutdown and join (idempotent)
+
+  // --- query surface (thread-safe) -----------------------------------
+
+  /// Routes /report, /healthz, /readyz, /metrics.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Seals a fresh report NOW on the calling thread. Only valid in
+  /// synchronous mode or after join() (see thread discipline above).
+  std::string seal_report_json();
+
+  bool healthy() const noexcept { return !fatal_.load(); }
+  /// Ready = started, not stalled, not shedding, no fatal error.
+  bool ready() const noexcept;
+
+  DaemonStats stats() const;
+  const AuditAccumulators& accumulators() const noexcept { return accumulators_; }
+
+ private:
+  void apply_event(const io::StreamEvent& event);
+  void maybe_checkpoint();
+  void seal_and_cache();
+  void ingest_loop();
+  void apply_loop();
+  void watchdog_loop();
+  bool shedding() const noexcept;
+
+  io::RetryingSource source_;
+  const btc::CoinbaseTagRegistry* registry_;
+  core::FirstSeenFn first_seen_;
+  DaemonConfig config_;
+  AuditAccumulators accumulators_;
+
+  BoundedQueue<io::StreamEvent> queue_;
+  std::thread ingest_thread_;
+  std::thread apply_thread_;
+  std::thread watchdog_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> ingest_done_{false};
+  std::atomic<bool> apply_done_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> fatal_{false};
+  std::atomic<bool> stalled_{false};
+
+  // Stats counters (relaxed; read via stats()).
+  std::atomic<std::uint64_t> events_applied_{0};
+  std::atomic<std::uint64_t> blocks_applied_{0};
+  std::atomic<std::uint64_t> snapshots_applied_{0};
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> seals_{0};
+  std::atomic<std::uint64_t> seals_shed_{0};
+  std::atomic<std::uint64_t> degraded_reads_{0};
+  std::atomic<std::uint64_t> read_failures_{0};
+  std::atomic<std::uint64_t> recovered_seq_{0};
+  std::atomic<bool> checkpoint_rejected_{false};
+  /// accumulators_.blocks() mirrored for lock-free staleness stamps.
+  std::atomic<std::uint64_t> acc_blocks_{0};
+
+  // Cached sealed report (served by /report).
+  mutable std::mutex report_mu_;
+  std::string cached_report_;
+  std::uint64_t cached_version_ = 0;
+  std::uint64_t cached_blocks_ = 0;  ///< blocks_applied_ at seal time
+};
+
+}  // namespace cn::daemon

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/registry.hpp"
 #include "sim/shard.hpp"
@@ -316,6 +317,33 @@ void Engine::handle_block_found(SimTime now) {
   if (next <= config_.duration) schedule(next, Event::Kind::kBlockFound);
 }
 
+std::string SimTimeout::describe() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "deadline exceeded after %.1fs: reached t=%lld of %lld "
+                "(%llu events, %llu blocks)",
+                elapsed_s, static_cast<long long>(sim_time_reached),
+                static_cast<long long>(sim_duration),
+                static_cast<unsigned long long>(events_processed),
+                static_cast<unsigned long long>(blocks_committed));
+  return buf;
+}
+
+bool Engine::deadline_check(SimTime sim_now) {
+  if (config_.deadline_s <= 0.0 || timeout_.timed_out) return timeout_.timed_out;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start_)
+          .count();
+  if (elapsed < config_.deadline_s) return false;
+  timeout_.timed_out = true;
+  timeout_.elapsed_s = elapsed;
+  timeout_.sim_time_reached = sim_now;
+  timeout_.sim_duration = config_.duration;
+  timeout_.events_processed = stat_events_;
+  timeout_.blocks_committed = chain_.size();
+  return true;
+}
+
 void Engine::run_serial() {
   schedule(workload_.next_arrival(0), Event::Kind::kTxIssue);
   const auto first_gap = static_cast<SimTime>(
@@ -323,11 +351,17 @@ void Engine::run_serial() {
   schedule(std::max<SimTime>(first_gap, 1), Event::Kind::kBlockFound);
   schedule(kSnapshotInterval, Event::Kind::kSnapshot);
 
+  // The deadline is checked on a coarse event stride: cheap enough to
+  // leave enabled, fine-grained enough to stop within a fraction of a
+  // second of the budget.
+  constexpr std::uint64_t kDeadlineStride = 4096;
+
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
     if (ev.time > config_.duration) continue;
     ++stat_events_;
+    if (stat_events_ % kDeadlineStride == 0 && deadline_check(ev.time)) break;
     prune_recent_broadcasts(ev.time);
     switch (ev.kind) {
       case Event::Kind::kTxIssue:
@@ -400,6 +434,7 @@ void Engine::run_sharded(unsigned lanes) {
   };
 
   for (SimTime t0 = 0; t0 < end; t0 += window) {
+    if (deadline_check(t0)) break;
     const SimTime t1 = std::min<SimTime>(t0 + window, end);
     ++stat_barriers_;
 
@@ -581,6 +616,7 @@ void Engine::flush_sim_metrics() {
 SimResult Engine::run() {
   CN_ASSERT(!ran_);
   ran_ = true;
+  run_start_ = std::chrono::steady_clock::now();
 
   const unsigned lanes = util::resolve_threads(config_.threads);
   if (lanes <= 1 || config_.sim_shards <= 1) {
@@ -603,6 +639,7 @@ SimResult Engine::run() {
   result.broadcast_time = std::move(broadcast_time_);
   result.issued_count = issued_count_;
   result.rbf_replacements = rbf_replacements_;
+  result.timeout = timeout_;
   return result;
 }
 

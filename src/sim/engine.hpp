@@ -6,6 +6,7 @@
 // sets contain.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <queue>
@@ -68,6 +69,28 @@ struct EngineConfig {
   /// Conservative time-window barrier width in seconds: shards generate
   /// independently within a window and synchronize only at its edge.
   SimTime barrier_window_s = 10;
+
+  /// Wall-clock budget for run() in seconds; 0 = unlimited. A run that
+  /// exceeds it stops at the next deadline check (every few thousand
+  /// events serially; every window barrier sharded) and reports the
+  /// overrun with partial-progress diagnostics in SimResult::timeout
+  /// instead of hanging a batch job forever. The partial chain is
+  /// returned as-is: internally consistent, just shorter than asked.
+  double deadline_s = 0.0;
+};
+
+/// Diagnostics for a run cut short by EngineConfig::deadline_s.
+struct SimTimeout {
+  bool timed_out = false;       ///< the deadline fired
+  double elapsed_s = 0.0;       ///< wall clock spent when it fired
+  SimTime sim_time_reached = 0; ///< simulated progress at the cut
+  SimTime sim_duration = 0;     ///< what was asked for (config.duration)
+  std::uint64_t events_processed = 0;
+  std::uint64_t blocks_committed = 0;
+
+  /// One-line "deadline exceeded after Xs: reached t=A of B (N events,
+  /// M blocks)" description for logs and CLI errors.
+  std::string describe() const;
 };
 
 /// Everything a post-hoc audit can see, plus the simulator's ground truth
@@ -83,6 +106,7 @@ struct SimResult {
   std::unordered_map<btc::Txid, SimTime> broadcast_time;
   std::uint64_t issued_count = 0;
   std::uint64_t rbf_replacements = 0;  ///< accepted fee bumps
+  SimTimeout timeout;  ///< set when config.deadline_s fired mid-run
 };
 
 class Engine {
@@ -186,6 +210,13 @@ class Engine {
   std::uint64_t issued_count_ = 0;
   std::uint64_t rbf_replacements_ = 0;
   bool ran_ = false;
+
+  /// Wall-clock deadline bookkeeping (config_.deadline_s).
+  /// deadline_check() is called periodically by both engines; it stamps
+  /// timeout_ and returns true once the budget is spent.
+  bool deadline_check(SimTime sim_now);
+  std::chrono::steady_clock::time_point run_start_{};
+  SimTimeout timeout_;
 
   /// Batched sim telemetry (flushed to cn::obs once per run, keeping the
   /// instrumentation overhead far under the 2% gate).

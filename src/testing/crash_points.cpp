@@ -1,0 +1,100 @@
+#include "testing/crash_points.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cn::testing {
+
+namespace {
+
+struct PointState {
+  // Remaining passes before the process dies; <0 = not armed, counting
+  // only.
+  std::atomic<std::int64_t> countdown{-1};
+  std::atomic<std::uint64_t> hits{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // Pointers are stable across rehash (node-based map) — crash_point()
+  // caches the PointState* per call site lookup.
+  std::unordered_map<std::string, PointState> points;
+  bool armed_from_env = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during exit
+  return *r;
+}
+
+void parse_and_arm(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return;
+  Registry& r = registry();
+  std::string s(spec);
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string entry = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    const std::string name = entry.substr(0, colon);
+    const long long count = std::strtoll(entry.c_str() + colon + 1, nullptr, 10);
+    if (count <= 0) continue;
+    r.points[name].countdown.store(count, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void arm_crash_points_from_env() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.armed_from_env) return;
+  r.armed_from_env = true;
+  parse_and_arm(std::getenv("CN_CRASH_AT"));
+}
+
+void crash_point(std::string_view name) {
+  arm_crash_points_from_env();
+  Registry& r = registry();
+  PointState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    state = &r.points[std::string(name)];
+  }
+  state->hits.fetch_add(1, std::memory_order_relaxed);
+  // Not armed (the overwhelmingly common case): one relaxed load.
+  if (state->countdown.load(std::memory_order_relaxed) < 0) return;
+  if (state->countdown.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Die exactly like SIGKILL would: no atexit handlers, no stream
+    // flushes, no destructors. 137 = 128 + SIGKILL, the exit code a
+    // shell reports for a killed child, so harnesses treat both alike.
+    _exit(137);
+  }
+}
+
+std::uint64_t crash_point_hits(std::string_view name) {
+  arm_crash_points_from_env();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(std::string(name));
+  return it == r.points.end() ? 0 : it->second.hits.load(std::memory_order_relaxed);
+}
+
+void rearm_crash_points_for_test() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  r.armed_from_env = true;
+  parse_and_arm(std::getenv("CN_CRASH_AT"));
+}
+
+}  // namespace cn::testing

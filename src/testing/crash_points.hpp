@@ -1,0 +1,47 @@
+// Kill-point injection for crash-safety testing.
+//
+// The daemon's headline invariant — SIGKILL at any point, then restart,
+// converges to a byte-identical report — is only testable if the "any
+// point" can be chosen precisely. A crash point is a named site in
+// production code (e.g. "daemon.apply", "checkpoint.pre_rename"); the
+// chaos harness arms one via the CN_CRASH_AT environment variable and
+// the process dies with _exit(137) — no destructors, no flushes, the
+// same observable effect as SIGKILL — on the N-th time execution passes
+// that site.
+//
+//   CN_CRASH_AT="daemon.apply:57"          die on the 57th applied event
+//   CN_CRASH_AT="checkpoint.pre_rename:2"  die just before the 2nd
+//                                          checkpoint rename
+//
+// Multiple points may be armed, comma-separated. Unarmed builds/runs pay
+// one branch on a cached pointer per site. Instrumentation lives in
+// cn::testing so production layers depend on it explicitly — the sites
+// themselves are part of the daemon's tested surface.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cn::testing {
+
+/// Parses CN_CRASH_AT and arms the registry. Called lazily by the first
+/// crash_point() hit; exposed for tests that set the variable after
+/// startup (tests must call rearm_crash_points_for_test()).
+void arm_crash_points_from_env();
+
+/// Marks a crash site. When CN_CRASH_AT armed @p name with countdown N,
+/// the N-th call to this function with that name terminates the process
+/// via _exit(137). Thread-safe; sites in unarmed processes cost one
+/// atomic load.
+void crash_point(std::string_view name);
+
+/// Number of times @p name was passed (armed or not) since process
+/// start — lets tests assert a site is actually on the path they think
+/// it is.
+std::uint64_t crash_point_hits(std::string_view name);
+
+/// Drops all armed points and counters, then re-reads CN_CRASH_AT.
+/// Tests only.
+void rearm_crash_points_for_test();
+
+}  // namespace cn::testing

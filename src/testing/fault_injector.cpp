@@ -93,6 +93,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kTruncateFile: return "truncate-file";
     case FaultKind::kDeleteSnapshotWindow: return "delete-snapshot-window";
     case FaultKind::kCorruptSection: return "corrupt-section";
+    case FaultKind::kTornWrite: return "torn-write";
   }
   return "unknown";
 }
@@ -265,6 +266,54 @@ bool FaultInjector::inject_cnb_file(const std::string& src,
     if (s.byte_size > 0 && s.offset + s.byte_size <= bytes.size()) {
       candidates.push_back(i);
     }
+  }
+
+  if (options.torn_write && !candidates.empty()) {
+    // A torn write, not byte flips: pick one section, cut it at an
+    // interior offset, and either drop the tail (truncate) or zero it
+    // to the section end (a partial page flush). Both leave a file a
+    // crashed cnconvert/checkpoint writer could actually have produced.
+    const std::size_t dir_index = candidates[rng_.uniform_below(candidates.size())];
+    const io::CnbSectionInfo& s = info->sections[dir_index];
+    // Tear strictly inside the payload so at least one byte survives and
+    // at least one byte is lost.
+    const std::uint64_t cut_in_section =
+        s.byte_size <= 1 ? 0 : 1 + rng_.uniform_below(s.byte_size - 1);
+    std::uint64_t cut = s.offset + cut_in_section;
+    bool truncate = rng_.uniform_below(2) == 0;
+    if (!truncate) {
+      // Zero-filling a tail that is already all zeros mutates nothing —
+      // the fault would be invisible, breaking the `detectable` promise.
+      // Pull the cut back to cover the section's last nonzero byte, or
+      // fall back to truncation when the whole candidate tail is zeros.
+      std::uint64_t last_nonzero = 0;  // 0 = none found
+      for (std::uint64_t i = s.offset + 1; i < s.offset + s.byte_size; ++i) {
+        if (bytes[i] != 0) last_nonzero = i;
+      }
+      if (last_nonzero == 0) {
+        truncate = true;
+      } else if (cut > last_nonzero) {
+        cut = last_nonzero;
+      }
+    }
+    if (truncate) {
+      bytes.resize(cut);
+    } else {
+      for (std::uint64_t i = cut; i < s.offset + s.byte_size; ++i) bytes[i] = 0;
+    }
+    log.faults.push_back(
+        {FaultKind::kTornWrite, dst, dir_index + 1,
+         std::string("section ") +
+             io::to_string(static_cast<io::CnbSection>(s.id)) +
+             (truncate ? " truncated at file offset " : " zero-torn from file offset ") +
+             std::to_string(cut),
+         true, 0, 0});
+
+    std::ofstream torn_out(dst, std::ios::binary | std::ios::trunc);
+    if (!torn_out) return false;
+    torn_out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    torn_out.flush();
+    return torn_out.good();
   }
 
   std::size_t flips = options.cnb_sections;

@@ -26,6 +26,13 @@
 //                   (inject_cnb_file) — detectable; the per-section
 //                   checksum fails and a strict io::read_cnb pinpoints
 //                   the logged directory index.
+//   kTornWrite      a crashed writer's partial flush: from a random
+//                   offset inside one CNB1 section, the file is either
+//                   truncated (tail lost) or zero-filled to the section
+//                   end (pages never made it to disk). Detectable: the
+//                   section checksum (or the file length) can no longer
+//                   match, so a strict load reports a typed defect and a
+//                   lenient load drops the poisoned group.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +52,7 @@ enum class FaultKind {
   kTruncateFile,
   kDeleteSnapshotWindow,
   kCorruptSection,
+  kTornWrite,
 };
 
 const char* to_string(FaultKind kind);
@@ -90,6 +98,11 @@ struct FaultOptions {
   /// Distinct CNB1 sections to corrupt (inject_cnb_file only); clamped
   /// to the number of non-empty sections in the file.
   std::size_t cnb_sections = 1;
+  /// Torn-write mode (inject_cnb_file only): emulate a writer killed
+  /// mid-flush by cutting or zero-garbling one section from a random
+  /// interior offset. When set, cnb_sections byte flips are skipped —
+  /// the torn tail is the injected fault.
+  bool torn_write = false;
 };
 
 class FaultInjector {
@@ -122,6 +135,10 @@ class FaultInjector {
   /// (kCorruptSection faults whose `line` is the 1-based directory index
   /// a strict io::read_cnb reports), then optionally cutting the file
   /// mid-section when options.truncate_tail is set (kTruncateFile).
+  /// With options.torn_write, instead emulates a partial flush: one
+  /// section is torn at a random interior offset — the file is either
+  /// truncated there or zero-filled to the section's end (kTornWrite,
+  /// `line` = 1-based directory index).
   /// Returns false when @p src is not a readable CNB1 file or the write
   /// failed. Deterministic per seed.
   bool inject_cnb_file(const std::string& src, const std::string& dst,

@@ -1,0 +1,37 @@
+#include "testing/flaky_source.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cn::testing {
+
+FlakyStreamSource::FlakyStreamSource(io::StreamSource& inner,
+                                     std::uint64_t seed, FlakyOptions options)
+    : inner_(&inner), rng_(seed), options_(options) {}
+
+io::StreamStatus FlakyStreamSource::next(io::StreamEvent& out, int deadline_ms) {
+  ++reads_;
+  if (options_.corrupt_after > 0 && delivered_ >= options_.corrupt_after) {
+    return io::StreamStatus::kCorrupt;
+  }
+  if (options_.stall_every > 0 && reads_ % options_.stall_every == 0) {
+    ++stalls_;
+    // A real stalled peer blocks the caller up to its deadline; sleep
+    // the smaller of the two so tests stay fast, and report kTimeout
+    // when the stall would have outlived the deadline.
+    const int sleep_ms = std::min(options_.stall_ms, std::max(deadline_ms, 0));
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    if (options_.stall_ms > deadline_ms) return io::StreamStatus::kTimeout;
+  }
+  if (options_.transient_rate > 0.0 && rng_.chance(options_.transient_rate)) {
+    ++transients_;
+    return io::StreamStatus::kTransient;
+  }
+  const io::StreamStatus status = inner_->next(out, deadline_ms);
+  if (status == io::StreamStatus::kOk) ++delivered_;
+  return status;
+}
+
+}  // namespace cn::testing

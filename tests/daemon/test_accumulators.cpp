@@ -1,0 +1,258 @@
+// AuditAccumulators (daemon/accumulators.hpp): the incremental twin of
+// the batch neutrality scorecards. Properties: per-pool norms sealed
+// after applying a chain block-by-block are bitwise equal to
+// core::neutrality_reports over the same chain; self-interest tallies
+// are prequential (wallets count only from the block that announced
+// them); sealing is deterministic and idempotent; and the checkpoint
+// encoding round-trips the full state byte-exactly while rejecting
+// garbage with a message instead of crashing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "btc/coinbase_tags.hpp"
+#include "core/neutrality.hpp"
+#include "core/wallet_inference.hpp"
+#include "daemon/accumulators.hpp"
+
+namespace cn::daemon {
+namespace {
+
+const core::FirstSeenFn kNoFirstSeen =
+    [](const btc::Txid&) -> std::optional<SimTime> { return std::nullopt; };
+
+AccumulatorOptions test_options() {
+  AccumulatorOptions options;
+  options.neutrality.min_blocks = 2;
+  return options;
+}
+
+/// A deterministic mixed-pool chain: 24 blocks over two identified pools
+/// plus an unidentified miner, with fee patterns that exercise the boost
+/// threshold and the sub-floor rule.
+btc::Chain mixed_chain() {
+  btc::Chain chain(500);
+  for (std::uint64_t h = 500; h < 524; ++h) {
+    std::vector<double> rates;
+    switch (h % 4) {
+      case 0: rates = {9.0, 7.0, 5.0, 3.0}; break;     // descending (clean)
+      case 1: rates = {2.0, 8.0, 6.0}; break;          // a hoisted low payer
+      case 2: rates = {5.0, 0.5, 4.0}; break;          // a sub-floor tx
+      default: rates = {6.0}; break;
+    }
+    const char* tag = h % 3 == 0   ? "/F2Pool/"
+                      : h % 3 == 1 ? "/ViaBTC/"
+                                   : "/NoSuchPool/";
+    chain.append(cn::test::block_with_rates(
+        h, rates, tag, static_cast<SimTime>(600 * (h - 499))));
+  }
+  return chain;
+}
+
+AuditAccumulators accumulate(const btc::Chain& chain,
+                             const btc::CoinbaseTagRegistry& registry) {
+  AuditAccumulators acc(registry, test_options());
+  std::uint64_t seq = 0;
+  for (const btc::Block& block : chain.blocks()) {
+    acc.apply_block(block, kNoFirstSeen, ++seq);
+  }
+  return acc;
+}
+
+TEST(AuditAccumulators, SealedNormsMatchBatchNeutralityBitwise) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const btc::Chain chain = mixed_chain();
+  AuditAccumulators acc = accumulate(chain, registry);
+
+  const core::PoolAttribution attribution(chain, registry);
+  const std::vector<core::NeutralityReport> batch =
+      core::neutrality_reports(chain, attribution, test_options().neutrality);
+
+  const AuditAccumulators::Report sealed = acc.seal();
+  ASSERT_EQ(sealed.neutrality.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const core::NeutralityReport& want = batch[i];
+    const core::NeutralityReport& got = sealed.neutrality[i];
+    EXPECT_EQ(got.pool, want.pool);
+    EXPECT_EQ(got.blocks, want.blocks);
+    EXPECT_EQ(got.txs, want.txs);
+    // Bitwise: the accumulators mirror report_for_pool's arithmetic.
+    EXPECT_EQ(got.mean_ppe, want.mean_ppe) << want.pool;
+    EXPECT_EQ(got.boosted_tx_rate, want.boosted_tx_rate) << want.pool;
+    EXPECT_EQ(got.below_floor_block_rate, want.below_floor_block_rate)
+        << want.pool;
+    // No self-interest traffic in this chain, so the prequential tallies
+    // agree with batch exactly.
+    EXPECT_EQ(got.self_dealing_p, want.self_dealing_p) << want.pool;
+    EXPECT_EQ(got.self_dealing_flagged, want.self_dealing_flagged);
+    EXPECT_EQ(got.score, want.score) << want.pool;
+  }
+  EXPECT_EQ(sealed.blocks, chain.size());
+  EXPECT_EQ(sealed.version, chain.size());  // seq of the last applied block
+}
+
+TEST(AuditAccumulators, SelfInterestIsPrequential) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  AuditAccumulators acc(registry, test_options());
+
+  // Block 1: a payment TO F2Pool's reward wallet, mined by ViaBTC,
+  // BEFORE F2Pool ever announced that wallet. Must not count.
+  {
+    std::vector<btc::Transaction> txs;
+    txs.push_back(cn::test::tx_with_rate(5.0, 250, 0, 1, "alice",
+                                         "/F2Pool//reward"));
+    btc::Coinbase cb;
+    cb.tag = "/ViaBTC/";
+    cb.reward_address = btc::Address::derive("/ViaBTC//reward");
+    cb.reward = btc::Satoshi{625'000'000};
+    acc.apply_block(btc::Block(100, 600, std::move(cb), std::move(txs)),
+                    kNoFirstSeen, 1);
+  }
+  // Block 2: F2Pool announces its wallet (coinbase reward address).
+  acc.apply_block(cn::test::block_with_rates(101, {4.0}, "/F2Pool/", 1200),
+                  kNoFirstSeen, 2);
+  // Block 3: the same payment shape again, mined by ViaBTC — now the
+  // wallet is known, so it is a c-block for F2Pool (y += 1, x += 0).
+  {
+    std::vector<btc::Transaction> txs;
+    txs.push_back(cn::test::tx_with_rate(5.0, 250, 0, 2, "alice",
+                                         "/F2Pool//reward"));
+    btc::Coinbase cb;
+    cb.tag = "/ViaBTC/";
+    cb.reward_address = btc::Address::derive("/ViaBTC//reward");
+    cb.reward = btc::Satoshi{625'000'000};
+    acc.apply_block(btc::Block(102, 1800, std::move(cb), std::move(txs)),
+                    kNoFirstSeen, 3);
+  }
+  // Block 4: F2Pool commits a payment to its own wallet (x and y += 1).
+  // A second transaction rides along so block SPPE is defined (it is
+  // empty for blocks under 2 txs) and the own-tx SPPE tally counts.
+  {
+    std::vector<btc::Transaction> txs;
+    txs.push_back(cn::test::tx_with_rate(5.0, 250, 0, 3, "alice",
+                                         "/F2Pool//reward"));
+    txs.push_back(cn::test::tx_with_rate(8.0, 250, 0, 4, "carol", "dave"));
+    btc::Coinbase cb;
+    cb.tag = "/F2Pool/";
+    cb.reward_address = btc::Address::derive("/F2Pool//reward");
+    cb.reward = btc::Satoshi{625'000'000};
+    acc.apply_block(btc::Block(103, 2400, std::move(cb), std::move(txs)),
+                    kNoFirstSeen, 4);
+  }
+
+  ASSERT_EQ(acc.pool_count(), 2u);
+  const PoolState* f2pool = nullptr;
+  for (std::size_t i = 0; i < acc.pool_count(); ++i) {
+    if (acc.pool(i).name == "F2Pool") f2pool = &acc.pool(i);
+  }
+  ASSERT_NE(f2pool, nullptr);
+  EXPECT_EQ(f2pool->self_y, 2u);  // blocks 3 and 4; block 1 predates the wallet
+  EXPECT_EQ(f2pool->self_x, 1u);  // block 4 only
+  EXPECT_EQ(f2pool->own_sppe_count, 1u);
+}
+
+TEST(AuditAccumulators, SnapshotsFeedCongestionAndMempoolStats) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  AuditAccumulators acc(registry, test_options());
+  // Levels relative to the 1 MB default unit: none, low, medium, high.
+  acc.apply_snapshot({15, 10, 500'000}, 1);
+  acc.apply_snapshot({30, 20, 1'500'000}, 2);
+  acc.apply_snapshot({45, 30, 3'000'000}, 3);
+  acc.apply_snapshot({60, 40, 5'000'000}, 4);
+
+  const AuditAccumulators::Report report = acc.seal();
+  EXPECT_EQ(report.snapshots, 4u);
+  EXPECT_EQ(report.mean_pending_txs, 25.0);
+  EXPECT_EQ(report.max_total_vsize, 5'000'000u);
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_EQ(report.congestion_levels[level], 1u) << "level " << level;
+  }
+  EXPECT_EQ(report.version, 4u);
+}
+
+TEST(AuditAccumulators, SealIsIdempotentAndJsonDeterministic) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const btc::Chain chain = mixed_chain();
+  AuditAccumulators acc = accumulate(chain, registry);
+  const std::string a = AuditAccumulators::to_json(acc.seal());
+  const std::string b = AuditAccumulators::to_json(acc.seal());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"schema\":\"cnauditd/v1\""), std::string::npos);
+
+  // An independently accumulated copy seals to the same bytes.
+  AuditAccumulators again = accumulate(chain, registry);
+  EXPECT_EQ(AuditAccumulators::to_json(again.seal()), a);
+}
+
+TEST(AuditAccumulators, EncodeDecodeRoundTripsByteExactly) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  const btc::Chain chain = mixed_chain();
+  AuditAccumulators acc = accumulate(chain, registry);
+  acc.apply_snapshot({15, 10, 2'500'000}, 1000);
+
+  std::vector<std::uint8_t> encoded;
+  acc.encode(encoded);
+  ASSERT_FALSE(encoded.empty());
+
+  AuditAccumulators restored(registry, test_options());
+  std::string error;
+  ASSERT_TRUE(restored.decode(encoded.data(), encoded.size(), &error)) << error;
+  EXPECT_EQ(restored.last_seq(), acc.last_seq());
+  EXPECT_EQ(restored.blocks(), acc.blocks());
+  EXPECT_EQ(restored.txs(), acc.txs());
+
+  std::vector<std::uint8_t> re_encoded;
+  restored.encode(re_encoded);
+  EXPECT_EQ(re_encoded, encoded);
+  EXPECT_EQ(AuditAccumulators::to_json(restored.seal()),
+            AuditAccumulators::to_json(acc.seal()));
+
+  // The restored accumulator keeps accumulating identically.
+  AuditAccumulators parallel = accumulate(chain, registry);
+  parallel.apply_snapshot({15, 10, 2'500'000}, 1000);
+  const btc::Block more =
+      cn::test::block_with_rates(524, {6.0, 3.0}, "/F2Pool/", 99'000);
+  restored.apply_block(more, kNoFirstSeen, 1001);
+  parallel.apply_block(more, kNoFirstSeen, 1001);
+  EXPECT_EQ(AuditAccumulators::to_json(restored.seal()),
+            AuditAccumulators::to_json(parallel.seal()));
+}
+
+TEST(AuditAccumulators, DecodeRejectsGarbageWithoutCrashing) {
+  const auto registry = btc::CoinbaseTagRegistry::paper_registry();
+  AuditAccumulators acc = accumulate(mixed_chain(), registry);
+  std::vector<std::uint8_t> encoded;
+  acc.encode(encoded);
+
+  // Every truncation length (stride 7 keeps the loop fast) must fail
+  // cleanly — no crash, no OOB, an error message set.
+  for (std::size_t len = 0; len < encoded.size(); len += 7) {
+    AuditAccumulators victim(registry, test_options());
+    std::string error;
+    EXPECT_FALSE(victim.decode(encoded.data(), len, &error)) << "len " << len;
+    EXPECT_FALSE(error.empty()) << "len " << len;
+  }
+  // Trailing garbage is a defect too: the payload must consume exactly.
+  std::vector<std::uint8_t> padded = encoded;
+  padded.push_back(0xAB);
+  AuditAccumulators victim(registry, test_options());
+  std::string error;
+  EXPECT_FALSE(victim.decode(padded.data(), padded.size(), &error));
+}
+
+TEST(AuditAccumulators, OptionsFingerprintSeparatesThresholds) {
+  AccumulatorOptions a = test_options();
+  AccumulatorOptions b = test_options();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.neutrality.sppe_boost_threshold = 75.0;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  AccumulatorOptions c = test_options();
+  c.pair_epsilon = 30;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+}  // namespace
+}  // namespace cn::daemon

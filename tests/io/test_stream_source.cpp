@@ -1,0 +1,202 @@
+// StreamSource (io/stream_source.hpp): the daemon's ingest contract.
+// ReplaySource must merge blocks and snapshots into one deterministic,
+// seekable feed (the recovery cursor rests on it); RetryingSource must
+// retry exactly the retryable statuses with backoff and pass terminal
+// statuses through untouched. The hostile-feed half uses
+// testing::FlakyStreamSource so the properties hold under injected
+// transients, stalls, and poisoning.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "io/dataset_source.hpp"
+#include "io/stream_source.hpp"
+#include "node/snapshot.hpp"
+#include "testing/flaky_source.hpp"
+
+namespace cn::io {
+namespace {
+
+// Three blocks (mined at 600 / 1200 / 1900) interleaved with three
+// snapshots (600 / 700 / 1905). The tie at t=600 goes to the snapshot.
+DatasetHandle make_handle() {
+  DatasetHandle handle;
+  btc::Chain chain(100);
+  chain.append(cn::test::block_with_rates(100, {9.0, 5.0}, "/F2Pool/", 600));
+  chain.append(cn::test::block_with_rates(101, {3.0}, "/ViaBTC/", 1200));
+  chain.append(cn::test::block_with_rates(102, {7.0}, "/F2Pool/", 1900));
+  handle.chain = std::move(chain);
+  node::SnapshotSeries snaps;
+  snaps.record({600, 10, 2'500'000});
+  snaps.record({700, 4, 900'000});
+  snaps.record({1905, 7, 1'600'000});
+  handle.snapshots = std::move(snaps);
+  return handle;
+}
+
+struct Expected {
+  StreamEvent::Kind kind;
+  SimTime time;
+};
+
+const std::vector<Expected> kMergedOrder = {
+    {StreamEvent::Kind::kSnapshot, 600},  {StreamEvent::Kind::kBlock, 600},
+    {StreamEvent::Kind::kSnapshot, 700},  {StreamEvent::Kind::kBlock, 1200},
+    {StreamEvent::Kind::kBlock, 1900},    {StreamEvent::Kind::kSnapshot, 1905},
+};
+
+TEST(ReplaySourceTest, MergesSnapshotsBeforeBlocksWithSequentialSeq) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource source(handle);
+  ASSERT_EQ(source.size(), kMergedOrder.size());
+
+  StreamEvent ev;
+  for (std::size_t i = 0; i < kMergedOrder.size(); ++i) {
+    ASSERT_EQ(source.next(ev, 100), StreamStatus::kOk) << "event " << i;
+    EXPECT_EQ(ev.seq, i + 1);
+    EXPECT_EQ(ev.kind, kMergedOrder[i].kind);
+    EXPECT_EQ(ev.time, kMergedOrder[i].time);
+    if (ev.kind == StreamEvent::Kind::kBlock) {
+      ASSERT_NE(ev.block, nullptr);
+      EXPECT_EQ(ev.block->mined_at(), kMergedOrder[i].time);
+    }
+  }
+  EXPECT_EQ(source.next(ev, 100), StreamStatus::kEnd);
+  // kEnd is sticky for a finite replay.
+  EXPECT_EQ(source.next(ev, 100), StreamStatus::kEnd);
+}
+
+TEST(ReplaySourceTest, BlockEventsPointIntoTheHandle) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource source(handle);
+  StreamEvent ev;
+  while (source.next(ev, 100) == StreamStatus::kOk) {
+    if (ev.kind != StreamEvent::Kind::kBlock) continue;
+    EXPECT_EQ(ev.block, &handle.chain.at_height(ev.block->height()));
+  }
+}
+
+TEST(ReplaySourceTest, SeekResumesOnePastTheCursor) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource source(handle);
+  StreamEvent ev;
+  for (std::uint64_t seq = 0; seq <= source.size(); ++seq) {
+    ASSERT_TRUE(source.seek(seq)) << "seek(" << seq << ")";
+    if (seq == source.size()) {
+      EXPECT_EQ(source.next(ev, 100), StreamStatus::kEnd);
+      continue;
+    }
+    ASSERT_EQ(source.next(ev, 100), StreamStatus::kOk);
+    EXPECT_EQ(ev.seq, seq + 1);
+    EXPECT_EQ(ev.kind, kMergedOrder[seq].kind);
+    EXPECT_EQ(ev.time, kMergedOrder[seq].time);
+  }
+  // Seeking beyond the feed must be refused, not wrapped or clamped.
+  EXPECT_FALSE(source.seek(source.size() + 1));
+}
+
+TEST(ReplaySourceTest, WorksWithoutSnapshots) {
+  DatasetHandle handle = make_handle();
+  handle.snapshots.reset();
+  ReplaySource source(handle);
+  EXPECT_EQ(source.size(), 3u);
+  StreamEvent ev;
+  std::uint64_t blocks = 0;
+  while (source.next(ev, 100) == StreamStatus::kOk) {
+    EXPECT_EQ(ev.kind, StreamEvent::Kind::kBlock);
+    ++blocks;
+  }
+  EXPECT_EQ(blocks, 3u);
+}
+
+// --- RetryingSource -----------------------------------------------------
+
+RetryPolicy fast_policy(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  return policy;
+}
+
+TEST(RetryingSourceTest, RetriesTransientsUntilTheFeedDrains) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource replay(handle);
+  cn::testing::FlakyOptions flaky_options;
+  flaky_options.transient_rate = 0.5;
+  cn::testing::FlakyStreamSource flaky(replay, /*seed=*/7, flaky_options);
+  RetryingSource source(flaky, fast_policy(16));
+
+  StreamEvent ev;
+  std::vector<std::uint64_t> seqs;
+  while (source.next(ev, 100) == StreamStatus::kOk) seqs.push_back(ev.seq);
+  // Every event arrives exactly once, in order, despite the failures.
+  ASSERT_EQ(seqs.size(), kMergedOrder.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i + 1);
+  EXPECT_GT(flaky.transient_failures(), 0u);
+  EXPECT_EQ(source.retries(), flaky.transient_failures());
+}
+
+TEST(RetryingSourceTest, GivesUpAfterMaxAttempts) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource replay(handle);
+  cn::testing::FlakyOptions flaky_options;
+  flaky_options.transient_rate = 1.0;  // every read fails
+  cn::testing::FlakyStreamSource flaky(replay, 1, flaky_options);
+  RetryingSource source(flaky, fast_policy(4));
+
+  StreamEvent ev;
+  EXPECT_EQ(source.next(ev, 100), StreamStatus::kTransient);
+  EXPECT_EQ(source.retries(), 3u);  // attempts - 1
+  // The cursor never advanced, so a healthy retry later still gets seq 1.
+  EXPECT_EQ(flaky.transient_failures(), 4u);
+}
+
+TEST(RetryingSourceTest, StallsBecomeTimeoutsAndAreRetried) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource replay(handle);
+  cn::testing::FlakyOptions flaky_options;
+  flaky_options.stall_every = 1;  // every read stalls...
+  flaky_options.stall_ms = 30;    // ...for longer than the caller waits
+  cn::testing::FlakyStreamSource flaky(replay, 1, flaky_options);
+
+  StreamEvent ev;
+  EXPECT_EQ(flaky.next(ev, 5), StreamStatus::kTimeout);
+  EXPECT_EQ(flaky.stalls(), 1u);
+  // A deadline that covers the stall absorbs it: the event is delivered.
+  EXPECT_EQ(flaky.next(ev, 100), StreamStatus::kOk);
+  EXPECT_EQ(ev.seq, 1u);
+}
+
+TEST(RetryingSourceTest, CorruptIsTerminalNeverRetried) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource replay(handle);
+  cn::testing::FlakyOptions flaky_options;
+  flaky_options.corrupt_after = 2;
+  cn::testing::FlakyStreamSource flaky(replay, 1, flaky_options);
+  RetryingSource source(flaky, fast_policy(8));
+
+  StreamEvent ev;
+  ASSERT_EQ(source.next(ev, 100), StreamStatus::kOk);
+  ASSERT_EQ(source.next(ev, 100), StreamStatus::kOk);
+  EXPECT_EQ(source.next(ev, 100), StreamStatus::kCorrupt);
+  EXPECT_EQ(source.retries(), 0u);  // terminal status: one attempt only
+  // Poisoning is permanent.
+  EXPECT_EQ(source.next(ev, 100), StreamStatus::kCorrupt);
+}
+
+TEST(RetryingSourceTest, EndPassesThroughWithoutRetry) {
+  const DatasetHandle handle = make_handle();
+  ReplaySource replay(handle);
+  RetryingSource source(replay, fast_policy(8));
+  StreamEvent ev;
+  while (source.next(ev, 100) == StreamStatus::kOk) {
+  }
+  EXPECT_EQ(source.retries(), 0u);
+}
+
+}  // namespace
+}  // namespace cn::io

@@ -235,5 +235,57 @@ TEST(EngineDeathTest, RunTwiceForbidden) {
   EXPECT_DEATH((void)engine.run(), "ran_");
 }
 
+// --- wall-clock deadline (EngineConfig::deadline_s) ---------------------
+
+TEST(EngineDeadline, ZeroDeadlineNeverFires) {
+  EngineConfig config = tiny_config();
+  config.deadline_s = 0.0;
+  const SimResult r = Engine(config).run();
+  EXPECT_FALSE(r.timeout.timed_out);
+  EXPECT_EQ(r.timeout.events_processed, 0u);
+}
+
+TEST(EngineDeadline, GenerousDeadlineCompletesUntouched) {
+  EngineConfig config = tiny_config(5);
+  config.deadline_s = 3600.0;
+  const SimResult with_deadline = Engine(config).run();
+  EXPECT_FALSE(with_deadline.timeout.timed_out);
+  // A deadline that never fires must not perturb the simulation.
+  const SimResult reference = Engine(tiny_config(5)).run();
+  ASSERT_EQ(with_deadline.chain.size(), reference.chain.size());
+  for (std::size_t i = 0; i < reference.chain.size(); ++i) {
+    ASSERT_EQ(with_deadline.chain.blocks()[i].tx_count(),
+              reference.chain.blocks()[i].tx_count());
+  }
+}
+
+TEST(EngineDeadline, TinyDeadlineStopsSerialRunWithDiagnostics) {
+  EngineConfig config = tiny_config();
+  config.duration = 365 * kDay;  // far more than the budget allows
+  config.deadline_s = 0.05;
+  const SimResult r = Engine(config).run();
+  ASSERT_TRUE(r.timeout.timed_out);
+  EXPECT_GE(r.timeout.elapsed_s, config.deadline_s);
+  EXPECT_LT(r.timeout.sim_time_reached, r.timeout.sim_duration);
+  EXPECT_EQ(r.timeout.sim_duration, config.duration);
+  EXPECT_GT(r.timeout.events_processed, 0u);
+  EXPECT_EQ(r.timeout.blocks_committed, r.chain.size());
+  const std::string line = r.timeout.describe();
+  EXPECT_NE(line.find("deadline exceeded"), std::string::npos) << line;
+  // The partial chain is still internally consistent.
+  EXPECT_TRUE(r.chain.verify_integrity());
+}
+
+TEST(EngineDeadline, TinyDeadlineStopsShardedRunToo) {
+  EngineConfig config = tiny_config();
+  config.duration = 365 * kDay;
+  config.deadline_s = 0.05;
+  config.threads = 2;
+  const SimResult r = Engine(config).run();
+  ASSERT_TRUE(r.timeout.timed_out);
+  EXPECT_LT(r.timeout.sim_time_reached, config.duration);
+  EXPECT_FALSE(r.timeout.describe().empty());
+}
+
 }  // namespace
 }  // namespace cn::sim

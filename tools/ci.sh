@@ -11,8 +11,10 @@
 # suite under asan plus the ingestion throughput bench, exercises the
 # CNB1 leg (round-trip suite under asan, cnconvert-built fixtures feeding
 # the legacy-vs-columnar differential from a binary source, and the 20x
-# ingest-throughput gate from bench_dataset_build), and smoke-builds the
-# -DCN_OBS_DISABLE=ON configuration.
+# ingest-throughput gate from bench_dataset_build), runs the cnauditd
+# daemon leg (the labelled suite plus the kill-point chaos harness under
+# asan, and the >=10x incremental-update gate from bench_daemon), and
+# smoke-builds the -DCN_OBS_DISABLE=ON configuration.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the sanitizer configurations (release build + ctest only)
@@ -119,6 +121,33 @@ if metrics.get("ingest_speedup_ok") != 1.0:
 print(f"CNB1 ingest {metrics['ingest_speedup']:.1f}x CSV "
       f"(raw load {metrics['load_speedup']:.1f}x, "
       f"{metrics['cnb_bytes_per_tx']:.0f} B/tx)")
+EOF
+
+echo "=== cnauditd: daemon suite + chaos harness under asan ==="
+# The daemon's checkpoint/recovery dance, bounded-queue backpressure,
+# and serving thread are the newest crash-and-concurrency surface.
+# `-L daemon` picks up cn_tests_daemon plus cli.chaos, whose kill
+# points (_exit(137) mid-apply, mid-fsync, mid-rename) emulate SIGKILL
+# and require the restarted daemon to converge to byte-identical
+# reports — here it drives the asan-built binaries explicitly so a
+# heap bug on the recovery path cannot hide behind a passing exit code.
+run ctest --preset asan -j "${JOBS}" -L daemon --output-on-failure
+
+echo "=== cnauditd incremental-update gate (bench_daemon) ==="
+# One incremental block update must stay >= 10x cheaper than rebuilding
+# the report from scratch (the bench exits non-zero below the gate);
+# the json check guards the emitted bit like the other perf gates.
+run env CN_SCALE=0.15 ./build-release/bench/bench_daemon --benchmark_filter='^$'
+python3 - <<'EOF'
+import json, sys
+with open("bench_out/BENCH_daemon.json") as f:
+    metrics = json.load(f)["metrics"]
+if metrics.get("incremental_speedup_ok") != 1.0:
+    sys.exit(f"daemon incremental gate failed: "
+             f"{metrics.get('incremental_speedup')}x (need >= 10x)")
+print(f"daemon incremental update {metrics['incremental_speedup']:.1f}x "
+      f"rebuild (recovery {metrics['recovery_speedup']:.1f}x, "
+      f"{metrics['queries_per_s'] / 1e3:.0f}k queries/s)")
 EOF
 
 echo "=== tsan: configure + build + concurrency tests ==="

@@ -146,7 +146,8 @@ class Args {
 int usage() {
   std::fprintf(stderr,
                "usage: cnaudit <simulate|audit|report|neutrality|ppe|darkfee> [--key value ...]\n"
-               "  simulate   --dataset A|B|C [--seed N] [--scale X] [--threads N] --out DIR\n"
+               "  simulate   --dataset A|B|C [--seed N] [--scale X] [--threads N]\n"
+               "             [--timeout-s S] --out DIR\n"
                "  audit      --input PATH [--alpha P] [--min-share F]\n"
                "  report     --input PATH [--alpha P] [--threads N] [--min-coverage F]\n"
                "             [--stages CSV] [--engine columnar|legacy] [--timings on|off]\n"
@@ -229,13 +230,22 @@ int cmd_simulate(const Args& args) {
   // deterministic for a fixed seed but differs from the serial event
   // interleaving, so the default stays serial.
   const unsigned threads = static_cast<unsigned>(args.get_u64("threads", 1));
+  // Wall-clock budget; 0 (default) = unlimited. An exceeded budget is a
+  // typed failure with partial-progress diagnostics, not a silent hang.
+  const double timeout_s = args.get_double("timeout-s", 0.0);
 
   std::printf("simulating data set %s (seed %llu, scale %.2f, threads %u)...\n",
               kind_str.c_str(), static_cast<unsigned long long>(seed), scale,
               threads);
   sim::EngineConfig config = sim::dataset_config(kind, seed, scale);
   config.threads = threads;
+  config.deadline_s = timeout_s;
   const sim::SimResult world = sim::Engine(config).run();
+  if (world.timeout.timed_out) {
+    std::fprintf(stderr, "cnaudit: simulate timeout: %s\n",
+                 world.timeout.describe().c_str());
+    return 3;
+  }
   std::printf("  %zu blocks, %llu committed transactions\n", world.chain.size(),
               static_cast<unsigned long long>(world.chain.total_tx_count()));
 
