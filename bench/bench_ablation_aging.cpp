@@ -11,6 +11,7 @@
 //   * norm drift: PPE measured against the pure fee-rate norm (an
 //     aging chain *looks* non-compliant to a fee-rate auditor).
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/congestion.hpp"
 #include "core/ppe.hpp"
@@ -35,14 +36,13 @@ struct Outcome {
 };
 
 Outcome run_with_aging(double age_weight, std::uint64_t seed, double scale) {
-  auto config = sim::dataset_config(sim::DatasetKind::kA, seed, scale);
-  for (auto& pool : config.pools) pool.age_weight_per_hour = age_weight;
-  const sim::SimResult world = sim::Engine(std::move(config)).run();
+  const io::World world =
+      bench::world_for(bench::worlds::aging(age_weight, seed, scale));
 
   Outcome out;
   const auto seen = core::collect_seen_txs(
       world.chain,
-      [&](const btc::Txid& id) { return world.observer.first_seen(id); });
+      [&](const btc::Txid& id) { return world.first_seen(id); });
   const auto delays = core::commit_delays_blocks(world.chain, seen);
   const auto low = core::delays_for_band(seen, delays, core::FeeBand::kLow);
   if (!low.empty()) {

@@ -11,6 +11,7 @@
 //   D. Does Fisher windowing (§5.1.3) preserve detection under drifting
 //      hash rates (window-count sweep)?
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/congestion.hpp"
 #include "core/pair_violations.hpp"
@@ -22,22 +23,13 @@ namespace {
 
 using namespace cn;
 
-sim::SimResult run_variant(std::uint64_t seed, double self_per_block,
-                           bool selfish_enabled, bool propagation_enabled) {
-  auto config = sim::dataset_config(sim::DatasetKind::kC, seed, 0.4);
-  config.workload.scam.reset();
-  config.workload.self_interest_per_block = self_per_block;
-  config.propagation_exclusion = propagation_enabled;
-  if (!selfish_enabled) {
-    for (auto& pool : config.pools) {
-      pool.selfish = false;
-      pool.accelerates_for.clear();
-    }
-  }
-  return sim::Engine(std::move(config)).run();
+io::World run_variant(std::uint64_t seed, double self_per_block,
+                      bool selfish_enabled, bool propagation_enabled) {
+  return bench::world_for(bench::worlds::detection(
+      seed, self_per_block, selfish_enabled, propagation_enabled));
 }
 
-core::PrioTestResult f2pool_test(const sim::SimResult& world) {
+core::PrioTestResult f2pool_test(const io::World& world) {
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
   const core::PoolAttribution attribution(world.chain, registry);
   const auto txs = core::self_interest_txs(world.chain, attribution, "F2Pool");
@@ -107,7 +99,7 @@ int main(int argc, char** argv) {
     json.add("blocks", static_cast<double>(world.chain.size()));
     const auto seen = core::collect_seen_txs(
         world.chain,
-        [&](const btc::Txid& id) { return world.observer.first_seen(id); });
+        [&](const btc::Txid& id) { return world.first_seen(id); });
     const auto pending =
         core::pending_at(seen, world.chain, world.config.duration / 2);
     const auto stats = core::count_pair_violations(pending, 0, true);

@@ -3,6 +3,7 @@
 // (AuditEngine::kLegacy), with a byte-equality check of the rendered
 // reports — the speedup only counts if the output is provably unchanged.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include <algorithm>
 #include <cstring>
@@ -19,7 +20,7 @@ namespace {
 
 using namespace cn;
 
-const sim::SimResult* g_world = nullptr;
+const io::World* g_world = nullptr;
 
 std::string rendered(const core::AuditReport& report) {
   std::FILE* tmp = std::tmpfile();
@@ -36,7 +37,7 @@ std::string rendered(const core::AuditReport& report) {
 core::AuditOptions options_for(core::AuditEngine engine) {
   core::AuditOptions options;
   options.engine = engine;
-  options.watch_addresses.push_back(g_world->scam_address);
+  options.watch_addresses.push_back(g_world->scam_address());
   return options;
 }
 
@@ -69,7 +70,8 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = cn::bench::seed_from_env();
   const double scale = cn::bench::scale_from_env(0.5);
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = cn::bench::world_for(
+      cn::bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   g_world = &world;
   std::printf("world: %zu blocks, %llu transactions\n\n", world.chain.size(),
               static_cast<unsigned long long>(world.chain.total_tx_count()));

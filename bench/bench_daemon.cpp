@@ -14,6 +14,7 @@
 // than rebuilding the report from scratch, at data-set-C scale — the
 // bench exits non-zero otherwise, and CI checks the emitted bit.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include <cstdint>
 #include <string>
@@ -94,15 +95,16 @@ int main(int argc, char** argv) {
   const double scale = bench::scale_from_env(0.25);
   bench::JsonReport json("daemon");
 
-  std::printf("simulating data set C (seed %llu, scale %.2f)...\n",
+  std::printf("materializing data set C (seed %llu, scale %.2f)...\n",
               static_cast<unsigned long long>(seed), scale);
-  sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
 
   io::DatasetHandle handle;
   handle.chain = std::move(world.chain);
-  handle.snapshots = world.observer.snapshots();
+  handle.snapshots = world.snapshots;
   const core::FirstSeenFn first_seen = [&world](const btc::Txid& id) {
-    return world.observer.first_seen(id);
+    return world.first_seen(id);
   };
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
 

@@ -4,6 +4,7 @@
 // BENCH_audit.json so the pipeline speedup is never silently bought
 // with an unaccounted build phase.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include <algorithm>
 #include <filesystem>
@@ -19,7 +20,7 @@ namespace {
 
 using namespace cn;
 
-const sim::SimResult* g_world = nullptr;
+const io::World* g_world = nullptr;
 const core::PoolAttribution* g_attribution = nullptr;
 
 void BM_DatasetBuild(benchmark::State& state) {
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = cn::bench::seed_from_env();
   const double scale = cn::bench::scale_from_env(0.5);
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = cn::bench::world_for(
+      cn::bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   const core::PoolAttribution attribution(
       world.chain, btc::CoinbaseTagRegistry::paper_registry());
   g_world = &world;
@@ -100,16 +102,16 @@ int main(int argc, char** argv) {
   std::string io_error;
   bool exported =
       io::export_chain(world.chain, csv_dir, &io_error) &&
-      io::export_snapshots(world.observer.snapshots(),
+      io::export_snapshots(world.snapshots,
                            csv_dir + "/snapshots.csv", &io_error) &&
-      io::export_first_seen(world.observer.first_seen_map(),
+      io::export_first_seen(world.first_seen_map,
                             csv_dir + "/first_seen.csv", &io_error);
   if (exported) {
     const auto dataset =
         core::AuditDataset::build(world.chain, attribution, workers);
     io::CnbWriteOptions cnb_options;
-    cnb_options.snapshots = &world.observer.snapshots();
-    cnb_options.first_seen = &world.observer.first_seen_map();
+    cnb_options.snapshots = &world.snapshots;
+    cnb_options.first_seen = &world.first_seen_map;
     cnb_options.dataset = &dataset;
     cnb_options.registry_fingerprint = registry.fingerprint();
     exported = io::write_cnb(world.chain, cnb_path, cnb_options, &io_error);
@@ -132,8 +134,8 @@ int main(int argc, char** argv) {
   const double rows =
       static_cast<double>(world.chain.size()) + txs +
       static_cast<double>(inputs) + static_cast<double>(outputs) +
-      static_cast<double>(world.observer.snapshots().size()) +
-      static_cast<double>(world.observer.first_seen_map().size());
+      static_cast<double>(world.snapshots.size()) +
+      static_cast<double>(world.first_seen_map.size());
 
   // Raw load: open_dataset alone (no attribution / build on either side).
   const auto time_open = [](const std::string& path, int reps) {

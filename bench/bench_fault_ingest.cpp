@@ -12,6 +12,8 @@
 #include <string>
 
 #include "common.hpp"
+#include "worlds.hpp"
+
 #include "io/dataset_io.hpp"
 #include "testing/fault_injector.hpp"
 
@@ -82,7 +84,8 @@ int main(int argc, char** argv) {
 
   const std::uint64_t seed = cn::bench::seed_from_env();
   const double scale = cn::bench::scale_from_env(0.25);
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, seed, scale);
+  const io::World world = cn::bench::world_for(
+      cn::bench::worlds::baseline(sim::DatasetKind::kA, seed, scale));
 
   const std::string clean = cn::bench::out_dir() + "/fault_ingest_clean";
   const std::string dirty = cn::bench::out_dir() + "/fault_ingest_dirty";

@@ -9,6 +9,7 @@
 // running the GBT builder, once with the pre-2016 coin-age priority
 // builder — and compare the per-block PPE distributions.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/ppe.hpp"
 #include "stats/descriptive.hpp"
@@ -17,18 +18,13 @@
 
 namespace {
 
-cn::sim::SimResult run_era(cn::sim::BuilderKind kind, std::uint64_t seed,
-                           double scale) {
-  auto config = cn::sim::dataset_config(cn::sim::DatasetKind::kA, seed, scale);
-  cn::sim::set_all_builders(config, kind);
-  return cn::sim::Engine(std::move(config)).run();
-}
-
 // --- micro-benchmarks -----------------------------------------------------
 
 const cn::btc::Chain& micro_chain() {
   static const cn::btc::Chain chain = [] {
-    return run_era(cn::sim::BuilderKind::kGbt, 7, 0.05).chain;
+    auto config = cn::sim::dataset_config(cn::sim::DatasetKind::kA, 7, 0.05);
+    cn::sim::set_all_builders(config, cn::sim::BuilderKind::kGbt);
+    return cn::sim::Engine(std::move(config)).run().chain;
   }();
   return chain;
 }
@@ -62,8 +58,10 @@ int main(int argc, char** argv) {
   const double scale = bench::scale_from_env(0.5);
   bench::JsonReport json("fig01_ppe_norm_shift");
 
-  const sim::SimResult modern = run_era(sim::BuilderKind::kGbt, seed, scale);
-  const sim::SimResult legacy = run_era(sim::BuilderKind::kLegacyPriority, seed, scale);
+  const io::World modern =
+      bench::world_for(bench::worlds::era(sim::BuilderKind::kGbt, seed, scale));
+  const io::World legacy = bench::world_for(
+      bench::worlds::era(sim::BuilderKind::kLegacyPriority, seed, scale));
   json.metric("txs", static_cast<double>(modern.chain.total_tx_count() +
                                          legacy.chain.total_tx_count()));
   json.metric("blocks",

@@ -5,6 +5,7 @@
 // the top-5 orderings are (A) BTC.com, AntPool, F2Pool, Poolin, SlushPool
 // and (C) F2Pool, Poolin, BTC.com, AntPool, Huobi.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/wallet_inference.hpp"
 #include "util/csv.hpp"
@@ -15,7 +16,8 @@ namespace {
 void report(cn::sim::DatasetKind kind, const char* name, std::uint64_t seed,
             double scale, cn::CsvWriter& csv, cn::bench::JsonReport& json) {
   using namespace cn;
-  const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+  const io::World world =
+      bench::world_for(bench::worlds::baseline(kind, seed, scale));
   json.add("txs", static_cast<double>(world.chain.total_tx_count()));
   json.add("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();

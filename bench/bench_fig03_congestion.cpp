@@ -5,6 +5,7 @@
 // Paper claims: Mempool above one block budget ~75% of the time in A and
 // ~92% in B; peaks exceed 15x the budget; B fluctuates far more than A.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "stats/ecdf.hpp"
 #include "util/csv.hpp"
@@ -41,8 +42,9 @@ int main(int argc, char** argv) {
   for (const auto& [kind, name, paper_frac] :
        {std::tuple{sim::DatasetKind::kA, "A", "75%"},
         std::tuple{sim::DatasetKind::kB, "B", "92%"}}) {
-    const sim::SimResult world = sim::make_dataset(kind, seed, scale);
-    const auto& snaps = world.observer.snapshots();
+    const io::World world =
+        bench::world_for(bench::worlds::baseline(kind, seed, scale));
+    const auto& snaps = world.snapshots;
     const std::uint64_t unit = world.config.max_block_vsize;
     json.add("txs", static_cast<double>(world.chain.total_tx_count()));
     json.add("blocks", static_cast<double>(world.chain.size()));

@@ -6,6 +6,7 @@
 // four orders of magnitude; fee-rate distributions are strictly ordered
 // by congestion level; per-pool fee distributions barely differ (Fig 10).
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/congestion.hpp"
 #include "core/wallet_inference.hpp"
@@ -52,9 +53,10 @@ int main(int argc, char** argv) {
   for (const auto& [kind, name, paper_next] :
        {std::tuple{sim::DatasetKind::kA, "A", "65%"},
         std::tuple{sim::DatasetKind::kB, "B", "60%"}}) {
-    const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+    const io::World world =
+        bench::world_for(bench::worlds::baseline(kind, seed, scale));
     const auto first_seen = [&](const btc::Txid& id) {
-      return world.observer.first_seen(id);
+      return world.first_seen(id);
     };
     const auto seen = core::collect_seen_txs(world.chain, first_seen);
     json.add("txs", static_cast<double>(world.chain.total_tx_count()));
@@ -89,7 +91,7 @@ int main(int argc, char** argv) {
     bool ordered = true;
     for (int level = 0; level <= 3; ++level) {
       const auto lvl_rates = core::fee_rates_at_level(
-          seen, world.observer.snapshots(), world.config.max_block_vsize,
+          seen, world.snapshots, world.config.max_block_vsize,
           static_cast<node::CongestionLevel>(level));
       if (lvl_rates.empty()) continue;
       const stats::Ecdf cdf{std::span<const double>(lvl_rates)};

@@ -4,6 +4,7 @@
 // delay CDFs for low (<1e-4 BTC/KB), high (1e-4..1e-3) and exorbitant
 // (>1e-3) fee bands are strictly ordered.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/congestion.hpp"
 #include "stats/ecdf.hpp"
@@ -37,10 +38,11 @@ int main(int argc, char** argv) {
 
   for (const auto& [kind, name] : {std::pair{sim::DatasetKind::kA, "A"},
                                    std::pair{sim::DatasetKind::kB, "B"}}) {
-    const sim::SimResult world = sim::make_dataset(kind, seed, scale);
+    const io::World world =
+        bench::world_for(bench::worlds::baseline(kind, seed, scale));
     const auto seen = core::collect_seen_txs(
         world.chain,
-        [&](const btc::Txid& id) { return world.observer.first_seen(id); });
+        [&](const btc::Txid& id) { return world.first_seen(id); });
     const auto delays = core::commit_delays_blocks(world.chain, seen);
     json.add("txs", static_cast<double>(world.chain.total_tx_count()));
     json.add("blocks", static_cast<double>(world.chain.size()));

@@ -6,6 +6,7 @@
 // when the arrival constraint is tightened by epsilon = 10 s / 10 min,
 // and shrinks further when CPFP-dependent transactions are discarded.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include <algorithm>
 
@@ -91,16 +92,17 @@ int main(int argc, char** argv) {
   const double scale = bench::scale_from_env(1.0);
   bench::JsonReport json("fig06_pair_violations");
 
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kA, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kA, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto seen = core::collect_seen_txs(
       world.chain,
-      [&](const btc::Txid& id) { return world.observer.first_seen(id); });
+      [&](const btc::Txid& id) { return world.first_seen(id); });
 
   // Sample 30 snapshot times uniformly at random, as the paper does.
   Rng rng(seed ^ 0xf16f16);
-  const auto& snaps = world.observer.snapshots();
+  const auto& snaps = world.snapshots;
   std::vector<SimTime> sample_times;
   for (int i = 0; i < 30; ++i) {
     sample_times.push_back(

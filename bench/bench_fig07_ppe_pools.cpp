@@ -6,6 +6,7 @@
 // slightly more than the rest (its selfish/collusive/dark-fee placements
 // shift its blocks' orderings).
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/ppe.hpp"
 #include "core/wallet_inference.hpp"
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
   bench::JsonReport json("fig07_ppe_pools");
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
 

@@ -7,6 +7,7 @@
 // Buffett share wallets with BTC.com and Lubian.com respectively (the
 // registry folds them together).
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/wallet_inference.hpp"
 #include "util/csv.hpp"
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
   bench::JsonReport json("fig08_wallets");
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();

@@ -6,6 +6,7 @@
 // ~430,000x; had buyers offered the quote as a public fee, every miner
 // would have prioritized them (the quote exceeds every pending fee-rate).
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/congestion.hpp"
 #include "stats/descriptive.hpp"
@@ -44,12 +45,13 @@ int main(int argc, char** argv) {
 
   // Recreate the paper's setup: take a Mempool snapshot mid-run and quote
   // every pending transaction through the acceleration service.
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto seen = core::collect_seen_txs(
       world.chain,
-      [&](const btc::Txid& id) { return world.observer.first_seen(id); });
+      [&](const btc::Txid& id) { return world.first_seen(id); });
   const SimTime snapshot_time = world.config.duration / 2;
   const auto pending = core::pending_at(seen, world.chain, snapshot_time);
   json.metric("pending_at_snapshot", static_cast<double>(pending.size()));

@@ -5,6 +5,7 @@
 // *ratios* (transactions per block, CPFP percentage, empty-block share)
 // are the comparable quantities.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "util/strings.hpp"
 
@@ -53,7 +54,8 @@ int main(int argc, char** argv) {
   const sim::DatasetKind kinds[] = {sim::DatasetKind::kA, sim::DatasetKind::kB,
                                     sim::DatasetKind::kC};
   for (int i = 0; i < 3; ++i) {
-    const sim::SimResult world = sim::make_dataset(kinds[i], seed, scale);
+    const io::World world =
+        bench::world_for(bench::worlds::baseline(kinds[i], seed, scale));
     json.add("txs", static_cast<double>(world.chain.total_tx_count()));
     json.add("blocks", static_cast<double>(world.chain.size()));
     std::uint64_t cpfp = 0;

@@ -5,6 +5,7 @@
 // ViaBTC *collusively* accelerates 1THash&58Coin's and SlushPool's
 // transactions; no other top-10 pool shows the effect.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/prio_test.hpp"
 #include "core/wallet_inference.hpp"
@@ -44,7 +45,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
   bench::JsonReport json("tab02_self_interest");
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();

@@ -6,6 +6,7 @@
 // deceleration (all p > 0.001) — miners did not discriminate scam
 // payments; AntPool's within-block SPPE was the only (weak) outlier.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include <algorithm>
 
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
   bench::JsonReport json("tab03_scam");
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
     last_h = block.height();
   }
 
-  const auto scam_all = core::txs_paying_to(world.chain, world.scam_address);
+  const auto scam_all = core::txs_paying_to(world.chain, world.scam_address());
   const auto scam_refs = core::restrict_to_heights(scam_all, first_h, last_h);
   const std::uint64_t c_blocks = core::count_c_blocks(scam_refs);
 

@@ -6,6 +6,7 @@
 // SPPE is a strong acceleration signal; a 1000-tx random sample contains
 // none.
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "core/darkfee.hpp"
 #include "core/sppe.hpp"
@@ -37,13 +38,14 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::seed_from_env();
   const double scale = bench::scale_from_env(1.0);
   bench::JsonReport json("tab04_darkfee");
-  const sim::SimResult world = sim::make_dataset(sim::DatasetKind::kC, seed, scale);
+  const io::World world = bench::world_for(
+      bench::worlds::baseline(sim::DatasetKind::kC, seed, scale));
   json.metric("txs", static_cast<double>(world.chain.total_tx_count()));
   json.metric("blocks", static_cast<double>(world.chain.size()));
   const auto registry = btc::CoinbaseTagRegistry::paper_registry();
   const core::PoolAttribution attribution(world.chain, registry);
   const auto is_accel = [&](const btc::Txid& id) {
-    return world.acceleration.is_accelerated(id);
+    return world.is_accelerated(id);
   };
 
   static const double kPaperPct[] = {73.89, 64.98, 18.12, 1.06, 0.16};

@@ -10,6 +10,7 @@
 // subsidy for that year's block heights (halvings included). Fee shares
 // use a subsidy scaled by the block-size scaling factor (DESIGN.md).
 #include "common.hpp"
+#include "worlds.hpp"
 
 #include "btc/rewards.hpp"
 #include "core/fee_revenue.hpp"
@@ -18,34 +19,15 @@
 
 namespace {
 
-struct YearRegime {
-  int year;
-  double paper_mean_percent;
-  double anchor_multiplier;  ///< scales all fee anchors
-  double utilization;
-};
+// Era calibration lives in bench/worlds.hpp (worlds::kTab05Years) so the
+// sweep driver pre-generates exactly the year slices this bench loads.
+using cn::bench::worlds::YearRegime;
 
-// Era calibration: relative fee pressure per year (2017 bubble >> 2020 >
-// 2018/2019 > 2016).
-constexpr YearRegime kYears[] = {
-    {2016, 2.48, 3.0, 0.70},  {2017, 11.77, 3.6, 0.92},
-    {2018, 3.19, 1.7, 0.70},  {2019, 2.75, 1.55, 0.72},
-    {2020, 6.29, 3.8, 0.82},
-};
-
-cn::sim::SimResult run_year_slice(std::uint64_t genesis, const YearRegime& regime,
-                                  std::uint64_t seed, double scale) {
+cn::io::World run_year_slice(std::uint64_t genesis, const YearRegime& regime,
+                             std::uint64_t engine_seed, double scale) {
   using namespace cn;
-  auto config = sim::dataset_config(sim::DatasetKind::kC, seed + regime.year, 0.2 * scale);
-  config.genesis_height = genesis;
-  config.workload.scam.reset();
-  config.workload.bursts.clear();
-  config.workload.base_tx_per_second =
-      sim::rate_for_utilization(config, regime.utilization);
-  config.workload.urgent_anchor_sat_vb *= regime.anchor_multiplier;
-  config.workload.normal_anchor_sat_vb *= regime.anchor_multiplier;
-  config.workload.patient_anchor_sat_vb *= regime.anchor_multiplier;
-  return sim::Engine(std::move(config)).run();
+  return bench::world_for(
+      bench::worlds::year_slice(genesis, regime, engine_seed, scale));
 }
 
 void BM_FeeShareSummary(benchmark::State& state) {
@@ -77,9 +59,10 @@ int main(int argc, char** argv) {
                            {6, 9, 8, 8, 8, 8, 9, 13});
   table.print_header();
 
-  for (const YearRegime& regime : kYears) {
+  for (const YearRegime& regime : bench::worlds::kTab05Years) {
     const std::uint64_t genesis = btc::approx_height_of_year(regime.year);
-    const sim::SimResult world = run_year_slice(genesis, regime, seed, scale);
+    const io::World world = run_year_slice(
+        genesis, regime, seed + static_cast<std::uint64_t>(regime.year), scale);
     json.add("txs", static_cast<double>(world.chain.total_tx_count()));
     json.add("blocks", static_cast<double>(world.chain.size()));
     const double subsidy_scale =
@@ -98,8 +81,8 @@ int main(int argc, char** argv) {
   // Post-halving 2020 slice (subsidy 6.25 BTC): same regime as 2020 but
   // started past the halving height.
   {
-    const YearRegime regime{2020, 8.90, 2.0, 0.82};
-    const sim::SimResult world =
+    const YearRegime& regime = bench::worlds::kTab05PostHalving;
+    const io::World world =
         run_year_slice(btc::kThirdHalvingHeight + 100, regime, seed + 7, scale);
     json.add("txs", static_cast<double>(world.chain.total_tx_count()));
     json.add("blocks", static_cast<double>(world.chain.size()));

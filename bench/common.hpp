@@ -13,10 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <utility>
@@ -28,14 +30,34 @@
 
 namespace cn::bench {
 
+// A bench run with a half-parsed seed or scale silently measures the
+// wrong world (CN_SEED=abc used to coerce to 0), so both knobs reject
+// anything but a complete, in-range number — one line to stderr, exit 2.
 inline std::uint64_t seed_from_env() {
   const char* s = std::getenv("CN_SEED");
-  return s != nullptr ? std::strtoull(s, nullptr, 10) : 42;
+  if (s == nullptr) return 42;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "error: CN_SEED='%s' is not an unsigned integer\n", s);
+    std::exit(2);
+  }
+  return v;
 }
 
 inline double scale_from_env(double fallback = 1.0) {
   const char* s = std::getenv("CN_SCALE");
-  return s != nullptr ? std::strtod(s, nullptr) : fallback;
+  if (s == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(v) ||
+      v <= 0.0) {
+    std::fprintf(stderr, "error: CN_SCALE='%s' is not a positive number\n", s);
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Directory for CSV exports; created on first use.
@@ -117,9 +139,18 @@ class JsonReport {
         break;
       }
     }
+    // Atomic like the CSV/CNB1 exports: write <path>.tmp, rename into
+    // place only after every byte landed, and say WHY on failure — a
+    // perf-trajectory tracker reading a torn or silently-missing report
+    // is worse than one reading none.
     const std::string path = out_dir() + "/BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: BENCH report: cannot create %s: %s\n",
+                   tmp.c_str(), std::strerror(errno));
+      return;
+    }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(seed_from_env()));
@@ -132,7 +163,21 @@ class JsonReport {
                    metrics_[i].first.c_str(), v);
     }
     std::fprintf(f, "%s}\n}\n", metrics_.empty() ? "" : "\n  ");
-    std::fclose(f);
+    const bool write_failed = std::ferror(f) != 0;
+    if (std::fclose(f) != 0 || write_failed) {
+      std::fprintf(stderr, "error: BENCH report: write failed for %s: %s\n",
+                   tmp.c_str(), std::strerror(errno));
+      std::remove(tmp.c_str());
+      return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: BENCH report: rename to %s failed: %s\n",
+                   path.c_str(), ec.message().c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
     std::printf("JSON: %s\n", path.c_str());
 
     obs::write_metrics_json(out_dir() + "/BENCH_" + name_ + ".metrics.json");

@@ -187,6 +187,9 @@ const char* to_string(CnbSection section) {
     case CnbSection::kSnapVsize: return "snap-vsize";
     case CnbSection::kFirstSeenTxid: return "first-seen-txid";
     case CnbSection::kFirstSeenTime: return "first-seen-time";
+    case CnbSection::kWorldSpecFingerprint: return "world-spec-fingerprint";
+    case CnbSection::kWorldScamAddress: return "world-scam-address";
+    case CnbSection::kWorldAcceleratedTxid: return "world-accelerated-txid";
     case CnbSection::kPoolNameOffsets: return "pool-name-offsets";
     case CnbSection::kPoolNameBytes: return "pool-name-bytes";
     case CnbSection::kPoolsByBlocks: return "pools-by-blocks";
@@ -443,6 +446,18 @@ bool write_cnb(const btc::Chain& chain, const std::string& path,
     sections.push_back(column(CnbSection::kFirstSeenTxid, fs_txid));
     sections.push_back(column(CnbSection::kFirstSeenTime, fs_time));
   }
+  if (options.world != nullptr) {
+    flags |= kCnbFlagSimWorld;
+    sections.push_back(column(
+        CnbSection::kWorldSpecFingerprint,
+        std::vector<std::uint64_t>{options.world->spec_fingerprint}));
+    sections.push_back(
+        column(CnbSection::kWorldScamAddress,
+               std::vector<std::uint64_t>{options.world->scam_address.value}));
+    std::vector<btc::Txid> accel = options.world->accelerated_txids;
+    std::sort(accel.begin(), accel.end());
+    sections.push_back(column(CnbSection::kWorldAcceleratedTxid, accel));
+  }
   if (options.dataset != nullptr) {
     flags |= kCnbFlagAuditDataset;
     const core::AuditDataset& ds = *options.dataset;
@@ -574,6 +589,7 @@ bool write_cnb(const DatasetHandle& handle, const std::string& path,
     options.dataset = &*handle.audit_dataset;
     options.registry_fingerprint = handle.registry_fingerprint;
   }
+  if (handle.sim_world) options.world = &*handle.sim_world;
   return write_cnb(handle.chain, path, options, error);
 }
 
@@ -1109,6 +1125,40 @@ LoadResult<DatasetHandle> read_cnb(const std::string& path,
       }
       handle.first_seen = std::move(first_seen);
     }
+    if (load.fatal) return finish();
+  }
+
+  // --- optional: simulator ground truth (cached worlds) ---
+  if (flags & kCnbFlagSimWorld) {
+    group_ok = true;
+    SimWorldInfo info;
+    if (const Verified* v =
+            take(CnbSection::kWorldSpecFingerprint, 8, 1, false)) {
+      std::memcpy(&info.spec_fingerprint, v->data, 8);
+    }
+    if (const Verified* v = take(CnbSection::kWorldScamAddress, 8, 1, false)) {
+      std::uint64_t addr = 0;
+      std::memcpy(&addr, v->data, 8);
+      info.scam_address = btc::Address{addr};
+    }
+    if (const Verified* v =
+            take(CnbSection::kWorldAcceleratedTxid, 32, std::nullopt, false)) {
+      info.accelerated_txids = copy_column<btc::Txid>(v->data, v->size);
+    }
+    if (group_ok && !load.fatal) {
+      // The sorted order is part of the format contract — the in-memory
+      // is_accelerated() binary-searches the stored list directly.
+      bool sorted = true;
+      for (std::size_t i = 0; i + 1 < info.accelerated_txids.size(); ++i) {
+        sorted =
+            sorted && !(info.accelerated_txids[i + 1] < info.accelerated_txids[i]);
+      }
+      if (!sorted) {
+        layout_defect(CnbSection::kWorldAcceleratedTxid,
+                      "accelerated txids are not sorted", false);
+      }
+    }
+    if (group_ok && !load.fatal) handle.sim_world = std::move(info);
     if (load.fatal) return finish();
   }
 

@@ -28,7 +28,8 @@
 //       40     8  tx_count
 //       48     8  flags (bit 0 snapshots, bit 1 first-seen, bit 2
 //                 derived audit-dataset sections, bit 3 sealed block
-//                 headers present)
+//                 headers present, bit 4 simulator ground truth for
+//                 cached worlds)
 //       56     8  registry_fingerprint (CoinbaseTagRegistry::fingerprint
 //                 of the registry the derived sections were built under;
 //                 0 when flags bit 2 is clear)
@@ -80,6 +81,7 @@ inline constexpr std::uint64_t kCnbFlagSnapshots = 1u << 0;
 inline constexpr std::uint64_t kCnbFlagFirstSeen = 1u << 1;
 inline constexpr std::uint64_t kCnbFlagAuditDataset = 1u << 2;
 inline constexpr std::uint64_t kCnbFlagSealedHeaders = 1u << 3;
+inline constexpr std::uint64_t kCnbFlagSimWorld = 1u << 4;
 
 /// Section ids. Relational sections (< 64) round-trip to the CSV export;
 /// derived sections (>= 64) cache core::AuditDataset columns that a
@@ -120,6 +122,10 @@ enum class CnbSection : std::uint32_t {
   // --- optional: first-seen series (flag bit 1) ---
   kFirstSeenTxid = 21,  ///< 32 B[nf], sorted by byte order for determinism
   kFirstSeenTime = 22,  ///< i64[nf]
+  // --- optional: simulator ground truth (flag bit 4; cached worlds) ---
+  kWorldSpecFingerprint = 24,  ///< u64[1] sim::WorldSpec::fingerprint()
+  kWorldScamAddress = 25,      ///< u64[1] planted scam address (0 = none)
+  kWorldAcceleratedTxid = 26,  ///< 32 B[k], sorted by byte order
   // --- optional: derived audit-dataset columns (flag bit 2) ---
   kPoolNameOffsets = 64,    ///< u64[np+1] into kPoolNameBytes
   kPoolNameBytes = 65,      ///< u8[*]
@@ -185,6 +191,9 @@ struct CnbWriteOptions {
   /// identify the CoinbaseTagRegistry they were built under.
   const core::AuditDataset* dataset = nullptr;
   std::uint64_t registry_fingerprint = 0;
+  /// Simulator ground truth for cached worlds (flag bit 4); the
+  /// accelerated txid list is re-sorted on write.
+  const SimWorldInfo* world = nullptr;
 };
 
 /// Writes @p chain (plus optional series / derived columns) as a CNB1

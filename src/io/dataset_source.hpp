@@ -22,9 +22,11 @@
 // the file, so the handle outlives the path, the file, and the mapping.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "btc/chain.hpp"
 #include "btc/intern.hpp"
@@ -50,6 +52,26 @@ const char* to_string(DatasetFormat format);
 /// Parses a --format CLI value; nullopt on anything but "csv" / "cnb".
 std::optional<DatasetFormat> parse_dataset_format(std::string_view name);
 
+/// CNB1 only (flag bit 4): the simulator ground truth a cached world
+/// carries — what a real auditor lacks but the detector-validation
+/// benches need — so a cache hit can stand in for a fresh SimResult.
+struct SimWorldInfo {
+  /// sim::WorldSpec::fingerprint() of the spec that generated the file;
+  /// the cache cross-checks it against the requested spec so a renamed
+  /// or stale file can never masquerade as the wrong world.
+  std::uint64_t spec_fingerprint = 0;
+  btc::Address scam_address{};          ///< 0 when no scam was planted
+  std::vector<btc::Txid> accelerated_txids;  ///< sorted by byte order
+
+  /// The public "was this txid accelerated?" query, answered from the
+  /// stored sorted list (the on-disk twin of
+  /// sim::AccelerationService::is_accelerated).
+  bool is_accelerated(const btc::Txid& id) const noexcept {
+    return std::binary_search(accelerated_txids.begin(),
+                              accelerated_txids.end(), id);
+  }
+};
+
 /// Everything a data-set path contained, with owning storage.
 struct DatasetHandle {
   DatasetFormat format = DatasetFormat::kCsv;
@@ -64,6 +86,9 @@ struct DatasetHandle {
   /// valid for the registry identified by registry_fingerprint.
   std::optional<core::AuditDataset> audit_dataset;
   std::uint64_t registry_fingerprint = 0;
+
+  /// CNB1 only: simulator ground truth for cached worlds.
+  std::optional<SimWorldInfo> sim_world;
 
   /// The stored audit dataset, or nullptr when none was stored or it was
   /// derived under a different CoinbaseTagRegistry than @p registry (the

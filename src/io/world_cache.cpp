@@ -1,0 +1,154 @@
+#include "io/world_cache.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "io/cnb.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace cn::io {
+
+namespace {
+
+struct WorldCacheMetrics {
+  obs::Counter hits{"io.world_cache.hits"};
+  obs::Counter misses{"io.world_cache.misses"};
+  obs::Counter evictions{"io.world_cache.evictions"};
+};
+
+WorldCacheMetrics& world_cache_metrics() {
+  static WorldCacheMetrics* m = new WorldCacheMetrics();
+  return *m;
+}
+
+}  // namespace
+
+WorldCache::WorldCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string WorldCache::path_for(const sim::WorldSpec& spec) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.cnb",
+                static_cast<unsigned long long>(spec.fingerprint()));
+  return dir_ + "/" + name;
+}
+
+WorldCacheStats WorldCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::optional<World> WorldCache::try_load(const sim::WorldSpec& spec,
+                                          std::uint64_t fingerprint,
+                                          const std::string& path) {
+  const obs::Span span("io.world_cache.load");
+  // Strict: a cache entry with ANY defect is regenerated, never patched
+  // around — lenient degradation is for irreplaceable real data, not
+  // for a file we can rebuild from its own address.
+  auto loaded = open_dataset(path, LoadPolicy::kStrict, DatasetFormat::kCnb);
+  if (!loaded.value.has_value()) return std::nullopt;
+  DatasetHandle& handle = *loaded.value;
+  if (!handle.snapshots || !handle.first_seen || !handle.sim_world) {
+    return std::nullopt;  // not a world file (or groups dropped)
+  }
+  if (handle.sim_world->spec_fingerprint != fingerprint) {
+    return std::nullopt;  // renamed or stale entry addressing a different world
+  }
+  World world;
+  world.spec = spec;
+  world.config = spec.config();
+  world.chain = std::move(handle.chain);
+  world.snapshots = std::move(*handle.snapshots);
+  world.first_seen_map = std::move(*handle.first_seen);
+  world.truth = std::move(*handle.sim_world);
+  return world;
+}
+
+World WorldCache::generate(const sim::WorldSpec& spec,
+                           std::uint64_t fingerprint,
+                           const std::string& path) {
+  const obs::Span span("io.world_cache.generate");
+  const auto start = std::chrono::steady_clock::now();
+  sim::SimResult result = sim::Engine(spec.config()).run();
+  const double sim_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.sim_seconds += sim_seconds;
+  }
+
+  SimWorldInfo truth;
+  truth.spec_fingerprint = fingerprint;
+  truth.scam_address = result.scam_address;
+  truth.accelerated_txids = result.acceleration.all_accelerated_sorted();
+
+  CnbWriteOptions options;
+  options.snapshots = &result.observer.snapshots();
+  options.first_seen = &result.observer.first_seen_map();
+  options.world = &truth;
+  std::string error;
+  if (!write_cnb(result.chain, path, options, &error)) {
+    throw std::runtime_error("world cache: cannot write " + path + ": " +
+                             error);
+  }
+  // Serve the freshly written entry through the same load path a warm
+  // caller takes, so cold and warm worlds are identical by construction
+  // (and a write that cannot round-trip fails loudly right here).
+  std::optional<World> world = try_load(spec, fingerprint, path);
+  if (!world) {
+    throw std::runtime_error(
+        "world cache: just-written entry failed verification: " + path);
+  }
+  return std::move(*world);
+}
+
+World WorldCache::materialize(const sim::WorldSpec& spec) {
+  const std::uint64_t fingerprint = spec.fingerprint();
+  const std::string path = path_for(spec);
+  std::shared_ptr<std::mutex> gate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = locks_[fingerprint];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    gate = slot;
+  }
+  // Per-fingerprint critical section: the first caller to a missing
+  // world simulates; racers block here and then hit the fresh entry.
+  std::lock_guard<std::mutex> world_lock(*gate);
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (std::filesystem::exists(path, ec)) {
+    if (std::optional<World> world = try_load(spec, fingerprint, path)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+      }
+      world_cache_metrics().hits.add();
+      world->cache_hit = true;
+      return std::move(*world);
+    }
+    // Corrupt, truncated, or stale: evict and fall through to regenerate.
+    std::filesystem::remove(path, ec);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.evictions;
+    }
+    world_cache_metrics().evictions.add();
+  }
+  World world = generate(spec, fingerprint, path);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+  }
+  world_cache_metrics().misses.add();
+  world.cache_hit = false;
+  return world;
+}
+
+}  // namespace cn::io

@@ -1,0 +1,106 @@
+// WorldCache — content-addressed CNB1 materialization of WorldSpecs.
+//
+// The simulator is the repo's wall-clock bottleneck (~20 s to generate
+// what the audit consumes in 0.3 s), and before this cache every bench
+// binary re-simulated its own world from scratch. materialize() turns
+// "simulate" into "load": the spec's FNV-1a fingerprint addresses a
+// CNB1 file under <dir>/<fingerprint>.cnb; a hit is a checksum-verified
+// zero-copy open_dataset() load, a miss runs the engine once, writes
+// the file atomically (tmp + rename, the CNB1 writer's policy), and
+// then loads it back — so the World a cold caller gets is by
+// construction byte-identical to what every warm caller will get.
+//
+// Trust model: a cache entry is never trusted. Every section checksum
+// is verified on load, and the stored spec fingerprint must match the
+// requested spec; a corrupt, truncated, renamed, or stale entry is
+// evicted and regenerated.
+//
+// Concurrency: per-fingerprint locking — two ThreadPool jobs racing on
+// the same missing world generate it exactly once (the loser of the
+// race takes a cache hit); different fingerprints generate in parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "btc/chain.hpp"
+#include "io/dataset_source.hpp"
+#include "node/snapshot.hpp"
+#include "sim/world_spec.hpp"
+
+namespace cn::io {
+
+/// A fully materialized world: the observables a CNB1 file stores plus
+/// the engine config re-derived from the spec (configs are cheap and
+/// deterministic, so they are never stored). The accessors mirror what
+/// benches used to read off a fresh sim::SimResult.
+struct World {
+  sim::WorldSpec spec;
+  sim::EngineConfig config;
+  btc::Chain chain;
+  node::SnapshotSeries snapshots;
+  FirstSeenMap first_seen_map;
+  SimWorldInfo truth;
+  bool cache_hit = false;
+
+  std::optional<SimTime> first_seen(const btc::Txid& id) const {
+    const auto it = first_seen_map.find(id);
+    if (it == first_seen_map.end()) return std::nullopt;
+    return it->second;
+  }
+  bool is_accelerated(const btc::Txid& id) const noexcept {
+    return truth.is_accelerated(id);
+  }
+  const btc::Address& scam_address() const noexcept {
+    return truth.scam_address;
+  }
+};
+
+struct WorldCacheStats {
+  std::uint64_t hits = 0;       ///< served from an existing entry
+  std::uint64_t misses = 0;     ///< simulations actually run
+  std::uint64_t evictions = 0;  ///< corrupt/stale entries removed
+  double sim_seconds = 0.0;     ///< wall time spent inside the engine
+};
+
+class WorldCache {
+ public:
+  /// @p dir — where the .cnb entries live; created on first use.
+  explicit WorldCache(std::string dir = "bench_out/worlds");
+
+  WorldCache(const WorldCache&) = delete;
+  WorldCache& operator=(const WorldCache&) = delete;
+
+  /// The entry path a spec addresses: <dir>/<fingerprint-hex>.cnb.
+  std::string path_for(const sim::WorldSpec& spec) const;
+
+  /// Returns the world for @p spec, simulating it at most once per
+  /// process AND at most once per cache directory lifetime (whichever
+  /// caller arrives first generates; everyone else loads). Throws
+  /// std::runtime_error when the engine output cannot be written or
+  /// read back — a cache that cannot round-trip must not limp on.
+  World materialize(const sim::WorldSpec& spec);
+
+  const std::string& dir() const noexcept { return dir_; }
+  WorldCacheStats stats() const;
+
+ private:
+  std::optional<World> try_load(const sim::WorldSpec& spec,
+                                std::uint64_t fingerprint,
+                                const std::string& path);
+  World generate(const sim::WorldSpec& spec, std::uint64_t fingerprint,
+                 const std::string& path);
+
+  std::string dir_;
+  mutable std::mutex mu_;  ///< guards stats_ and locks_
+  WorldCacheStats stats_;
+  /// One gate per fingerprint so concurrent misses on the same world
+  /// serialize while distinct worlds generate in parallel.
+  std::unordered_map<std::uint64_t, std::shared_ptr<std::mutex>> locks_;
+};
+
+}  // namespace cn::io

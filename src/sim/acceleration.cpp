@@ -1,5 +1,6 @@
 #include "sim/acceleration.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cn::sim {
@@ -31,6 +32,14 @@ std::vector<bool> AccelerationService::accelerated_mask(
   std::vector<bool> out;
   out.reserve(ids.size());
   for (const btc::Txid& id : ids) out.push_back(records_.contains(id));
+  return out;
+}
+
+std::vector<btc::Txid> AccelerationService::all_accelerated_sorted() const {
+  std::vector<btc::Txid> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) out.push_back(id);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -71,6 +71,10 @@ class AccelerationService {
 
   std::size_t total_accelerated() const noexcept { return records_.size(); }
 
+  /// Every accelerated txid, sorted by byte order — the deterministic
+  /// export form a cached world stores (io::SimWorldInfo).
+  std::vector<btc::Txid> all_accelerated_sorted() const;
+
   /// Total dark fees collected by @p pool (kept even if another pool
   /// mines the transaction — paper §5.4.1).
   btc::Satoshi revenue_of(const std::string& pool) const;

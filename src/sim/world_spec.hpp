@@ -1,0 +1,93 @@
+// WorldSpec — the content address of a simulated world.
+//
+// Every bench and sweep job describes the world it needs as a value:
+// the data set, the seed, the scale, a scenario label, and a sorted
+// list of named engine/policy knobs. The spec has a canonical
+// little-endian byte serialization whose FNV-1a-64 digest is the
+// world's *content address*: two specs with the same fingerprint
+// materialize byte-identical CNB1 files (the engine is deterministic),
+// so a cache keyed by fingerprint can hand every consumer the same
+// world without re-simulating (io/world_cache.hpp).
+//
+// Invalidation rule (DESIGN.md §14): kWorldSpecVersion is part of the
+// canonical bytes. Bump it whenever engine or dataset semantics change
+// in a way that would make a cached world diverge from a fresh
+// simulation of the same spec — every old cache entry then simply
+// stops being addressed, rather than being silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/dataset.hpp"
+
+namespace cn::sim {
+
+/// Serialization version of the spec -> world mapping. See the file
+/// comment for when to bump it.
+inline constexpr std::uint32_t kWorldSpecVersion = 1;
+
+/// Stable one-letter data-set label ("A"/"B"/"C").
+const char* dataset_kind_name(DatasetKind kind);
+
+struct WorldSpec {
+  DatasetKind kind = DatasetKind::kA;
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  /// Scenario label; "baseline" is the unmodified dataset_config().
+  /// Part of the content address, so benches that want to SHARE a world
+  /// must agree on the label, not just the knobs.
+  std::string scenario = "baseline";
+  /// Named engine/policy deviations from dataset_config(), kept sorted
+  /// and unique by name (set() maintains the invariant). The recognized
+  /// names are documented at config().
+  std::vector<std::pair<std::string, double>> knobs;
+
+  /// Sets (or overwrites) one knob; returns *this for chaining.
+  WorldSpec& set(std::string_view name, double value);
+
+  /// The knob's value, or nullopt when unset.
+  std::optional<double> knob(std::string_view name) const;
+
+  /// Canonical little-endian serialization: version, kind, seed, scale
+  /// (IEEE-754 bits), scenario, then the sorted knobs. Field order and
+  /// widths are frozen — changing them is a kWorldSpecVersion bump.
+  std::vector<std::uint8_t> canonical_bytes() const;
+
+  /// FNV-1a-64 over canonical_bytes(): the content address.
+  std::uint64_t fingerprint() const;
+
+  /// Human-readable "C s42 x0.40 detection[...]" label for logs.
+  std::string label() const;
+
+  /// Materializes the engine configuration: dataset_config(kind, seed,
+  /// scale) plus the knobs, applied in a fixed documented order.
+  /// Recognized knobs (any other name throws std::invalid_argument):
+  ///   builder               0 = GBT, 1 = legacy coin-age priority
+  ///                         (applied to every pool)
+  ///   genesis_height        overrides EngineConfig::genesis_height
+  ///   scam                  0 disables the planted scam window
+  ///   self_interest_per_block  WorkloadConfig::self_interest_per_block
+  ///   selfish               0 clears every pool's selfish flag and
+  ///                         collusion (accelerates_for) list
+  ///   propagation_exclusion 0/1 -> EngineConfig::propagation_exclusion
+  ///   age_weight_per_hour   aging bonus on every pool
+  ///   clear_bursts          1 drops all workload burst events
+  ///   utilization           base_tx_per_second =
+  ///                         rate_for_utilization(config, value)
+  ///   anchor_multiplier     scales urgent/normal/patient fee anchors
+  EngineConfig config() const;
+
+  bool operator==(const WorldSpec&) const = default;
+};
+
+/// The unmodified data set: scenario "baseline", no knobs. All benches
+/// that consume a plain make_dataset() world use this constructor so
+/// their fingerprints — and hence their cached worlds — coincide.
+WorldSpec baseline_spec(DatasetKind kind, std::uint64_t seed, double scale);
+
+}  // namespace cn::sim

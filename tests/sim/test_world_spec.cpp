@@ -1,0 +1,173 @@
+// WorldSpec: the content address of a simulated world. These tests pin
+// the canonical serialization (golden fingerprints — if one of these
+// changes, every cached world silently stops being addressed, which is
+// exactly the kWorldSpecVersion-bump situation DESIGN.md §14 describes)
+// and the knob -> EngineConfig materialization.
+#include "sim/world_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+
+namespace cn::sim {
+namespace {
+
+// Golden content addresses. A change here without a deliberate
+// kWorldSpecVersion bump means previously cached worlds would be
+// regenerated under new names (safe but wasteful) — or worse, a
+// serialization bug collided two distinct specs.
+constexpr std::uint64_t kGoldenA42x1 = 0x7ea550905e0b7f66ull;
+constexpr std::uint64_t kGoldenB42x1 = 0x7c72e320b0a1d88dull;
+constexpr std::uint64_t kGoldenC7x05 = 0x7916e94bf4142409ull;
+constexpr std::uint64_t kGoldenDetection = 0xd510c3f60bcb43ffull;
+
+WorldSpec detection_spec() {
+  WorldSpec spec = baseline_spec(DatasetKind::kC, 42, 0.4);
+  spec.scenario = "detection";
+  spec.set("scam", 0.0);
+  spec.set("self_interest_per_block", 0.5);
+  spec.set("selfish", 1.0);
+  spec.set("propagation_exclusion", 1.0);
+  return spec;
+}
+
+TEST(WorldSpec, GoldenFingerprints) {
+  EXPECT_EQ(baseline_spec(DatasetKind::kA, 42, 1.0).fingerprint(), kGoldenA42x1);
+  EXPECT_EQ(baseline_spec(DatasetKind::kB, 42, 1.0).fingerprint(), kGoldenB42x1);
+  EXPECT_EQ(baseline_spec(DatasetKind::kC, 7, 0.5).fingerprint(), kGoldenC7x05);
+  EXPECT_EQ(detection_spec().fingerprint(), kGoldenDetection);
+}
+
+TEST(WorldSpec, FingerprintIgnoresKnobInsertionOrder) {
+  WorldSpec forward = baseline_spec(DatasetKind::kC, 1, 0.2);
+  forward.scenario = "order";
+  forward.set("scam", 0.0).set("selfish", 0.0).set("utilization", 0.9);
+
+  WorldSpec reversed = baseline_spec(DatasetKind::kC, 1, 0.2);
+  reversed.scenario = "order";
+  reversed.set("utilization", 0.9).set("selfish", 0.0).set("scam", 0.0);
+
+  EXPECT_EQ(forward.canonical_bytes(), reversed.canonical_bytes());
+  EXPECT_EQ(forward.fingerprint(), reversed.fingerprint());
+
+  // Even a hand-built (unsorted) knob vector canonicalizes.
+  WorldSpec raw = baseline_spec(DatasetKind::kC, 1, 0.2);
+  raw.scenario = "order";
+  raw.knobs = {{"utilization", 0.9}, {"selfish", 0.0}, {"scam", 0.0}};
+  EXPECT_EQ(raw.fingerprint(), forward.fingerprint());
+}
+
+TEST(WorldSpec, EveryFieldIsPartOfTheAddress) {
+  const WorldSpec base = baseline_spec(DatasetKind::kA, 42, 1.0);
+
+  WorldSpec kind = base;
+  kind.kind = DatasetKind::kB;
+  EXPECT_NE(kind.fingerprint(), base.fingerprint());
+
+  WorldSpec seed = base;
+  seed.seed = 43;
+  EXPECT_NE(seed.fingerprint(), base.fingerprint());
+
+  WorldSpec scale = base;
+  scale.scale = 0.5;
+  EXPECT_NE(scale.fingerprint(), base.fingerprint());
+
+  WorldSpec scenario = base;
+  scenario.scenario = "aging";
+  EXPECT_NE(scenario.fingerprint(), base.fingerprint());
+
+  WorldSpec knob = base;
+  knob.set("age_weight_per_hour", 0.2);
+  EXPECT_NE(knob.fingerprint(), base.fingerprint());
+
+  WorldSpec value = knob;
+  value.set("age_weight_per_hour", 0.4);
+  EXPECT_NE(value.fingerprint(), knob.fingerprint());
+}
+
+TEST(WorldSpec, SetOverwritesInPlace) {
+  WorldSpec spec = baseline_spec(DatasetKind::kA, 1, 1.0);
+  spec.set("utilization", 0.5);
+  spec.set("utilization", 0.9);
+  ASSERT_EQ(spec.knobs.size(), 1u);
+  EXPECT_EQ(spec.knob("utilization"), 0.9);
+  EXPECT_FALSE(spec.knob("scam").has_value());
+}
+
+TEST(WorldSpec, LabelIsHumanReadable) {
+  EXPECT_EQ(baseline_spec(DatasetKind::kC, 42, 0.4).label(),
+            "C s42 x0.4 baseline");
+  WorldSpec spec = baseline_spec(DatasetKind::kA, 7, 1.0);
+  spec.scenario = "aging";
+  spec.set("age_weight_per_hour", 0.2);
+  EXPECT_EQ(spec.label(), "A s7 x1 aging[age_weight_per_hour=0.2]");
+}
+
+TEST(WorldSpec, ConfigAppliesKnobs) {
+  WorldSpec spec = baseline_spec(DatasetKind::kC, 11, 0.3);
+  spec.scenario = "knobs";
+  spec.set("builder", 1.0)
+      .set("genesis_height", 700'000.0)
+      .set("scam", 0.0)
+      .set("self_interest_per_block", 0.77)
+      .set("selfish", 0.0)
+      .set("propagation_exclusion", 0.0)
+      .set("age_weight_per_hour", 0.25)
+      .set("clear_bursts", 1.0)
+      .set("anchor_multiplier", 2.0);
+
+  const EngineConfig base = dataset_config(DatasetKind::kC, 11, 0.3);
+  const EngineConfig config = spec.config();
+
+  EXPECT_EQ(config.genesis_height, 700'000u);
+  EXPECT_FALSE(config.workload.scam.has_value());
+  EXPECT_EQ(config.workload.self_interest_per_block, 0.77);
+  EXPECT_FALSE(config.propagation_exclusion);
+  EXPECT_TRUE(config.workload.bursts.empty());
+  EXPECT_EQ(config.workload.urgent_anchor_sat_vb,
+            base.workload.urgent_anchor_sat_vb * 2.0);
+  EXPECT_EQ(config.workload.normal_anchor_sat_vb,
+            base.workload.normal_anchor_sat_vb * 2.0);
+  EXPECT_EQ(config.workload.patient_anchor_sat_vb,
+            base.workload.patient_anchor_sat_vb * 2.0);
+  ASSERT_FALSE(config.pools.empty());
+  for (const PoolSpec& pool : config.pools) {
+    EXPECT_EQ(pool.builder, BuilderKind::kLegacyPriority);
+    EXPECT_FALSE(pool.selfish);
+    EXPECT_TRUE(pool.accelerates_for.empty());
+    EXPECT_EQ(pool.age_weight_per_hour, 0.25);
+  }
+}
+
+TEST(WorldSpec, UtilizationKnobAppliedLast) {
+  WorldSpec spec = baseline_spec(DatasetKind::kA, 3, 0.5);
+  spec.scenario = "util";
+  spec.set("utilization", 0.92);
+  const EngineConfig config = spec.config();
+  // rate_for_utilization reads only the capacity math (block budget,
+  // interval, mean vsize), so recomputing it on the final config must
+  // reproduce the stored arrival rate exactly.
+  EXPECT_EQ(config.workload.base_tx_per_second,
+            rate_for_utilization(config, 0.92));
+}
+
+TEST(WorldSpec, UnknownKnobThrows) {
+  WorldSpec spec = baseline_spec(DatasetKind::kA, 1, 1.0);
+  spec.set("block_sizee", 2.0);  // typo: must fail loudly, not no-op
+  EXPECT_THROW(spec.config(), std::invalid_argument);
+}
+
+TEST(WorldSpec, BaselinesConvergeAcrossCallSites) {
+  // bench/worlds.hpp relies on era(kGbt) and aging(0.0) collapsing onto
+  // the plain baseline so fig01's modern era, the w=0 aging row, and
+  // every other A-baseline consumer share one cache entry.
+  const WorldSpec a = baseline_spec(DatasetKind::kA, 42, 0.5);
+  const WorldSpec b = baseline_spec(DatasetKind::kA, 42, 0.5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace cn::sim

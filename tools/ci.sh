@@ -13,8 +13,10 @@
 # the legacy-vs-columnar differential from a binary source, and the 20x
 # ingest-throughput gate from bench_dataset_build), runs the cnauditd
 # daemon leg (the labelled suite plus the kill-point chaos harness under
-# asan, and the >=10x incremental-update gate from bench_daemon), and
-# smoke-builds the -DCN_OBS_DISABLE=ON configuration.
+# asan, and the >=10x incremental-update gate from bench_daemon), runs
+# the cnsweep smoke matrix cold then warm (warm must be all cache hits,
+# <10% sim time, byte-identical bench CSVs), and smoke-builds the
+# -DCN_OBS_DISABLE=ON configuration.
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick   skip the sanitizer configurations (release build + ctest only)
@@ -149,6 +151,49 @@ print(f"daemon incremental update {metrics['incremental_speedup']:.1f}x "
       f"rebuild (recovery {metrics['recovery_speedup']:.1f}x, "
       f"{metrics['queries_per_s'] / 1e3:.0f}k queries/s)")
 EOF
+
+echo "=== cnsweep: shared-world smoke matrix (cold, then warm) ==="
+# The cold run simulates each unique world once into the content-
+# addressed cache; the warm rerun must be all cache hits, spend <10% of
+# wall time simulating, and reproduce byte-identical bench reports
+# (the DESIGN.md §14 contract).
+rm -rf bench_out/worlds bench_out/sweep
+run ./build-release/tools/cnsweep --smoke
+python3 - <<'EOF'
+import json, sys
+with open("bench_out/BENCH_sweep.json") as f:
+    m = json.load(f)["metrics"]
+if m["jobs_failed"] or m["worlds_failed"]:
+    sys.exit(f"cold sweep had failures: {m}")
+if m["cache_misses"] < 1:
+    sys.exit("cold sweep simulated nothing — the cache was not cold")
+print(f"cold: {m['cache_misses']:.0f} worlds simulated in "
+      f"{m['wall_seconds']:.1f}s ({m['sim_fraction'] * 100:.0f}% sim)")
+EOF
+SWEEP_SNAP="$(mktemp -d)"
+cp bench_out/fig03_*.csv bench_out/fig05_*.csv "${SWEEP_SNAP}/"
+rm -rf bench_out/sweep  # drop the --resume markers, keep the worlds
+run ./build-release/tools/cnsweep --smoke
+python3 - <<'EOF'
+import json, sys
+with open("bench_out/BENCH_sweep.json") as f:
+    m = json.load(f)["metrics"]
+if m["jobs_failed"] or m["worlds_failed"]:
+    sys.exit(f"warm sweep had failures: {m}")
+if m["cache_misses"] != 0 or m["cache_hits"] < 1:
+    sys.exit(f"warm sweep was not served from cache: hits="
+             f"{m['cache_hits']} misses={m['cache_misses']}")
+if m["sim_fraction"] >= 0.10:
+    sys.exit(f"warm sweep spent {m['sim_fraction'] * 100:.0f}% of wall "
+             "time simulating (budget 10%)")
+print(f"warm: {m['cache_hits']:.0f} cache hits, 0 misses, "
+      f"{m['wall_seconds']:.1f}s "
+      f"({m.get('speedup_vs_prev', 0):.1f}x vs cold)")
+EOF
+for f in "${SWEEP_SNAP}"/*.csv; do
+  run cmp "$f" "bench_out/$(basename "$f")"
+done
+rm -rf "${SWEEP_SNAP}"
 
 echo "=== tsan: configure + build + concurrency tests ==="
 run cmake --preset tsan
