@@ -86,17 +86,56 @@ inline sim::WorldSpec aging(double age_weight_per_hour, std::uint64_t seed,
   return spec;
 }
 
-/// Detection-ablation world: data set C at a fixed 0.4 scale with the
-/// scam window removed and the planted behaviours dialled explicitly.
+/// Detection-ablation world: data set C (0.4 scale unless overridden)
+/// with the scam window removed and the planted behaviours dialled
+/// explicitly. bench_ablation_detection always uses the default scale;
+/// the evasion sweep passes its own so `cnsweep --smoke` stays cheap.
 inline sim::WorldSpec detection(std::uint64_t seed, double self_per_block,
                                 bool selfish_enabled,
-                                bool propagation_enabled) {
-  sim::WorldSpec spec = baseline(sim::DatasetKind::kC, seed, 0.4);
+                                bool propagation_enabled,
+                                double scale = 0.4) {
+  sim::WorldSpec spec = baseline(sim::DatasetKind::kC, seed, scale);
   spec.scenario = "detection";
   spec.set("scam", 0.0);
   spec.set("self_interest_per_block", self_per_block);
   spec.set("selfish", selfish_enabled ? 1.0 : 0.0);
   spec.set("propagation_exclusion", propagation_enabled ? 1.0 : 0.0);
+  return spec;
+}
+
+/// Evasion-sweep world (ROADMAP item 4): the detection scenario with
+/// every selfish pool throttling its own-wallet boosts to intensity
+/// theta in [0,1]. theta=0 IS the honest detection control — it returns
+/// that exact spec, so the two share one fingerprint and one cached
+/// world (the era(kGbt)/aging(0) idiom). The power sweep's evasion
+/// budget is 1 - theta.
+inline sim::WorldSpec evasion(std::uint64_t seed, double theta,
+                              double self_per_block = 0.5,
+                              double scale = 0.4) {
+  if (theta == 0.0) {
+    return detection(seed, self_per_block, false, true, scale);
+  }
+  sim::WorldSpec spec = baseline(sim::DatasetKind::kC, seed, scale);
+  spec.scenario = "detection";
+  spec.set("scam", 0.0);
+  spec.set("self_interest_per_block", self_per_block);
+  spec.set("propagation_exclusion", 1.0);
+  spec.set("evasion_theta", theta);
+  return spec;
+}
+
+/// Block-withholding world: the selfish detection world whose
+/// misbehaving pools additionally withhold published blocks by
+/// @p delay_s seconds. delay 0 is the plain selfish detection world
+/// (shared fingerprint).
+inline sim::WorldSpec withholding(std::uint64_t seed, double delay_s,
+                                  double self_per_block = 0.5,
+                                  double scale = 0.4) {
+  sim::WorldSpec spec = detection(seed, self_per_block, true, true, scale);
+  if (delay_s != 0.0) {
+    spec.scenario = "withholding";
+    spec.set("withhold_delay_s", delay_s);
+  }
   return spec;
 }
 
@@ -251,6 +290,22 @@ inline const std::vector<SweepEntry>& sweep_matrix() {
          }
          out.push_back(worlds::detection(seed, 0.3, true, true));
          out.push_back(worlds::detection(seed, 0.3, true, false));
+         return out;
+       }},
+      {"bench_ablation_evasion", 0.4,
+       [](std::uint64_t seed, double scale) {
+         // Mirrors bench_ablation_evasion.cpp's full grid. theta=0
+         // deliberately maps onto bench_ablation_detection's honest
+         // controls (same fingerprints, one simulation total), and the
+         // delay-0 withholding world onto its selfish world.
+         std::vector<WorldSpec> out;
+         for (const double theta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+           for (std::uint64_t s = 0; s < 3; ++s) {
+             out.push_back(worlds::evasion(seed + s, theta, 0.5, scale));
+           }
+         }
+         out.push_back(worlds::withholding(seed, 0.0, 0.5, scale));
+         out.push_back(worlds::withholding(seed, 120.0, 0.5, scale));
          return out;
        }},
       {"bench_ablation_aging", 0.5,

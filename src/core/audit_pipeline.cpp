@@ -26,7 +26,7 @@ namespace cn::core {
 const std::vector<std::string>& audit_stage_names() {
   static const std::vector<std::string> kNames = {
       "build",   "quality-mask", "norm-stats", "pool-tests",
-      "screens", "darkfee",      "neutrality"};
+      "screens", "darkfee",      "neutrality", "withholding"};
   return kNames;
 }
 
@@ -301,6 +301,17 @@ AuditReport run_full_audit_columnar(const btc::Chain& chain,
     }
   });
 
+  // withholding: block-vs-mempool overlap detector. Needs the observer's
+  // first-seen log; without it the stage (and its report section) is
+  // absent, keeping historical reports byte-identical.
+  report.has_first_seen = options.first_seen != nullptr;
+  stage("withholding", false, [&] {
+    if (options.first_seen == nullptr) return;
+    report.withholding = withholding_reports(chain, ctx.attribution,
+                                             *options.first_seen,
+                                             options.withholding);
+  });
+
   return report;
 }
 
@@ -403,6 +414,26 @@ void print_audit_report(const AuditReport& report, std::FILE* out,
                    percent(n.boosted_tx_rate, 2).c_str(),
                    format_p_value(n.self_dealing_p).c_str(),
                    n.insufficient_data ? "  [INSUFFICIENT DATA]" : "");
+    }
+  }
+
+  // Rendered only when a first-seen log was supplied, so data sets
+  // without one keep their historical report bytes.
+  if (report.has_first_seen) {
+    std::fprintf(out, "\n--- block withholding (missing-mempool overlap) ---\n");
+    if (report.stage_skipped("withholding")) {
+      std::fprintf(out, "  [SKIPPED]\n");
+    } else {
+      for (const auto& w : report.withholding) {
+        std::fprintf(out,
+                     "  %-16s %6s of %9s blocks flagged (%s, base %s) p=%s\n",
+                     w.pool.c_str(), with_commas(w.flagged).c_str(),
+                     with_commas(w.blocks).c_str(),
+                     percent(w.flagged_rate, 2).c_str(),
+                     percent(w.base_rate, 2).c_str(),
+                     format_p_value(w.p_value).c_str());
+      }
+      if (report.withholding.empty()) std::fprintf(out, "  (none)\n");
     }
   }
 

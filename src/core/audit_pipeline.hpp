@@ -18,6 +18,8 @@
 //   screens      — §5.3 watched-address screens
 //   darkfee      — Table 4 SPPE >= threshold detector
 //   neutrality   — §6.1 per-pool scorecards
+//   withholding  — block-vs-mempool withholding detector (needs the
+//                  observer's first-seen log, AuditOptions::first_seen)
 //
 // Stages are individually timed (AuditReport::stages) and selectable via
 // AuditOptions::stages (cnaudit --stages); a deselected stage is
@@ -40,6 +42,7 @@
 #include "core/neutrality.hpp"
 #include "core/prio_test.hpp"
 #include "core/wallet_inference.hpp"
+#include "core/withholding.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/descriptive.hpp"
 
@@ -99,6 +102,14 @@ struct AuditOptions {
   /// must outlive the run_full_audit call. Columnar engine only; the
   /// legacy oracle never touches a dataset.
   const AuditDataset* prebuilt_dataset = nullptr;
+  /// Optional observer first-seen log (txid -> first-seen time; the
+  /// underlying type of io::FirstSeenMap — core stays io-free). When
+  /// set, the "withholding" stage runs the block-vs-mempool withholding
+  /// detector (core/withholding.hpp); when null the stage is a no-op and
+  /// the rendered report is unchanged. Must outlive run_full_audit.
+  const std::unordered_map<btc::Txid, SimTime>* first_seen = nullptr;
+  /// Thresholds for the withholding detector.
+  WithholdingOptions withholding;
 };
 
 /// One named pipeline stage with its wall-clock cost (columnar engine
@@ -172,6 +183,13 @@ struct AuditReport {
   std::vector<WatchedAddressScreen> screens;
   std::vector<DarkFeeSuspicion> darkfee;           ///< most-flagged first
   std::vector<NeutralityReport> neutrality;        ///< worst first
+  /// Block-withholding suspicion (worst first); only populated when a
+  /// first-seen log was supplied (has_first_seen).
+  std::vector<WithholdingReport> withholding;
+  /// True when AuditOptions::first_seen was supplied — gates both the
+  /// withholding stage and its report section, so data sets without an
+  /// observer log render byte-identically to before the stage existed.
+  bool has_first_seen = false;
 
   /// Coverage accounting (meaningful when has_quality).
   bool has_quality = false;

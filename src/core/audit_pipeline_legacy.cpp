@@ -200,6 +200,16 @@ AuditReport run_full_audit_legacy(const btc::Chain& chain,
     n.coverage = coverage_of_pool(n.pool);
     n.insufficient_data = report.has_quality && n.coverage < options.min_coverage;
   }
+
+  // Block-withholding detector — shared verbatim with the columnar
+  // engine (core/withholding.hpp), so the byte-identity differential
+  // holds with or without a first-seen log.
+  report.has_first_seen = options.first_seen != nullptr;
+  if (options.first_seen != nullptr) {
+    report.withholding = withholding_reports(chain, attribution,
+                                             *options.first_seen,
+                                             options.withholding);
+  }
   return report;
 }
 

@@ -12,9 +12,17 @@ namespace {
 struct PackageScore {
   btc::FeeRate rate{};       ///< effective package fee-rate
   btc::Txid id{};            ///< the package's representative (descendant)
+  SimTime arrival = 0;       ///< representative's mempool arrival (FIFO mode)
+  bool fifo = false;         ///< order by arrival instead of fee-rate
 
-  /// Max-heap ordering with deterministic txid tie-break.
+  /// Max-heap ordering with deterministic txid tie-break. In FIFO mode
+  /// the earliest arrival tops the heap; the rate is still carried for
+  /// the floor check but does not order.
   bool operator<(const PackageScore& o) const noexcept {
+    if (fifo) {
+      if (arrival != o.arrival) return arrival > o.arrival;
+      return id > o.id;  // lower txid wins ties
+    }
     if (rate != o.rate) return rate < o.rate;
     return id > o.id;  // lower txid wins ties
   }
@@ -38,7 +46,7 @@ class TemplateBuilder {
       // pushed, which only *raises* the package rate (lazy invalidation).
       const btc::FeeRate current = package_rate(top.id, package);
       if (current != top.rate) {
-        heap_.push(PackageScore{current, top.id});
+        heap_.push(PackageScore{current, top.id, top.arrival, top.fifo});
         continue;
       }
       if (package.empty()) {
@@ -84,7 +92,7 @@ class TemplateBuilder {
           entry.in_pool_parents == 0
               ? btc::FeeRate(effective_fee(entry), entry.tx.vsize())
               : package_rate(id, package);
-      seed.push_back(PackageScore{rate, id});
+      seed.push_back(PackageScore{rate, id, entry.arrival, options_.fifo});
     });
     heap_ = std::priority_queue<PackageScore>(std::less<PackageScore>{},
                                               std::move(seed));

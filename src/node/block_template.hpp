@@ -46,6 +46,13 @@ struct TemplateOptions {
   /// fee-rate norm. Requires `now` when non-zero.
   double age_weight_per_hour = 0.0;
   SimTime now = 0;
+
+  /// BitcoinF-style fair queue: above the `min_rate` floor, order by
+  /// arrival time (first-come-first-served) instead of fee-rate. The
+  /// floor, exclusion set and vsize budget still apply; parents still
+  /// precede children. Default off preserves the fee-rate norm (and
+  /// byte-identical templates).
+  bool fifo = false;
 };
 
 struct BlockTemplate {

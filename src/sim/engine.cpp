@@ -268,7 +268,9 @@ std::vector<btc::Txid> Engine::commit_block(SimTime now, MiningPool& winner,
   btc::Coinbase coinbase;
   coinbase.tag = winner.coinbase_tag();
   coinbase.reward_address = winner.next_reward_wallet();
-  coinbase.reward = btc::block_subsidy(height_) + tpl.total_fees;
+  coinbase.reward = (config_.fee_only ? btc::Satoshi{}
+                                      : btc::block_subsidy(height_)) +
+                    tpl.total_fees;
 
   std::vector<btc::Txid> mined;
   mined.reserve(tpl.txs.size());
@@ -305,6 +307,7 @@ void Engine::handle_block_found(SimTime now) {
       }
     }
     if (winner.spec().offers_acceleration) ctx.acceleration = &acceleration_;
+    ctx.broadcast_time = &broadcast_time_;
 
     tpl = winner.build_template(canonical_, ctx, std::move(exclude));
   }
@@ -563,6 +566,7 @@ void Engine::run_sharded(unsigned lanes) {
             if (winner.spec().offers_acceleration) {
               ctx.acceleration = &acceleration_;
             }
+            ctx.broadcast_time = &broadcast_time_;
             tpl = winner.build_template(canonical_, ctx, std::move(exclude));
           }
           std::vector<btc::Txid> mined =

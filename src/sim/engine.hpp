@@ -41,6 +41,12 @@ struct EngineConfig {
   /// Probability a winning pool mines an empty (SPV) block.
   double empty_block_fraction = 0.005;
 
+  /// Fee-only (zero-subsidy) regime: coinbase rewards carry only the
+  /// collected fees, modelling the post-subsidy era the BitcoinF /
+  /// fee-model papers study. Default off keeps the historical subsidy
+  /// schedule (and byte-identical worlds).
+  bool fee_only = false;
+
   std::vector<PoolSpec> pools;  ///< shares are normalized internally
   WorkloadConfig workload;
 

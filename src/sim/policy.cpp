@@ -35,6 +35,9 @@ void CollusionPolicy::apply(node::TemplateOptions& options,
   if (ctx.partner_wallets.empty()) return;
   mempool.for_each_entry([&](const node::MempoolEntry& entry) {
     for (const auto* wallets : ctx.partner_wallets) {
+      // A partner slot may legitimately be empty (a pool that colludes
+      // with a wallet-less or unknown partner); skip, never deref.
+      if (wallets == nullptr || wallets->empty()) continue;
       if (involves_any(entry.tx, *wallets)) {
         options.fee_deltas[entry.tx.id()] += kPriorityBoost;
         break;
@@ -98,6 +101,47 @@ void LowFeeTolerancePolicy::apply(node::TemplateOptions& options,
   if (splitmix64(state) % period_ == 0) {
     options.min_rate = btc::FeeRate{};  // lift the floor entirely
   }
+}
+
+void WithholdingPolicy::apply(node::TemplateOptions& options,
+                              const node::Mempool& mempool,
+                              const PolicyContext& ctx) const {
+  if (delay_s_ <= 0.0 || ctx.broadcast_time == nullptr) return;
+  // The block being published now was actually assembled delay_s ago:
+  // anything that entered the network since then cannot be in it.
+  const SimTime cutoff = ctx.now - delay_s_;
+  mempool.for_each_entry([&](const node::MempoolEntry& entry) {
+    const auto it = ctx.broadcast_time->find(entry.tx.id());
+    if (it != ctx.broadcast_time->end() && it->second > cutoff) {
+      options.exclude.insert(entry.tx.id());
+    }
+  });
+}
+
+void EvasiveSelfInterestPolicy::apply(node::TemplateOptions& options,
+                                      const node::Mempool& mempool,
+                                      const PolicyContext& ctx) const {
+  if (theta_ <= 0.0) return;  // fully evasive == honest, byte-identical
+  CN_ASSERT(ctx.own_wallets != nullptr);
+  const std::uint64_t pool_key = stable_hash64(ctx.pool_name);
+  mempool.for_each_entry([&](const node::MempoolEntry& entry) {
+    if (!involves_any(entry.tx, *ctx.own_wallets)) return;
+    if (theta_ < 1.0) {
+      // Per-transaction deterministic coin keyed on (pool, txid): the
+      // same transaction gets the same verdict in every block attempt,
+      // so a throttled boost looks like genuine indifference rather
+      // than flicker an auditor could average away.
+      std::uint64_t state = pool_key ^ entry.tx.id().short_id();
+      const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+      if (u >= theta_) return;
+    }
+    options.fee_deltas[entry.tx.id()] += kPriorityBoost;
+  });
+}
+
+void FairQueuePolicy::apply(node::TemplateOptions& options,
+                            const node::Mempool&, const PolicyContext&) const {
+  options.fifo = true;
 }
 
 }  // namespace cn::sim

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -34,6 +35,10 @@ struct PolicyContext {
   std::vector<const std::unordered_set<btc::Address>*> partner_wallets;
   /// The acceleration ledger (null if this pool sells no acceleration).
   const AccelerationService* acceleration = nullptr;
+  /// When each transaction was first broadcast to the network (the
+  /// engine's ground truth; null when the engine does not track it).
+  /// WithholdingPolicy consults it to model a block mined in the past.
+  const std::unordered_map<btc::Txid, SimTime>* broadcast_time = nullptr;
 };
 
 /// Fee delta large enough to outrank any organic fee-rate: with it, a
@@ -129,6 +134,64 @@ class LowFeeTolerancePolicy final : public MinerPolicy {
 
  private:
   std::uint64_t period_;
+};
+
+/// Selfish-mining block withholding (adversary zoo, ROADMAP item 4). A
+/// withholding pool mines a block, sits on it for @p delay_s seconds,
+/// and only then publishes — so the published block's template was
+/// frozen before the freshest mempool arrivals. We model the *template
+/// consequence* of that lag: transactions first broadcast within the
+/// last @p delay_s seconds are excluded from the block, exactly what an
+/// honest observer sees when comparing the block against their mempool
+/// (the Bitcoin-SV `-detectselfishmining` signature: block timestamp
+/// lags, and a large fraction of mempool transactions are missing).
+/// delay_s == 0 touches nothing and is byte-identical to honest.
+class WithholdingPolicy final : public MinerPolicy {
+ public:
+  explicit WithholdingPolicy(double delay_s) : delay_s_(delay_s) {}
+
+  std::string_view name() const noexcept override { return "withholding"; }
+  void apply(node::TemplateOptions& options, const node::Mempool& mempool,
+             const PolicyContext& ctx) const override;
+
+ private:
+  double delay_s_;
+};
+
+/// Evasion-aware self-interest ("On the Effectiveness of Mempool-based
+/// Transaction Auditing"): boosts each own-wallet transaction only with
+/// probability theta ∈ [0,1], using a deterministic per-transaction coin
+/// keyed on (pool, txid). theta is the *retained selfishness intensity*:
+///   theta = 1  — boosts everything, byte-identical to SelfInterestPolicy;
+///   theta = 0  — boosts nothing, byte-identical to the honest baseline
+///                (no RNG consumed, no deltas written), so theta=0 worlds
+///                share cache entries with honest controls.
+/// The evasion budget reported by the power sweep is 1 - theta.
+class EvasiveSelfInterestPolicy final : public MinerPolicy {
+ public:
+  explicit EvasiveSelfInterestPolicy(double theta) : theta_(theta) {}
+
+  std::string_view name() const noexcept override {
+    return "evasive-self-interest";
+  }
+  void apply(node::TemplateOptions& options, const node::Mempool& mempool,
+             const PolicyContext& ctx) const override;
+
+  double theta() const noexcept { return theta_; }
+
+ private:
+  double theta_;
+};
+
+/// BitcoinF-style fair queue: above the relay floor, serve transactions
+/// strictly first-come-first-served instead of by fee rate. Pairs with
+/// EngineConfig::fee_only to study the zero-subsidy regime where the
+/// paper's fee-ordering norms no longer bind.
+class FairQueuePolicy final : public MinerPolicy {
+ public:
+  std::string_view name() const noexcept override { return "fair-queue"; }
+  void apply(node::TemplateOptions& options, const node::Mempool& mempool,
+             const PolicyContext& ctx) const override;
 };
 
 }  // namespace cn::sim

@@ -17,6 +17,15 @@ MiningPool::MiningPool(const PoolSpec& spec) : spec_(spec) {
   }
 
   if (spec_.selfish) policies_.push_back(std::make_unique<SelfInterestPolicy>());
+  if (spec_.evasion_theta >= 0.0) {
+    policies_.push_back(
+        std::make_unique<EvasiveSelfInterestPolicy>(spec_.evasion_theta));
+  }
+  if (spec_.withhold_delay_s > 0.0) {
+    policies_.push_back(
+        std::make_unique<WithholdingPolicy>(spec_.withhold_delay_s));
+  }
+  if (spec_.fair_queue) policies_.push_back(std::make_unique<FairQueuePolicy>());
   if (!spec_.accelerates_for.empty())
     policies_.push_back(std::make_unique<CollusionPolicy>());
   if (spec_.offers_acceleration)

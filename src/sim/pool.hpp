@@ -42,6 +42,18 @@ struct PoolSpec {
   double self_tx_weight = 1.0;
 
   bool selfish = false;                       ///< boosts own-wallet txs
+  /// Evasion-aware self-interest intensity (adversary zoo): boosts each
+  /// own-wallet tx with probability theta. Negative (default) = policy
+  /// absent; 0 attaches the policy but is byte-identical to honest;
+  /// 1 is byte-identical to `selfish`. Mutually composable with
+  /// `selfish` but dataset builders set one or the other.
+  double evasion_theta = -1.0;
+  /// Selfish-mining block withholding: published blocks exclude
+  /// transactions first broadcast within the last `withhold_delay_s`
+  /// seconds (the template was frozen that long ago). 0 = honest.
+  double withhold_delay_s = 0.0;
+  /// BitcoinF-style fair queue: FIFO ordering above the relay floor.
+  bool fair_queue = false;
   std::vector<std::string> accelerates_for;   ///< collusion partners
   bool offers_acceleration = false;           ///< sells dark-fee service
   /// Probability per block of a one-off, off-the-books boost of a random

@@ -146,6 +146,33 @@ EngineConfig WorldSpec::config() const {
       config.workload.urgent_anchor_sat_vb *= knob.second;
       config.workload.normal_anchor_sat_vb *= knob.second;
       config.workload.patient_anchor_sat_vb *= knob.second;
+    } else if (knob_is(knob, "evasion_theta", matched)) {
+      // The adversary-zoo evasion sweep: every selfish pool throttles its
+      // own-wallet boosts to intensity theta instead. Collusion is
+      // cleared like selfish=0, so theta=0 is byte-identical to the
+      // honest control and shares its materialized world bytes.
+      for (auto& pool : config.pools) {
+        if (!pool.selfish) continue;
+        pool.selfish = false;
+        pool.accelerates_for.clear();
+        pool.evasion_theta = knob.second;
+      }
+    } else if (knob_is(knob, "withhold_delay_s", matched)) {
+      // Applies to the misbehaving pools (selfish or evasive). Knobs are
+      // applied in sorted-name order, so "evasion_theta" has already
+      // converted selfish pools when both are set — the composition is
+      // insertion-order independent.
+      for (auto& pool : config.pools) {
+        if (pool.selfish || pool.evasion_theta >= 0.0) {
+          pool.withhold_delay_s = knob.second;
+        }
+      }
+    } else if (knob_is(knob, "fair_queue", matched)) {
+      if (knob.second != 0.0) {
+        for (auto& pool : config.pools) pool.fair_queue = true;
+      }
+    } else if (knob_is(knob, "fee_only", matched)) {
+      config.fee_only = knob.second != 0.0;
     }
     if (!matched && knob.first != "utilization") {
       throw std::invalid_argument("WorldSpec: unknown knob '" + knob.first +

@@ -80,6 +80,15 @@ struct WorldSpec {
   ///   utilization           base_tx_per_second =
   ///                         rate_for_utilization(config, value)
   ///   anchor_multiplier     scales urgent/normal/patient fee anchors
+  ///   evasion_theta         converts every selfish pool to an evasive
+  ///                         one (selfish off, collusion cleared,
+  ///                         PoolSpec::evasion_theta = value); 0 is
+  ///                         byte-identical to selfish=0, 1 boosts like
+  ///                         full self-interest
+  ///   withhold_delay_s      selfish/evasive pools withhold published
+  ///                         blocks by this many seconds (0 = honest)
+  ///   fair_queue            1 -> FIFO-above-floor on every pool
+  ///   fee_only              1 -> zero-subsidy (fee-only) coinbase
   EngineConfig config() const;
 
   bool operator==(const WorldSpec&) const = default;

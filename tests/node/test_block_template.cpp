@@ -223,6 +223,94 @@ TEST(BlockTemplate, ZeroAgingWeightIsPureFeeRate) {
   EXPECT_EQ(tpl.txs[0].id(), fresh.id());
 }
 
+TEST(BlockTemplate, FifoOrdersByArrivalNotFeeRate) {
+  // BitcoinF-style fair queue: first seen, first committed — fee rate
+  // only matters for clearing the floor, never for the order.
+  Mempool pool(1);
+  const auto late_rich = tx_with_rate(9.0, 250, 0, 981);
+  const auto early_poor = tx_with_rate(2.0, 250, 0, 982);
+  const auto middle = tx_with_rate(5.0, 250, 0, 983);
+  pool.accept(late_rich, 30);
+  pool.accept(early_poor, 10);
+  pool.accept(middle, 20);
+
+  TemplateOptions options;
+  options.fifo = true;
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 3u);
+  EXPECT_EQ(tpl.txs[0].id(), early_poor.id());
+  EXPECT_EQ(tpl.txs[1].id(), middle.id());
+  EXPECT_EQ(tpl.txs[2].id(), late_rich.id());
+}
+
+TEST(BlockTemplate, FifoStillEnforcesFloorAndCensorship) {
+  // "Above the floor": a sub-floor transaction does not ride in on
+  // arrival order, and the exclude set still censors.
+  Mempool pool(0);
+  const auto dust = tx_with_rate(0.5, 250, 0, 984);
+  const auto banned = tx_with_rate(5.0, 250, 0, 985);
+  const auto fine = tx_with_rate(3.0, 250, 0, 986);
+  pool.accept(dust, 0);
+  pool.accept(banned, 10);
+  pool.accept(fine, 20);
+
+  TemplateOptions options;
+  options.fifo = true;
+  options.min_rate = btc::FeeRate::from_sat_per_vb(1);
+  options.exclude.insert(banned.id());
+  const BlockTemplate tpl = build_template(pool, options);
+  ASSERT_EQ(tpl.txs.size(), 1u);
+  EXPECT_EQ(tpl.txs[0].id(), fine.id());
+}
+
+TEST(BlockTemplate, FifoTieBreaksDeterministicallyAndKeepsPackages) {
+  Mempool pool(0);
+  // Equal arrivals: lower txid first, stable across builds.
+  const auto a = tx_with_rate(5.0, 250, 0, 987);
+  const auto b = tx_with_rate(5.0, 250, 0, 988);
+  pool.accept(a, 0);
+  pool.accept(b, 0);
+  // A CPFP pair arriving earlier than either: parent must still precede
+  // its child in the committed order.
+  const auto parent = tx_with_rate(1.0, 250, 0, 989);
+  const auto child = btc::make_child_payment(
+      5, 250, btc::Satoshi{5000}, parent, btc::Address::derive("d"),
+      btc::Satoshi{100}, 990);
+  pool.accept(parent, 0);
+  pool.accept(child, 5);
+
+  TemplateOptions options;
+  options.fifo = true;
+  const BlockTemplate t1 = build_template(pool, options);
+  const BlockTemplate t2 = build_template(pool, options);
+  ASSERT_EQ(t1.txs.size(), 4u);
+  for (std::size_t i = 0; i < t1.txs.size(); ++i) {
+    EXPECT_EQ(t1.txs[i].id(), t2.txs[i].id()) << i;
+  }
+  std::size_t parent_at = 99, child_at = 99, a_at = 99, b_at = 99;
+  for (std::size_t i = 0; i < t1.txs.size(); ++i) {
+    if (t1.txs[i].id() == parent.id()) parent_at = i;
+    if (t1.txs[i].id() == child.id()) child_at = i;
+    if (t1.txs[i].id() == a.id()) a_at = i;
+    if (t1.txs[i].id() == b.id()) b_at = i;
+  }
+  EXPECT_LT(parent_at, child_at);
+  EXPECT_EQ(a_at < b_at, a.id() < b.id());
+}
+
+TEST(BlockTemplate, FifoRespectsVsizeBudget) {
+  Mempool pool(1);
+  for (int i = 0; i < 10; ++i) {
+    pool.accept(tx_with_rate(5.0, 300, 0, 991 + i), i);
+  }
+  TemplateOptions options;
+  options.fifo = true;
+  options.max_vsize = 1000;  // fits 3 of 300 vB
+  const BlockTemplate tpl = build_template(pool, options);
+  EXPECT_EQ(tpl.txs.size(), 3u);
+  EXPECT_LE(tpl.total_vsize, 1000u);
+}
+
 // Property: for independent (no-dependency) transactions, the template is
 // exactly sorted by fee-rate and fills greedily.
 class GreedyProperty : public ::testing::TestWithParam<int> {};

@@ -160,12 +160,158 @@ TEST(LowFeeTolerance, DeterministicPerPoolAndHeight) {
   EXPECT_EQ(a.min_rate.valid(), b.min_rate.valid());
 }
 
+TEST(CollusionPolicy, NullOrEmptyPartnerEntryIsSkippedNotDereferenced) {
+  // Regression: a pool may collude with a wallet-less partner — its slot
+  // in partner_wallets is a null (or empty) set. apply() used to walk
+  // straight into it.
+  node::Mempool pool(1);
+  const auto partner_tx = btc::make_payment(
+      0, 250, btc::Satoshi{250}, kPartnerWallet, kUser, btc::Satoshi{500}, 40);
+  pool.accept(partner_tx, 0);
+
+  std::unordered_set<btc::Address> partner{kPartnerWallet};
+  const std::unordered_set<btc::Address> empty;
+  PolicyContext ctx;
+  ctx.partner_wallets.push_back(nullptr);
+  ctx.partner_wallets.push_back(&empty);
+  ctx.partner_wallets.push_back(&partner);
+
+  node::TemplateOptions options;
+  CollusionPolicy{}.apply(options, pool, ctx);
+  ASSERT_EQ(options.fee_deltas.size(), 1u);
+  EXPECT_TRUE(options.fee_deltas.contains(partner_tx.id()));
+}
+
+TEST(EvasiveSelfInterest, ZeroThetaIsAbsoluteNoop) {
+  // theta=0 must not even read the context — it is the attachment that
+  // byte-identity with the honest baseline rests on.
+  node::Mempool pool(1);
+  pool.accept(payout(50), 0);
+  PolicyContext ctx;  // own_wallets deliberately null
+  node::TemplateOptions options;
+  EvasiveSelfInterestPolicy{0.0}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fee_deltas.empty());
+  EXPECT_TRUE(options.exclude.empty());
+}
+
+TEST(EvasiveSelfInterest, FullThetaMatchesSelfInterestExactly) {
+  node::Mempool pool(1);
+  for (std::uint64_t n = 0; n < 20; ++n) pool.accept(payout(60 + n), 0);
+  pool.accept(tx_with_rate(1.0, 250, 0, 90), 0);
+
+  std::unordered_set<btc::Address> wallets{kPoolWallet};
+  PolicyContext ctx;
+  ctx.pool_name = "F2Pool";
+  ctx.own_wallets = &wallets;
+
+  node::TemplateOptions plain, evasive;
+  SelfInterestPolicy{}.apply(plain, pool, ctx);
+  EvasiveSelfInterestPolicy{1.0}.apply(evasive, pool, ctx);
+  EXPECT_EQ(plain.fee_deltas, evasive.fee_deltas);
+  ASSERT_EQ(evasive.fee_deltas.size(), 20u);
+}
+
+TEST(EvasiveSelfInterest, PartialThetaThrottlesDeterministically) {
+  node::Mempool pool(1);
+  constexpr std::uint64_t kOwnTxs = 200;
+  for (std::uint64_t n = 0; n < kOwnTxs; ++n) pool.accept(payout(100 + n), 0);
+
+  std::unordered_set<btc::Address> wallets{kPoolWallet};
+  PolicyContext ctx;
+  ctx.pool_name = "F2Pool";
+  ctx.own_wallets = &wallets;
+
+  node::TemplateOptions half;
+  EvasiveSelfInterestPolicy{0.5}.apply(half, pool, ctx);
+  // Roughly theta of the own-wallet txs retain their boost...
+  EXPECT_GT(half.fee_deltas.size(), kOwnTxs / 4);
+  EXPECT_LT(half.fee_deltas.size(), 3 * kOwnTxs / 4);
+  // ...and every survivor is a strict subset of the full boost set.
+  node::TemplateOptions full;
+  SelfInterestPolicy{}.apply(full, pool, ctx);
+  for (const auto& [id, delta] : half.fee_deltas) {
+    EXPECT_TRUE(full.fee_deltas.contains(id));
+    EXPECT_EQ(delta, kPriorityBoost);
+  }
+
+  // The verdict is keyed on (pool, txid) alone: a different block
+  // attempt (height/now) re-boosts the SAME transactions — the throttle
+  // must read as indifference, never flicker.
+  node::TemplateOptions later;
+  ctx.height = 777;
+  ctx.now = 123'456;
+  EvasiveSelfInterestPolicy{0.5}.apply(later, pool, ctx);
+  EXPECT_EQ(half.fee_deltas, later.fee_deltas);
+
+  // A different pool draws a different (deterministic) subset.
+  node::TemplateOptions other_pool;
+  ctx.pool_name = "AntPool";
+  EvasiveSelfInterestPolicy{0.5}.apply(other_pool, pool, ctx);
+  EXPECT_NE(half.fee_deltas, other_pool.fee_deltas);
+}
+
+TEST(WithholdingPolicy, ExcludesRecentlyBroadcastTxs) {
+  node::Mempool pool(1);
+  const auto fresh = tx_with_rate(5.0, 250, 0, 200);
+  const auto stale = tx_with_rate(5.0, 250, 0, 201);
+  const auto unseen = tx_with_rate(5.0, 250, 0, 202);
+  pool.accept(fresh, 0);
+  pool.accept(stale, 0);
+  pool.accept(unseen, 0);
+
+  std::unordered_map<btc::Txid, SimTime> broadcast;
+  broadcast[fresh.id()] = 800;  // within the 300 s assembly lag
+  broadcast[stale.id()] = 600;  // already known when assembly started
+  PolicyContext ctx;
+  ctx.now = 1000;
+  ctx.broadcast_time = &broadcast;
+
+  node::TemplateOptions options;
+  WithholdingPolicy{300.0}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.exclude.contains(fresh.id()));
+  EXPECT_FALSE(options.exclude.contains(stale.id()));
+  EXPECT_FALSE(options.exclude.contains(unseen.id()));
+}
+
+TEST(WithholdingPolicy, ZeroDelayOrMissingLogIsNoop) {
+  node::Mempool pool(1);
+  const auto tx = tx_with_rate(5.0, 250, 0, 210);
+  pool.accept(tx, 0);
+  std::unordered_map<btc::Txid, SimTime> broadcast{{tx.id(), 999}};
+  PolicyContext ctx;
+  ctx.now = 1000;
+  ctx.broadcast_time = &broadcast;
+
+  node::TemplateOptions zero_delay;
+  WithholdingPolicy{0.0}.apply(zero_delay, pool, ctx);
+  EXPECT_TRUE(zero_delay.exclude.empty());
+
+  ctx.broadcast_time = nullptr;
+  node::TemplateOptions no_log;
+  WithholdingPolicy{300.0}.apply(no_log, pool, ctx);
+  EXPECT_TRUE(no_log.exclude.empty());
+}
+
+TEST(FairQueuePolicy, RequestsFifoOrdering) {
+  node::Mempool pool(1);
+  PolicyContext ctx;
+  node::TemplateOptions options;
+  EXPECT_FALSE(options.fifo);
+  FairQueuePolicy{}.apply(options, pool, ctx);
+  EXPECT_TRUE(options.fifo);
+  EXPECT_TRUE(options.fee_deltas.empty());
+  EXPECT_TRUE(options.exclude.empty());
+}
+
 TEST(PolicyNames, AreStable) {
   EXPECT_EQ(SelfInterestPolicy{}.name(), "self-interest");
   EXPECT_EQ(CollusionPolicy{}.name(), "collusion");
   EXPECT_EQ(DarkFeePolicy{}.name(), "dark-fee");
   EXPECT_EQ(CensorshipPolicy{{}}.name(), "censorship");
   EXPECT_EQ(LowFeeTolerancePolicy{}.name(), "low-fee-tolerance");
+  EXPECT_EQ(WithholdingPolicy{120.0}.name(), "withholding");
+  EXPECT_EQ(EvasiveSelfInterestPolicy{0.5}.name(), "evasive-self-interest");
+  EXPECT_EQ(FairQueuePolicy{}.name(), "fair-queue");
 }
 
 }  // namespace

@@ -22,6 +22,12 @@ constexpr std::uint64_t kGoldenA42x1 = 0x7ea550905e0b7f66ull;
 constexpr std::uint64_t kGoldenB42x1 = 0x7c72e320b0a1d88dull;
 constexpr std::uint64_t kGoldenC7x05 = 0x7916e94bf4142409ull;
 constexpr std::uint64_t kGoldenDetection = 0xd510c3f60bcb43ffull;
+// The PR-10 adversary-zoo knobs. New addresses, so they cannot collide
+// with (or silently re-key) any world cached before the zoo existed.
+constexpr std::uint64_t kGoldenEvasion = 0xae89ff8b1f7882e3ull;
+constexpr std::uint64_t kGoldenWithholding = 0x08bf384318a39143ull;
+constexpr std::uint64_t kGoldenFairQueue = 0x9df1bc987bb3e79bull;
+constexpr std::uint64_t kGoldenFeeOnly = 0xdfffcc8d0d73c42bull;
 
 WorldSpec detection_spec() {
   WorldSpec spec = baseline_spec(DatasetKind::kC, 42, 0.4);
@@ -33,11 +39,135 @@ WorldSpec detection_spec() {
   return spec;
 }
 
+WorldSpec evasion_spec(double theta) {
+  WorldSpec spec = baseline_spec(DatasetKind::kC, 42, 0.4);
+  spec.scenario = "detection";
+  spec.set("scam", 0.0);
+  spec.set("self_interest_per_block", 0.5);
+  spec.set("propagation_exclusion", 1.0);
+  spec.set("evasion_theta", theta);
+  return spec;
+}
+
 TEST(WorldSpec, GoldenFingerprints) {
   EXPECT_EQ(baseline_spec(DatasetKind::kA, 42, 1.0).fingerprint(), kGoldenA42x1);
   EXPECT_EQ(baseline_spec(DatasetKind::kB, 42, 1.0).fingerprint(), kGoldenB42x1);
   EXPECT_EQ(baseline_spec(DatasetKind::kC, 7, 0.5).fingerprint(), kGoldenC7x05);
   EXPECT_EQ(detection_spec().fingerprint(), kGoldenDetection);
+}
+
+TEST(WorldSpec, GoldenFingerprintsAdversaryZoo) {
+  EXPECT_EQ(evasion_spec(0.5).fingerprint(), kGoldenEvasion);
+
+  WorldSpec withholding = detection_spec();
+  withholding.scenario = "withholding";
+  withholding.set("withhold_delay_s", 120.0);
+  EXPECT_EQ(withholding.fingerprint(), kGoldenWithholding);
+
+  WorldSpec fair = baseline_spec(DatasetKind::kA, 42, 0.5);
+  fair.scenario = "fair-queue";
+  fair.set("fair_queue", 1.0);
+  EXPECT_EQ(fair.fingerprint(), kGoldenFairQueue);
+
+  WorldSpec fee_only = baseline_spec(DatasetKind::kA, 42, 0.5);
+  fee_only.scenario = "fee-only";
+  fee_only.set("fee_only", 1.0);
+  EXPECT_EQ(fee_only.fingerprint(), kGoldenFeeOnly);
+
+  // All six addresses (four legacy, plus the zoo) remain distinct.
+  const std::uint64_t all[] = {kGoldenA42x1,      kGoldenB42x1,
+                               kGoldenC7x05,      kGoldenDetection,
+                               kGoldenEvasion,    kGoldenWithholding,
+                               kGoldenFairQueue,  kGoldenFeeOnly};
+  for (std::size_t i = 0; i < std::size(all); ++i) {
+    for (std::size_t j = i + 1; j < std::size(all); ++j) {
+      EXPECT_NE(all[i], all[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(WorldSpec, EvasionKnobConvertsSelfishPools) {
+  // evasion_theta transfers the plant: every selfish pool drops its
+  // SelfInterestPolicy AND its acceleration back-channel, gaining the
+  // throttled policy instead. Non-selfish pools are untouched.
+  const EngineConfig base = detection_spec().config();
+  std::size_t base_selfish = 0;
+  for (const PoolSpec& pool : base.pools) base_selfish += pool.selfish;
+  ASSERT_GT(base_selfish, 0u);
+
+  const EngineConfig config = evasion_spec(0.6).config();
+  ASSERT_EQ(config.pools.size(), base.pools.size());
+  std::size_t evasive = 0;
+  for (std::size_t i = 0; i < config.pools.size(); ++i) {
+    const PoolSpec& pool = config.pools[i];
+    EXPECT_FALSE(pool.selfish) << pool.name;
+    EXPECT_TRUE(pool.accelerates_for.empty()) << pool.name;
+    if (base.pools[i].selfish) {
+      EXPECT_EQ(pool.evasion_theta, 0.6) << pool.name;
+      ++evasive;
+    } else {
+      EXPECT_LT(pool.evasion_theta, 0.0) << pool.name;
+    }
+  }
+  EXPECT_EQ(evasive, base_selfish);
+}
+
+TEST(WorldSpec, WithholdKnobComposesWithEvasionEitherOrder) {
+  // withhold_delay_s targets the misbehaving pools, whether they are
+  // plain selfish or evasion-converted — and the materialized config
+  // must not depend on knob application order (knobs are canonically
+  // sorted, but the loop order is an implementation detail worth
+  // pinning).
+  WorldSpec forward = evasion_spec(0.4);
+  forward.set("withhold_delay_s", 90.0);
+  WorldSpec reversed = baseline_spec(DatasetKind::kC, 42, 0.4);
+  reversed.scenario = "detection";
+  reversed.set("withhold_delay_s", 90.0);
+  reversed.set("scam", 0.0);
+  reversed.set("self_interest_per_block", 0.5);
+  reversed.set("propagation_exclusion", 1.0);
+  reversed.set("evasion_theta", 0.4);
+  EXPECT_EQ(forward.fingerprint(), reversed.fingerprint());
+
+  const EngineConfig fwd = forward.config();
+  const EngineConfig rev = reversed.config();
+  ASSERT_EQ(fwd.pools.size(), rev.pools.size());
+  std::size_t withholders = 0;
+  for (std::size_t i = 0; i < fwd.pools.size(); ++i) {
+    EXPECT_EQ(fwd.pools[i].evasion_theta, rev.pools[i].evasion_theta);
+    EXPECT_EQ(fwd.pools[i].withhold_delay_s, rev.pools[i].withhold_delay_s);
+    if (fwd.pools[i].evasion_theta >= 0.0) {
+      EXPECT_EQ(fwd.pools[i].withhold_delay_s, 90.0) << fwd.pools[i].name;
+      ++withholders;
+    } else {
+      EXPECT_EQ(fwd.pools[i].withhold_delay_s, 0.0) << fwd.pools[i].name;
+    }
+  }
+  EXPECT_GT(withholders, 0u);
+}
+
+TEST(WorldSpec, FairQueueAndFeeOnlyKnobsApply) {
+  WorldSpec spec = baseline_spec(DatasetKind::kA, 3, 0.3);
+  spec.scenario = "bitcoinf";
+  spec.set("fair_queue", 1.0);
+  spec.set("fee_only", 1.0);
+  const EngineConfig config = spec.config();
+  EXPECT_TRUE(config.fee_only);
+  ASSERT_FALSE(config.pools.empty());
+  for (const PoolSpec& pool : config.pools) {
+    EXPECT_TRUE(pool.fair_queue) << pool.name;
+  }
+
+  // Zero-valued switches are the documented no-ops.
+  WorldSpec off = baseline_spec(DatasetKind::kA, 3, 0.3);
+  off.scenario = "bitcoinf";
+  off.set("fair_queue", 0.0);
+  off.set("fee_only", 0.0);
+  const EngineConfig off_config = off.config();
+  EXPECT_FALSE(off_config.fee_only);
+  for (const PoolSpec& pool : off_config.pools) {
+    EXPECT_FALSE(pool.fair_queue) << pool.name;
+  }
 }
 
 TEST(WorldSpec, FingerprintIgnoresKnobInsertionOrder) {

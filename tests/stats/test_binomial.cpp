@@ -47,6 +47,75 @@ TEST(BinomialSf, KnownValue) {
   EXPECT_NEAR(binomial_sf(8, 10, 0.5), 56.0 / 1024.0, 1e-12);
 }
 
+TEST(BinomialBoundaries, KAtZeroAndBeyondN) {
+  // sf(0) counts the whole support; anything past n is impossible.
+  for (double p : {0.0, 0.3, 1.0}) {
+    EXPECT_DOUBLE_EQ(binomial_sf(0, 25, p), 1.0) << "p=" << p;
+    EXPECT_DOUBLE_EQ(binomial_sf(26, 25, p), 0.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(binomial_cdf(25, 25, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(40, 25, 0.3), 1.0);  // k >= n saturates
+}
+
+TEST(BinomialBoundaries, DegenerateP) {
+  // p=0: all mass at k=0. p=1: all mass at k=n. The log-space path must
+  // not turn these into NaNs (log(0) terms are short-circuited).
+  EXPECT_DOUBLE_EQ(binomial_cdf(0, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(5, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(1, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(5, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(9, 10, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(10, 10, 1.0), 1.0);
+  // n=1 is the smallest legal trial count.
+  EXPECT_DOUBLE_EQ(binomial_sf(1, 1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_sf(1, 1, 0.0), 0.0);
+  EXPECT_NEAR(binomial_sf(1, 1, 0.3), 0.3, 1e-15);
+}
+
+TEST(BinomialBoundaries, ClosedFormGoldens) {
+  // cdf(2 | n=6, p=1/4) = (3^6 + 6*3^5 + 15*3^4) / 4^6 = 3402/4096.
+  EXPECT_NEAR(binomial_cdf(2, 6, 0.25), 3402.0 / 4096.0, 1e-12);
+  // sf(n) = p^n and cdf(0) = (1-p)^n, held to relative 1e-12 (the
+  // values themselves are far below any absolute tolerance).
+  EXPECT_NEAR(binomial_sf(50, 50, 0.37) / std::pow(0.37, 50), 1.0, 1e-12);
+  EXPECT_NEAR(binomial_cdf(0, 80, 0.63) / std::pow(1.0 - 0.63, 80), 1.0,
+              1e-12);
+}
+
+TEST(BinomialBoundaries, MillionTrialTailsStayInLogSpace) {
+  constexpr std::uint64_t n = 1'000'000;
+  // sf(1 | n, p) = 1 - (1-p)^n has an independent closed form via
+  // expm1/log1p — a golden the summation path must hit to 1e-12.
+  const double p_rare = 1e-7;
+  EXPECT_NEAR(binomial_sf(1, n, p_rare),
+              -std::expm1(static_cast<double>(n) * std::log1p(-p_rare)),
+              1e-12);
+
+  // A 40-sigma tail underflows double — it must come back as a clean
+  // hard zero (log-space sum, then one exp), never NaN or negative.
+  const double far = binomial_sf(520'000, n, 0.5);
+  EXPECT_GE(far, 0.0);
+  EXPECT_LT(far, 1e-300);
+  EXPECT_FALSE(std::isnan(far));
+  // The log-pmf itself stays finite out there.
+  EXPECT_TRUE(std::isfinite(binomial_log_pmf(520'000, n, 0.5)));
+  EXPECT_LT(binomial_log_pmf(520'000, n, 0.5), -700.0);
+
+  // Near the mean both tails are O(1): the complement identity must
+  // survive a million-term summation (whose rounding accumulates to a
+  // few 1e-9 — fine for p-values, pinned so it cannot silently grow).
+  const double cdf = binomial_cdf(500'000, n, 0.5);
+  const double sf = binomial_sf(500'001, n, 0.5);
+  EXPECT_NEAR(cdf + sf, 1.0, 1e-7);
+  EXPECT_GT(cdf, 0.4);
+  EXPECT_LT(cdf, 0.6);
+
+  // And the survival function is monotone across the whole regime.
+  EXPECT_GT(binomial_sf(500'500, n, 0.5), binomial_sf(501'500, n, 0.5));
+  EXPECT_GT(binomial_sf(501'500, n, 0.5), binomial_sf(510'000, n, 0.5));
+}
+
 TEST(AccelerationTest, PaperMagnitudeExample) {
   // Table 2's F2Pool row: x=466 of y=839 c-blocks at theta0=0.1753 is
   // overwhelming evidence (reported p = 0.0000).

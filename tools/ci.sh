@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI driver: builds the release and asan presets, runs the full test
-# suite under both (the detector-calibration suite gets its own labelled
-# ASan pass), gates the observability overhead on the bit bench_audit
+# suite under both (the detector-calibration and detector-power suites
+# get their own labelled ASan pass, and the evasion bench's ROC gates
+# are checked from BENCH_detector_power.json), gates the observability
+# overhead on the bit bench_audit
 # writes to bench_out/BENCH_audit.json, re-runs the concurrency-sensitive
 # tests (the ThreadPool, the lock-free obs registry, the parallel audit
 # pipeline, the columnar-vs-legacy differential suite, the
@@ -65,11 +67,36 @@ run cmake --preset asan
 run cmake --build --preset asan -j "${JOBS}"
 run ctest --preset asan -j "${JOBS}" -LE calibration
 
-echo "=== detector calibration under asan ==="
+echo "=== detector calibration + power under asan ==="
 # The ground-truth calibration suite (planted selfish / low-fee-tolerant
-# / honest worlds) runs in its own labelled pass so failures are
-# unmistakably a detector regression, not a unit-test flake.
-run ctest --preset asan -j "${JOBS}" -L calibration
+# / honest worlds) and the evasion power suite (theta-throttled
+# adversaries, withholding worlds, zero-evasion byte-identity) run in
+# their own labelled pass so failures are unmistakably a detector
+# regression, not a unit-test flake. CN_SMOKE=1 halves the power
+# suite's world durations — the statistical separations it asserts
+# survive the shorter sims, and ASan is ~5x slower.
+run env CN_SMOKE=1 ctest --preset asan -j "${JOBS}" -L calibration
+
+echo "=== detector power gate (bench_ablation_evasion --smoke) ==="
+# The reduced grid (theta in {0,1}, one seed) at the default 0.4 scale
+# still enforces the pinned ROC gates in-process (exit non-zero on
+# failure); the json check guards the emitted bits so an edit to the
+# bench's own enforcement cannot slip through CI.
+run ./build-release/bench/bench_ablation_evasion --smoke
+python3 - <<'EOF'
+import json, sys
+with open("bench_out/BENCH_detector_power.json") as f:
+    metrics = json.load(f)["metrics"]
+if metrics.get("gates_enforced") != 1.0:
+    sys.exit("detector power gates were not enforced (scale too small?)")
+for bit in ("gate_power_monotone_in_budget", "gate_power_full_selfish",
+            "gate_fpr_at_alpha"):
+    if metrics.get(bit) != 1.0:
+        sys.exit(f"detector power gate failed: {bit}={metrics.get(bit)}")
+print(f"power {metrics['power_theta_100']:.2f} at theta=1, "
+      f"FPR {metrics['false_positive_rate']:.3f} "
+      f"(alpha {metrics['alpha']})")
+EOF
 
 echo "=== fault injection: property tests under asan + ingest bench ==="
 # Lenient import must survive any seeded corruption asan-clean; strict

@@ -323,6 +323,9 @@ int cmd_report(const Args& args) {
   // The loader interned every address it touched; the build stage reuses
   // the table instead of re-hashing the address universe.
   options.interned_addresses = &data->addresses;
+  // A data set that carries the observer's first-seen log also gets the
+  // block-withholding stage (core/withholding.hpp).
+  if (data->first_seen.has_value()) options.first_seen = &*data->first_seen;
 
   const std::string engine = args.get_or("engine", "columnar");
   if (engine == "legacy") {

@@ -119,10 +119,14 @@ std::string default_bench_dir(const char* argv0) {
 
 /// The CI matrix: two benches sharing worlds A+B plus one on C, all at
 /// scale 0.1 — small enough for a cold run in seconds, rich enough to
-/// exercise dedup (fig03 and fig05 want the same two worlds).
+/// exercise dedup (fig03 and fig05 want the same two worlds). The
+/// evasion sweep rides along so the adversary-zoo worlds (evasive,
+/// withholding) go through the same cold/warm cache cycle; at this
+/// scale its detector-power gates are advisory (see
+/// bench_ablation_evasion.cpp).
 constexpr const char* kSmokeBenches[] = {
     "bench_fig03_congestion", "bench_fig05_delay_by_feerate",
-    "bench_tab03_scam"};
+    "bench_tab03_scam", "bench_ablation_evasion"};
 constexpr double kSmokeScale = 0.1;
 
 struct Job {
